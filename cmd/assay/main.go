@@ -1,0 +1,47 @@
+// Command assay runs a mixture-preparation job described in the assay text
+// format (see internal/assay): declarative mixtures, chip resources and
+// droplet demands compiled onto the streaming engine.
+//
+// Usage:
+//
+//	assay job.assay
+//	assay -        # read from stdin
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/assay"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: assay <file | ->")
+		os.Exit(2)
+	}
+	var src io.Reader
+	if os.Args[1] == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assay:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	a, err := assay.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := a.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
+}

@@ -1,0 +1,141 @@
+// Command mdst plans one MDST instance: given a target ratio, a droplet
+// demand and chip resources, it prints the mixing forest, the schedule as a
+// Gantt chart, and the cost summary, optionally comparing against the
+// repeated baseline.
+//
+// Usage:
+//
+//	mdst -ratio 2:1:1:1:1:1:9 -demand 20 -mixers 3 -alg MM -sched SRS
+//	mdst -ratio 26:21:2:2:3:3:199 -demand 32 -storage 7 -forest -baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dmfb "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		ratioStr   = flag.String("ratio", "2:1:1:1:1:1:9", "target ratio a1:a2:...:aN (sum must be a power of two)")
+		demand     = flag.Int("demand", 20, "number of target droplets D")
+		mixers     = flag.Int("mixers", 0, "on-chip mixers Mc (0 = Mlb of the MM tree)")
+		storage    = flag.Int("storage", 0, "on-chip storage units q' (0 = unlimited)")
+		algName    = flag.String("alg", "MM", "base mixing algorithm: MM, RMA or MTCS")
+		schedName  = flag.String("sched", "MMS", "forest scheduler: MMS or SRS")
+		showTree   = flag.Bool("tree", false, "print the base mixing tree")
+		showForest = flag.Bool("forest", false, "print the mixing forest")
+		baseline   = flag.Bool("baseline", false, "compare against the repeated baseline")
+		jsonOut    = flag.Bool("json", false, "emit the plan as JSON instead of text")
+		reportOut  = flag.Bool("report", false, "emit a full markdown dossier (plan + chip analysis)")
+	)
+	flag.Parse()
+	if err := run(*ratioStr, *demand, *mixers, *storage, *algName, *schedName, *showTree, *showForest, *baseline, *jsonOut, *reportOut); err != nil {
+		fmt.Fprintln(os.Stderr, "mdst:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ratioStr string, demand, mixers, storage int, algName, schedName string, showTree, showForest, baseline, jsonOut, reportOut bool) error {
+	target, err := dmfb.ParseRatio(ratioStr)
+	if err != nil {
+		return err
+	}
+	alg, err := dmfb.ParseAlgorithm(algName)
+	if err != nil {
+		return err
+	}
+	var scheduler dmfb.Scheduler
+	switch schedName {
+	case "MMS", "mms":
+		scheduler = dmfb.MMS
+	case "SRS", "srs":
+		scheduler = dmfb.SRS
+	default:
+		return fmt.Errorf("unknown scheduler %q (want MMS or SRS)", schedName)
+	}
+
+	if reportOut {
+		// Generate a floorplan sized for the target: its fluids, the mixer
+		// count in use, and a storage row.
+		mcForLayout := mixers
+		if mcForLayout == 0 {
+			base, err := dmfb.BuildGraph(dmfb.MM, target)
+			if err != nil {
+				return err
+			}
+			mcForLayout = dmfb.MixerLowerBound(base)
+		}
+		layout, err := dmfb.AutoLayout(target.N(), mcForLayout, 8)
+		if err != nil {
+			return err
+		}
+		out, err := report.Generate(report.Options{
+			Target:    target,
+			Demand:    demand,
+			Algorithm: alg,
+			Scheduler: scheduler,
+			Mixers:    mixers,
+			Layout:    layout,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	engine, err := dmfb.NewEngine(dmfb.Config{
+		Target:    target,
+		Algorithm: alg,
+		Scheduler: scheduler,
+		Mixers:    mixers,
+		Storage:   storage,
+	})
+	if err != nil {
+		return err
+	}
+	if showTree {
+		fmt.Println(engine.Base().Render())
+	}
+	batch, err := engine.Request(demand)
+	if err != nil {
+		return err
+	}
+	res := batch.Result
+	if jsonOut {
+		return dmfb.WriteJSON(os.Stdout, dmfb.ExportStream(res))
+	}
+	fmt.Printf("target %s (d=%d, %d fluids), demand D=%d, %s base, %d mixers, %s\n",
+		target, target.Depth(), target.N(), demand, alg, engine.Mixers(), scheduler)
+	fmt.Printf("plan: %d pass(es), D'=%d per pass\n", len(res.Passes), res.PerPassDemand)
+	for i, p := range res.Passes {
+		st := p.Schedule.Forest.Stats()
+		fmt.Printf("pass %d: emits %d droplets, Tc=%d, q=%d, Tms=%d, W=%d, I=%d I[]=%v\n",
+			i+1, p.Demand, p.Schedule.Cycles, p.Storage, st.Mixes, st.Waste, st.InputTotal, st.Inputs)
+		if showForest {
+			fmt.Println(p.Schedule.Forest.Render())
+		}
+		fmt.Println(dmfb.Gantt(p.Schedule))
+	}
+	fmt.Printf("total: %d cycles, %d input droplets, %d waste droplets, %d droplets emitted\n",
+		res.TotalCycles, res.TotalInputs, res.TotalWaste, res.Emitted)
+
+	if baseline {
+		b, err := dmfb.Baseline(alg, target, engine.Mixers(), demand)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nrepeated baseline (R%s): %d passes, Tr=%d cycles, Ir=%d inputs, Wr=%d waste, q=%d\n",
+			alg, b.Passes, b.Cycles, b.Inputs, b.Waste, b.Storage)
+		fmt.Printf("savings: %.1f%% time, %.1f%% reactant\n",
+			pct(b.Cycles-res.TotalCycles, b.Cycles), pct64(b.Inputs-res.TotalInputs, b.Inputs))
+	}
+	return nil
+}
+
+func pct(delta, base int) float64     { return float64(delta) / float64(base) * 100 }
+func pct64(delta, base int64) float64 { return float64(delta) / float64(base) * 100 }

@@ -1,0 +1,330 @@
+// Package dmfb is a library for demand-driven mixture preparation and
+// droplet streaming on digital microfluidic (DMF) biochips, reproducing
+// Roy, Kumar, Chakrabarti, Bhattacharya and Chakrabarty, "Demand-Driven
+// Mixture Preparation and Droplet Streaming using Digital Microfluidic
+// Biochips", DAC 2014.
+//
+// The library solves the MDST problem (Multiple Droplets of a Single
+// Target): emit a stream of D > 2 droplets of a mixture of N fluids in a
+// target ratio a1:...:aN (ratio-sum 2^d) using only (1:1) mix-split
+// operations, with far fewer mix steps and input droplets than re-running a
+// classic mixing tree ⌈D/2⌉ times. The key data structure is the mixing
+// forest, which recycles the waste droplets of a base mixing tree (built by
+// MM, RMA or MTCS) into further target droplets.
+//
+// Typical use:
+//
+//	target := dmfb.MustParseRatio("2:1:1:1:1:1:9") // PCR master-mix, d=4
+//	engine, err := dmfb.NewEngine(dmfb.Config{
+//		Target:    target,
+//		Algorithm: dmfb.MM,
+//		Scheduler: dmfb.SRS,
+//		Storage:   5,
+//	})
+//	batch, err := engine.Request(20) // plan 20 target droplets
+//	fmt.Println(batch.Result.TotalCycles) // 11 cycles on 3 mixers
+//
+// Lower-level entry points expose each stage: BuildGraph (base mixing
+// trees), BuildForest (the mixing forest), ScheduleMMS / ScheduleSRS /
+// ScheduleOMS (mixer/time assignment), StorageUnits and Gantt (Algorithm 3
+// and Fig. 4), Stream (storage-constrained multi-pass planning), and the
+// chip layer (PCRLayout, Execute) for electrode-actuation accounting.
+package dmfb
+
+import (
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/contam"
+	"repro/internal/core"
+	"repro/internal/dilution"
+	"repro/internal/errormodel"
+	"repro/internal/exec"
+	"repro/internal/export"
+	"repro/internal/fluidsim"
+	"repro/internal/forest"
+	"repro/internal/mixgraph"
+	"repro/internal/motion"
+	"repro/internal/pins"
+	"repro/internal/protocols"
+	"repro/internal/ratio"
+	"repro/internal/route"
+	"repro/internal/sched"
+	"repro/internal/stream"
+	"repro/internal/svg"
+)
+
+// Ratio is an integer target mixture ratio with power-of-two ratio-sum.
+type Ratio = ratio.Ratio
+
+// Ratio constructors.
+var (
+	// NewRatio builds a ratio from integer parts (sum must be 2^d).
+	NewRatio = ratio.New
+	// ParseRatio reads the colon form "2:1:1:1:1:1:9".
+	ParseRatio = ratio.Parse
+	// MustParseRatio is ParseRatio for known-good literals.
+	MustParseRatio = ratio.MustParse
+	// RatioFromPercent approximates a percentage composition at accuracy
+	// level d, keeping every fluid present.
+	RatioFromPercent = ratio.FromPercent
+)
+
+// Algorithm selects the base mixing-graph builder.
+type Algorithm = core.Algorithm
+
+// Base mixing algorithms.
+const (
+	// MM is MinMix (Thies et al. 2008).
+	MM = core.MM
+	// RMA is the layout-aware builder of Roy et al. 2011 (reconstruction).
+	RMA = core.RMA
+	// MTCS is the reagent-saving builder of Kumar et al. 2013
+	// (reconstruction).
+	MTCS = core.MTCS
+	// RSM is the reagent-saving builder of Hsieh et al. 2012
+	// (reconstruction); named in the paper's Table 1 but outside its
+	// benchmarked trio.
+	RSM = core.RSM
+)
+
+// ParseAlgorithm resolves "MM", "RMA" or "MTCS".
+var ParseAlgorithm = core.ParseAlgorithm
+
+// Scheduler selects the forest scheduling scheme.
+type Scheduler = stream.Scheduler
+
+// Forest schedulers.
+const (
+	// MMS is M_Mixers_Schedule (Algorithm 1), latency-oriented.
+	MMS = stream.MMS
+	// SRS is Storage_Reduced_Scheduling (Algorithm 2), storage-frugal.
+	SRS = stream.SRS
+)
+
+// Config configures a demand-driven engine; see core.Config.
+type Config = core.Config
+
+// Engine plans droplet emission on demand; see core.Engine.
+type Engine = core.Engine
+
+// Batch is one Request's plan.
+type Batch = core.Batch
+
+// NewEngine builds a demand-driven mixture-preparation engine.
+var NewEngine = core.New
+
+// Graph is a base mix-split graph (one pass, two target droplets).
+type Graph = mixgraph.Graph
+
+// BuildGraph constructs the base mixing graph for a target with the given
+// algorithm.
+func BuildGraph(alg Algorithm, target Ratio) (*Graph, error) {
+	return alg.Build(target)
+}
+
+// Forest is a mixing forest meeting a droplet demand.
+type Forest = forest.Forest
+
+// ForestStats aggregates a forest's droplet economy (Tms, W, I[], I).
+type ForestStats = forest.Stats
+
+// BuildForest grows a mixing forest over a base graph for a demand.
+var BuildForest = forest.Build
+
+// Schedule is a complete mixer/time assignment for a mixing forest.
+type Schedule = sched.Schedule
+
+// Forest and tree schedulers.
+var (
+	// ScheduleMMS runs Algorithm 1 on a forest with mc mixers.
+	ScheduleMMS = sched.MMS
+	// ScheduleSRS runs Algorithm 2.
+	ScheduleSRS = sched.SRS
+	// ScheduleOMS optimally schedules a single base graph (Luo-Akella).
+	ScheduleOMS = sched.OMS
+	// MixerLowerBound returns Mlb, the fewest mixers achieving
+	// critical-path completion of a base graph.
+	MixerLowerBound = sched.Mlb
+	// StorageUnits counts the storage cells a schedule needs (Algorithm 3).
+	StorageUnits = sched.StorageUnits
+	// Gantt renders a schedule as the paper's modified Gantt chart (Fig 4).
+	Gantt = sched.Gantt
+)
+
+// StreamConfig configures storage-constrained multi-pass streaming.
+type StreamConfig = stream.Config
+
+// StreamResult is a complete multi-pass emission plan.
+type StreamResult = stream.Result
+
+// Stream plans `demand` droplets under chip-resource constraints (Table 4).
+var Stream = stream.Run
+
+// Baseline plans the repeated-baseline engine (RMM / RRMA / RMTCS).
+var Baseline = core.Baseline
+
+// BaselineResult is a repeated-baseline plan.
+type BaselineResult = core.BaselineResult
+
+// Chip layer.
+type (
+	// Layout is a chip floorplan of reservoirs, mixers, storage cells,
+	// waste reservoirs and the output port.
+	Layout = chip.Layout
+	// TransportPlan is a schedule bound to a layout: per-droplet moves and
+	// total electrode actuations.
+	TransportPlan = exec.Plan
+)
+
+var (
+	// PCRLayout is the Fig. 5-style PCR master-mix floorplan.
+	PCRLayout = chip.PCRLayout
+	// AutoLayout builds a lattice floorplan for any protocol census.
+	AutoLayout = chip.AutoLayout
+	// CostMatrix computes inter-module transport costs on a layout.
+	CostMatrix = route.CostMatrix
+	// Execute binds a schedule to a layout and counts electrode actuations.
+	Execute = exec.Execute
+	// ExecuteOptimized additionally searches over mixer bindings.
+	ExecuteOptimized = exec.ExecuteOptimized
+	// OptimizePlacement improves a floorplan for a traffic matrix.
+	OptimizePlacement = chip.OptimizePlacement
+)
+
+// Replay walks a transport plan electrode by electrode, producing
+// per-electrode wear counts, a heat map and the chip's reliability
+// bottleneck (see internal/fluidsim).
+var Replay = fluidsim.Replay
+
+// WearResult is the outcome of a Replay.
+type WearResult = fluidsim.Result
+
+// RouteConcurrently routes all droplets of a transport plan simultaneously
+// under the static and dynamic droplet-interference constraints
+// (see internal/motion).
+var RouteConcurrently = motion.RoutePlan
+
+// ConcurrentRouting is the outcome of RouteConcurrently.
+type ConcurrentRouting = motion.Result
+
+// Multi-target planning (SDMT-flavoured extension; see internal/core and
+// forest/multi.go): several mixtures over one fluid set share a combined
+// forest and its waste pool.
+type (
+	// MultiRequest asks for droplets of one target mixture.
+	MultiRequest = core.MultiRequest
+	// MultiPlan is the scheduled combined plan.
+	MultiPlan = core.MultiPlan
+)
+
+// PlanMulti builds and schedules a combined multi-target plan.
+var PlanMulti = core.PlanMulti
+
+// Volumetric error propagation (see internal/errormodel).
+type (
+	// ErrorParams configures the Monte-Carlo split/dispense error model.
+	ErrorParams = errormodel.Params
+	// ErrorReport summarises the CF error distribution of the targets.
+	ErrorReport = errormodel.Report
+)
+
+var (
+	// SimulateErrors propagates volumetric errors through a forest.
+	SimulateErrors = errormodel.Simulate
+	// RoundingErrorBound is the paper's 1/2^d CF approximation bound.
+	RoundingErrorBound = errormodel.RoundingErrorBound
+)
+
+// Dilution layer — the N=2 special case of droplet streaming (the
+// high-throughput dilution engine of Roy et al., IET-CDT 2013 [20]).
+type (
+	// DilutionTarget is a concentration factor c/2^d of a sample in buffer.
+	DilutionTarget = dilution.Target
+	// DilutionEngine streams droplets at one CF on demand.
+	DilutionEngine = dilution.Engine
+	// DilutionConfig carries the dilution engine's chip resources.
+	DilutionConfig = dilution.Config
+)
+
+var (
+	// NewDilutionEngine builds a dilution engine for a target CF.
+	NewDilutionEngine = dilution.New
+	// DilutionFromFraction rounds a desired concentration to c/2^d.
+	DilutionFromFraction = dilution.FromFraction
+)
+
+// JSON export of planning artefacts (see internal/export).
+var (
+	// ExportForest, ExportSchedule, ExportStream and ExportPlan convert the
+	// corresponding artefacts into stable JSON documents.
+	ExportForest   = export.Forest
+	ExportSchedule = export.Schedule
+	ExportStream   = export.Stream
+	ExportPlan     = export.Plan
+	// WriteJSON emits any exported document as indented JSON.
+	WriteJSON = export.Write
+)
+
+// Assay text format (see internal/assay): declarative mixture-preparation
+// jobs compiled onto the engine.
+type (
+	// Assay is a parsed job description.
+	Assay = assay.Assay
+	// AssayReport is the outcome of running one.
+	AssayReport = assay.RunReport
+)
+
+var (
+	// ParseAssay reads an assay description.
+	ParseAssay = assay.Parse
+	// ParseAssayString is ParseAssay over a string.
+	ParseAssayString = assay.ParseString
+)
+
+// SVG rendering of planning artefacts (see internal/svg).
+var (
+	// GanttSVG renders a schedule as an SVG Gantt chart.
+	GanttSVG = svg.Gantt
+	// LayoutSVG renders a floorplan.
+	LayoutSVG = svg.Layout
+	// WearSVG renders per-electrode wear as a heat map.
+	WearSVG = svg.Wear
+)
+
+// Pin-constrained addressing and contamination analysis (see internal/pins
+// and internal/contam).
+type (
+	// PinAssignment is a broadcast-addressing plan.
+	PinAssignment = pins.Assignment
+	// ContaminationReport summarises cross-contamination exposure.
+	ContaminationReport = contam.Report
+)
+
+var (
+	// BroadcastPins groups electrodes onto shared control pins.
+	BroadcastPins = pins.Broadcast
+	// AnalyzeContamination reports shared cells and residue transitions.
+	AnalyzeContamination = contam.Analyze
+)
+
+// Exact scheduling and mobility analysis (see internal/sched).
+var (
+	// ScheduleExact computes a provably optimal schedule (small forests).
+	ScheduleExact = sched.Exact
+	// Mobilities computes per-task ASAP/ALAP windows.
+	Mobilities = sched.Mobilities
+	// CriticalTasks returns the zero-slack tasks at the tight horizon.
+	CriticalTasks = sched.CriticalTasks
+)
+
+// Protocol is a named real-life mixture with provenance.
+type Protocol = protocols.Protocol
+
+var (
+	// PCR16 is the paper's running example (2:1:1:1:1:1:9 at d=4).
+	PCR16 = protocols.PCR16
+	// PCRAtDepth approximates the PCR master-mix at accuracy level d.
+	PCRAtDepth = protocols.PCRAtDepth
+	// Protocols lists the five Table 2 example mixtures (L=256).
+	Protocols = protocols.Table2
+)

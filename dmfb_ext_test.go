@@ -1,0 +1,106 @@
+package dmfb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPersistentEngineFacade(t *testing.T) {
+	e, err := NewEngine(Config{Target: PCR16().Ratio, PersistPool: true})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	var inputs int64
+	for i := 0; i < 4; i++ {
+		b, err := e.Request(4)
+		if err != nil {
+			t.Fatalf("Request: %v", err)
+		}
+		inputs += b.Result.TotalInputs
+	}
+	if inputs != 16 {
+		t.Errorf("persistent inputs = %d, want 16", inputs)
+	}
+	if e.PoolSize() != 0 {
+		t.Errorf("pool = %d, want 0", e.PoolSize())
+	}
+}
+
+func TestDilutionFacade(t *testing.T) {
+	target, err := DilutionFromFraction(0.3, 5)
+	if err != nil {
+		t.Fatalf("DilutionFromFraction: %v", err)
+	}
+	e, err := NewDilutionEngine(target, DilutionConfig{Scheduler: SRS})
+	if err != nil {
+		t.Fatalf("NewDilutionEngine: %v", err)
+	}
+	if _, err := e.Request(8); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	sample, buffer := e.SampleUsage()
+	if sample < 1 || buffer < 1 {
+		t.Errorf("usage %d/%d", sample, buffer)
+	}
+}
+
+func TestReplayFacade(t *testing.T) {
+	g, _ := BuildGraph(MM, PCR16().Ratio)
+	f, _ := BuildForest(g, 16)
+	s, err := ScheduleSRS(f, 3)
+	if err != nil {
+		t.Fatalf("ScheduleSRS: %v", err)
+	}
+	layout := PCRLayout()
+	plan, err := Execute(s, layout)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wear, err := Replay(plan, layout)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if wear.Total != plan.TotalCost {
+		t.Errorf("wear total %d != plan cost %d", wear.Total, plan.TotalCost)
+	}
+	if !strings.Contains(wear.Heatmap(layout), "#") {
+		t.Error("heatmap malformed")
+	}
+}
+
+func TestExportFacade(t *testing.T) {
+	g, _ := BuildGraph(RSM, PCR16().Ratio)
+	f, _ := BuildForest(g, 8)
+	s, err := ScheduleMMS(f, 3)
+	if err != nil {
+		t.Fatalf("ScheduleMMS: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ExportSchedule(s)); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for _, want := range []string{`"algorithm": "MMS"`, `"slots"`, `"storage_profile"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, ExportForest(f)); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"algorithm": "RSM"`) {
+		t.Error("forest JSON missing algorithm")
+	}
+}
+
+func TestRSMFacade(t *testing.T) {
+	g, err := BuildGraph(RSM, MustParseRatio("26:21:2:2:3:3:199"))
+	if err != nil {
+		t.Fatalf("BuildGraph(RSM): %v", err)
+	}
+	mm, _ := BuildGraph(MM, MustParseRatio("26:21:2:2:3:3:199"))
+	if g.Stats().InputTotal > mm.Stats().InputTotal {
+		t.Errorf("RSM I=%d > MM I=%d", g.Stats().InputTotal, mm.Stats().InputTotal)
+	}
+}

@@ -1,0 +1,127 @@
+package dmfb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssayFacade(t *testing.T) {
+	a, err := ParseAssayString(`
+accuracy 4
+mixture pcr 10 8 0.8 0.8 1 1 78.4
+chip mixers=3 storage=5
+use MM SRS
+demand pcr 20
+`)
+	if err != nil {
+		t.Fatalf("ParseAssayString: %v", err)
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Results[0].Batch.Result.TotalCycles != 11 {
+		t.Errorf("assay PCR Tc = %d, want 11", rep.Results[0].Batch.Result.TotalCycles)
+	}
+}
+
+func TestSVGFacade(t *testing.T) {
+	g, _ := BuildGraph(MM, PCR16().Ratio)
+	f, _ := BuildForest(g, 16)
+	s, err := ScheduleSRS(f, 3)
+	if err != nil {
+		t.Fatalf("ScheduleSRS: %v", err)
+	}
+	if doc := GanttSVG(s); !strings.Contains(doc, "<svg") {
+		t.Error("GanttSVG malformed")
+	}
+	if doc := LayoutSVG(PCRLayout()); !strings.Contains(doc, "OUT") {
+		t.Error("LayoutSVG missing modules")
+	}
+	layout := PCRLayout()
+	plan, err := Execute(s, layout)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wear, err := Replay(plan, layout)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if doc := WearSVG(wear, layout); !strings.Contains(doc, "<svg") {
+		t.Error("WearSVG malformed")
+	}
+}
+
+func TestPinsAndContamFacade(t *testing.T) {
+	g, _ := BuildGraph(MM, PCR16().Ratio)
+	f, _ := BuildForest(g, 16)
+	s, _ := ScheduleSRS(f, 3)
+	layout := PCRLayout()
+	plan, err := Execute(s, layout)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	res, err := RouteConcurrently(plan, layout)
+	if err != nil {
+		t.Fatalf("RouteConcurrently: %v", err)
+	}
+	a, err := BroadcastPins(res, layout)
+	if err != nil {
+		t.Fatalf("BroadcastPins: %v", err)
+	}
+	if a.Reduction() <= 1 {
+		t.Errorf("pin reduction = %.2f", a.Reduction())
+	}
+	rep := AnalyzeContamination(res)
+	if rep.Cells == 0 {
+		t.Error("no contamination cells analysed")
+	}
+}
+
+func TestExactAndMobilityFacade(t *testing.T) {
+	g, _ := BuildGraph(MM, PCR16().Ratio)
+	f, _ := BuildForest(g, 8)
+	ex, err := ScheduleExact(f, 3)
+	if err != nil {
+		t.Fatalf("ScheduleExact: %v", err)
+	}
+	mms, _ := ScheduleMMS(f, 3)
+	if ex.Cycles > mms.Cycles {
+		t.Errorf("exact Tc=%d worse than MMS %d", ex.Cycles, mms.Cycles)
+	}
+	ms := Mobilities(f, mms.Cycles)
+	if len(ms) != len(f.Tasks) {
+		t.Errorf("mobilities for %d tasks, want %d", len(ms), len(f.Tasks))
+	}
+	if len(CriticalTasks(f)) == 0 {
+		t.Error("no critical tasks")
+	}
+}
+
+func TestMultiTargetFacade(t *testing.T) {
+	plan, err := PlanMulti([]MultiRequest{
+		{Target: MustParseRatio("3:13"), Demand: 8},
+		{Target: MustParseRatio("5:11"), Demand: 8},
+	}, MM, 0, MMS)
+	if err != nil {
+		t.Fatalf("PlanMulti: %v", err)
+	}
+	if plan.Forest.Stats().InputTotal > plan.IndependentInputs {
+		t.Error("combined plan worse than independent")
+	}
+}
+
+func TestErrorModelFacade(t *testing.T) {
+	g, _ := BuildGraph(MM, PCR16().Ratio)
+	f, _ := BuildForest(g, 16)
+	rep, err := SimulateErrors(f, ErrorParams{SplitImbalance: 0.05, Trials: 50, Seed: 1})
+	if err != nil {
+		t.Fatalf("SimulateErrors: %v", err)
+	}
+	if rep.MaxErr <= 0 {
+		t.Error("no error measured")
+	}
+	if RoundingErrorBound(4) != 0.0625 {
+		t.Error("rounding bound wrong")
+	}
+}

@@ -1,0 +1,161 @@
+package dmfb_test
+
+// Godoc examples: runnable documentation for the public API. Each example's
+// output is verified by `go test`, so the documented numbers are the
+// numbers the library actually produces — including the paper's golden
+// values (Figs. 1-3).
+
+import (
+	"fmt"
+	"log"
+
+	dmfb "repro"
+)
+
+// The paper's running example: stream 20 droplets of the PCR master-mix on
+// three mixers with five storage cells (Fig. 3: 11 cycles).
+func Example() {
+	target := dmfb.MustParseRatio("2:1:1:1:1:1:9")
+	engine, err := dmfb.NewEngine(dmfb.Config{
+		Target:    target,
+		Algorithm: dmfb.MM,
+		Scheduler: dmfb.SRS,
+		Storage:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := engine.Request(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cycles:", batch.Result.TotalCycles)
+	fmt.Println("inputs:", batch.Result.TotalInputs)
+	fmt.Println("waste:", batch.Result.TotalWaste)
+	// Output:
+	// cycles: 11
+	// inputs: 25
+	// waste: 5
+}
+
+// Growing a mixing forest directly: demand 16 = 2^d consumes exactly the
+// target ratio with zero waste (Fig. 1).
+func ExampleBuildForest() {
+	base, err := dmfb.BuildGraph(dmfb.MM, dmfb.MustParseRatio("2:1:1:1:1:1:9"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := dmfb.BuildForest(base, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := f.Stats()
+	fmt.Printf("trees=%d mixes=%d waste=%d inputs=%v\n", s.Trees, s.Mixes, s.Waste, s.Inputs)
+	// Output:
+	// trees=8 mixes=19 waste=0 inputs=[2 1 1 1 1 1 9]
+}
+
+// Rounding a percentage protocol onto the (1:1) mix-split scale.
+func ExampleRatioFromPercent() {
+	pcr := []float64{10, 8, 0.8, 0.8, 1, 1, 78.4}
+	r, err := dmfb.RatioFromPercent(pcr, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r)
+	// Output:
+	// 2:1:1:1:1:1:9
+}
+
+// The repeated-baseline engine the paper compares against.
+func ExampleBaseline() {
+	b, err := dmfb.Baseline(dmfb.MM, dmfb.MustParseRatio("2:1:1:1:1:1:9"), 3, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("passes=%d cycles=%d inputs=%d\n", b.Passes, b.Cycles, b.Inputs)
+	// Output:
+	// passes=10 cycles=40 inputs=80
+}
+
+// Storage-constrained multi-pass streaming (the Table 4 mechanism): with
+// only three storage cells, 32 droplets need three passes.
+func ExampleStream() {
+	base, err := dmfb.BuildGraph(dmfb.MM, dmfb.MustParseRatio("2:1:1:1:1:1:9"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dmfb.Stream(dmfb.StreamConfig{
+		Base: base, Mixers: 3, Storage: 3, Scheduler: dmfb.SRS,
+	}, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("passes=%d cycles=%d waste=%d\n", len(res.Passes), res.TotalCycles, res.TotalWaste)
+	// Output:
+	// passes=3 cycles=17 waste=7
+}
+
+// The pool-persistent mode: four requests of four droplets cost exactly one
+// full cycle of the ratio — nothing is wasted between requests.
+func ExampleEngine_persistent() {
+	engine, err := dmfb.NewEngine(dmfb.Config{
+		Target:      dmfb.MustParseRatio("2:1:1:1:1:1:9"),
+		PersistPool: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var inputs int64
+	for i := 0; i < 4; i++ {
+		b, err := engine.Request(4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inputs += b.Result.TotalInputs
+	}
+	fmt.Println("total inputs:", inputs)
+	fmt.Println("pool left:", engine.PoolSize())
+	// Output:
+	// total inputs: 16
+	// pool left: 0
+}
+
+// Dilution, the N=2 special case: stream droplets at CF 3/16.
+func ExampleNewDilutionEngine() {
+	engine, err := dmfb.NewDilutionEngine(
+		dmfb.DilutionTarget{Num: 3, Depth: 4},
+		dmfb.DilutionConfig{Scheduler: dmfb.SRS},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := engine.Request(16); err != nil {
+		log.Fatal(err)
+	}
+	sample, buffer := engine.SampleUsage()
+	fmt.Printf("sample=%d buffer=%d\n", sample, buffer)
+	// Output:
+	// sample=3 buffer=13
+}
+
+// The assay text format compiles a lab protocol onto the engine.
+func ExampleParseAssayString() {
+	a, err := dmfb.ParseAssayString(`
+accuracy 4
+ratio pcr 2:1:1:1:1:1:9
+chip mixers=3 storage=5
+use MM SRS
+demand pcr 20
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := a.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cycles:", rep.TotalCycles)
+	// Output:
+	// cycles: 11
+}

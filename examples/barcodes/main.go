@@ -1,0 +1,82 @@
+// Molecular-barcodes mixture: choosing the base algorithm and mixer count.
+//
+// The ten-fluid DNA-barcoding mixture (Ex.3 of Table 2,
+// 25:5:5:5:5:13:13:25:1:159 on a scale of 256) is the paper's most complex
+// example. This program compares all three base mixing algorithms (MM, RMA,
+// MTCS) under both forest schedulers for a 32-droplet demand, then sweeps
+// the mixer count to show the latency/storage trade-off of Fig. 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dmfb "repro"
+)
+
+func main() {
+	var barcodes dmfb.Protocol
+	for _, p := range dmfb.Protocols() {
+		if p.Key == "Ex.3" {
+			barcodes = p
+		}
+	}
+	fmt.Printf("protocol: %s\nratio %s (%d fluids, d=%d)\n\n",
+		barcodes.Name, barcodes.Ratio, barcodes.Ratio.N(), barcodes.Ratio.Depth())
+
+	const demand = 32
+	for _, alg := range []dmfb.Algorithm{dmfb.MM, dmfb.RMA, dmfb.MTCS} {
+		base, err := dmfb.BuildGraph(alg, barcodes.Ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs := base.Stats()
+		f, err := dmfb.BuildForest(base, demand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs := f.Stats()
+		fmt.Printf("%-5s base tree: %d mix-splits, %d inputs; D=%d forest: Tms=%d, I=%d, W=%d\n",
+			alg, bs.Mixes, bs.InputTotal, demand, fs.Mixes, fs.InputTotal, fs.Waste)
+		for _, sch := range []struct {
+			name string
+			run  func(*dmfb.Forest, int) (*dmfb.Schedule, error)
+		}{{"MMS", dmfb.ScheduleMMS}, {"SRS", dmfb.ScheduleSRS}} {
+			s, err := sch.run(f, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("      %s on 4 mixers: Tc=%d, q=%d\n", sch.name, s.Cycles, dmfb.StorageUnits(s))
+		}
+		// The repeated baseline for contrast.
+		b, err := dmfb.Baseline(alg, barcodes.Ratio, 4, demand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("      repeated baseline: Tr=%d, Ir=%d\n\n", b.Cycles, b.Inputs)
+	}
+
+	// Mixer sweep (the Fig. 7 trade-off) on the MM forest.
+	base, err := dmfb.BuildGraph(dmfb.MM, barcodes.Ratio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := dmfb.BuildForest(base, demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mixer sweep (MM forest, D=32):")
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "mixers", "Tc(MMS)", "q(MMS)", "Tc(SRS)", "q(SRS)")
+	for mc := 1; mc <= 12; mc++ {
+		mms, err := dmfb.ScheduleMMS(f, mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srs, err := dmfb.ScheduleSRS(f, mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12d %12d %12d %12d\n",
+			mc, mms.Cycles, dmfb.StorageUnits(mms), srs.Cycles, dmfb.StorageUnits(srs))
+	}
+}

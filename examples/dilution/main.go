@@ -1,0 +1,56 @@
+// Dilution streaming: the N=2 special case (the paper's reference [20]).
+//
+// A drug-susceptibility assay needs many droplets of a sample diluted to
+// 22%. The dilution engine rounds the concentration to c/2^d, streams
+// droplets on demand, and — because sample is precious while buffer is
+// cheap — reports exactly how many droplets of each the plan consumes,
+// compared against re-running the classic dilution tree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dmfb "repro"
+)
+
+func main() {
+	target, err := dmfb.DilutionFromFraction(0.22, 6) // -> 14/64 = 21.875%
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target CF: %d/%d = %.3f%%\n", target.Num, int64(1)<<uint(target.Depth), 100*target.CF())
+
+	engine, err := dmfb.NewDilutionEngine(target, dmfb.DilutionConfig{
+		Scheduler: dmfb.SRS,
+		Storage:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine: %d mixers, 4 storage cells\n\n", engine.Mixers())
+
+	for _, n := range []int{8, 8, 16} {
+		b, err := engine.Request(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("request %2d droplets: %d pass(es), %d cycles, %d inputs, %d waste\n",
+			n, len(b.Result.Passes), b.Result.TotalCycles, b.Result.TotalInputs, b.Result.TotalWaste)
+	}
+
+	sample, buffer := engine.SampleUsage()
+	fmt.Printf("\nconsumed: %d sample droplets, %d buffer droplets for %d targets\n",
+		sample, buffer, engine.Emitted())
+
+	r, err := target.Ratio()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := dmfb.Baseline(dmfb.MM, r, engine.Mixers(), engine.Emitted())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeated dilution tree would take %d cycles and %d input droplets\n",
+		baseline.Cycles, baseline.Inputs)
+}

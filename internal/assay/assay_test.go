@@ -1,0 +1,155 @@
+package assay
+
+import (
+	"strings"
+	"testing"
+)
+
+const pcrAssay = `
+# PCR master-mix on a small chip
+accuracy 4
+mixture pcr 10 8 0.8 0.8 1 1 78.4
+fluids  pcr buffer dNTPs fwd rev template optimase water
+ratio   probe 3:13
+chip    mixers=3 storage=5
+use     MM SRS
+demand  pcr 20
+demand  probe 8
+`
+
+func TestParsePCR(t *testing.T) {
+	a, err := ParseString(pcrAssay)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := a.Mixtures["pcr"].String(); got != "2:1:1:1:1:1:9" {
+		t.Errorf("pcr ratio = %s", got)
+	}
+	if got := a.Mixtures["pcr"].Name(6); got != "water" {
+		t.Errorf("fluid name = %q", got)
+	}
+	if got := a.Mixtures["probe"].String(); got != "3:13" {
+		t.Errorf("probe ratio = %s", got)
+	}
+	if a.Mixers != 3 || a.Storage != 5 || a.Persist {
+		t.Errorf("chip config: %+v", a)
+	}
+	if len(a.Demands) != 2 || a.Demands[0].Count != 20 {
+		t.Errorf("demands: %+v", a.Demands)
+	}
+}
+
+func TestRunPCR(t *testing.T) {
+	a, err := ParseString(pcrAssay)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	// The PCR demand is the Fig. 3 instance: Tc = 11 with SRS on 3 mixers.
+	if rep.Results[0].Batch.Result.TotalCycles != 11 {
+		t.Errorf("pcr Tc = %d, want 11", rep.Results[0].Batch.Result.TotalCycles)
+	}
+	if rep.TotalEmitted < 28 {
+		t.Errorf("emitted %d", rep.TotalEmitted)
+	}
+	out := rep.Format()
+	for _, want := range []string{"pcr", "probe", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestPersistDirective(t *testing.T) {
+	src := `
+accuracy 4
+ratio pcr 2:1:1:1:1:1:9
+use MM MMS persist
+demand pcr 4
+demand pcr 4
+demand pcr 4
+demand pcr 4
+`
+	a, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !a.Persist {
+		t.Fatal("persist not parsed")
+	}
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TotalInputs != 16 {
+		t.Errorf("persistent inputs = %d, want 16 (full cycle)", rep.TotalInputs)
+	}
+	if rep.TotalWaste != 0 {
+		t.Errorf("waste = %d, want 0", rep.TotalWaste)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":  "frobnicate 12",
+		"bad accuracy":       "accuracy zero\nratio a 1:1\ndemand a 2",
+		"mixture arity":      "mixture solo 100\nratio a 1:1\ndemand a 2",
+		"bad percentage":     "mixture m ten 90\nratio a 1:1\ndemand a 2",
+		"duplicate mixture":  "ratio a 1:1\nratio a 1:3\ndemand a 2",
+		"bad ratio":          "ratio a 1:2\ndemand a 2",
+		"bad chip option":    "chip pumps=3\nratio a 1:1\ndemand a 2",
+		"bad chip value":     "chip mixers=lots\nratio a 1:1\ndemand a 2",
+		"unknown algorithm":  "use BS\nratio a 1:1\ndemand a 2",
+		"unknown use option": "use MM turbo\nratio a 1:1\ndemand a 2",
+		"bad demand count":   "ratio a 1:1\ndemand a none",
+		"unknown demand":     "ratio a 1:1\ndemand b 2",
+		"fluids unknown":     "fluids ghost x y\nratio a 1:1\ndemand a 2",
+		"fluids arity":       "ratio a 1:1\nfluids a x\ndemand a 2",
+		"no demands":         "ratio a 1:1",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := "\n\n# all comments\nratio a 1:1 # trailing\n\ndemand a 2 # run it\n"
+	a, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(a.Demands) != 1 {
+		t.Errorf("demands: %+v", a.Demands)
+	}
+}
+
+func TestAccuracyAffectsMixtures(t *testing.T) {
+	src := `
+accuracy 6
+mixture pcr 10 8 0.8 0.8 1 1 78.4
+demand pcr 2
+`
+	a, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := a.Mixtures["pcr"].Sum(); got != 64 {
+		t.Errorf("sum = %d, want 64 at accuracy 6", got)
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := "ratio a 1:1\n\nfrobnicate\n"
+	_, err := ParseString(src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error without line number: %v", err)
+	}
+}

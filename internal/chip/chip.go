@@ -1,0 +1,209 @@
+// Package chip models the physical digital-microfluidic biochip of the DAC
+// 2014 droplet-streaming paper (§5, Fig. 5): a rectangular electrode array
+// with placed resource modules — fluid reservoirs, (1:1) mixers, storage
+// cells, waste reservoirs and an output port. Droplets move between module
+// ports over free electrodes; the droplet-transportation cost between two
+// modules is the number of electrode actuations on a shortest obstacle-free
+// path, collected in a cost matrix like the one printed in Fig. 5.
+package chip
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Point is an electrode coordinate (0-based, X to the right, Y down).
+type Point struct{ X, Y int }
+
+// Rect is an axis-aligned block of electrodes occupied by a module.
+type Rect struct{ X, Y, W, H int }
+
+// Contains reports whether p lies inside the rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X && p.X < r.X+r.W && p.Y >= r.Y && p.Y < r.Y+r.H
+}
+
+// Overlaps reports whether two rectangles share an electrode.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.X < o.X+o.W && o.X < r.X+r.W && r.Y < o.Y+o.H && o.Y < r.Y+r.H
+}
+
+// Kind enumerates module types.
+type Kind int8
+
+const (
+	// Reservoir dispenses one input fluid.
+	Reservoir Kind = iota
+	// Mixer performs (1:1) mix-split operations.
+	Mixer
+	// Storage parks one droplet per cell between production and use.
+	Storage
+	// Waste collects discarded droplets.
+	Waste
+	// Output is the port where target droplets are emitted.
+	Output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Reservoir:
+		return "reservoir"
+	case Mixer:
+		return "mixer"
+	case Storage:
+		return "storage"
+	case Waste:
+		return "waste"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("Kind(%d)", int8(k))
+	}
+}
+
+// Module is one placed chip resource.
+type Module struct {
+	Kind Kind
+	// Name identifies the module ("R1", "M2", "q3", "W1", "OUT").
+	Name string
+	// Fluid is the dispensed fluid index for reservoirs, -1 otherwise.
+	Fluid int
+	// Rect is the block of electrodes the module occupies (an obstacle for
+	// droplet routing).
+	Rect Rect
+	// Port is the free electrode where droplets enter the module (and leave
+	// it, unless a separate exit is declared).
+	Port Point
+	// Exit, when HasExit is set, is a distinct free electrode where
+	// droplets leave the module. Mixers get one on the lattice floorplans:
+	// with a single access cell, two mixers exchanging droplets in the same
+	// phase would deadlock on each other's port.
+	Exit    Point
+	HasExit bool
+}
+
+// Out returns the electrode departing droplets appear on.
+func (m Module) Out() Point {
+	if m.HasExit {
+		return m.Exit
+	}
+	return m.Port
+}
+
+// Layout is a complete chip floorplan.
+type Layout struct {
+	// Width and Height are the electrode-array dimensions.
+	Width, Height int
+	// Modules are the placed resources.
+	Modules []Module
+}
+
+// Layout validation errors.
+var (
+	ErrOutOfBounds   = errors.New("chip: module outside the electrode array")
+	ErrOverlap       = errors.New("chip: modules overlap")
+	ErrBadPort       = errors.New("chip: port not on a free electrode")
+	ErrDuplicateName = errors.New("chip: duplicate module name")
+)
+
+// Validate checks the floorplan: modules inside the array, pairwise
+// disjoint, unique names, and every port on a free in-bounds electrode.
+func (l *Layout) Validate() error {
+	names := make(map[string]bool, len(l.Modules))
+	for i, m := range l.Modules {
+		r := m.Rect
+		if r.X < 0 || r.Y < 0 || r.W < 1 || r.H < 1 || r.X+r.W > l.Width || r.Y+r.H > l.Height {
+			return fmt.Errorf("%w: %s", ErrOutOfBounds, m.Name)
+		}
+		if names[m.Name] {
+			return fmt.Errorf("%w: %s", ErrDuplicateName, m.Name)
+		}
+		names[m.Name] = true
+		for _, o := range l.Modules[i+1:] {
+			if r.Overlaps(o.Rect) {
+				return fmt.Errorf("%w: %s and %s", ErrOverlap, m.Name, o.Name)
+			}
+		}
+	}
+	blocked := l.Blocked()
+	for _, m := range l.Modules {
+		ports := []Point{m.Port}
+		if m.HasExit {
+			ports = append(ports, m.Exit)
+		}
+		for _, p := range ports {
+			if p.X < 0 || p.Y < 0 || p.X >= l.Width || p.Y >= l.Height || blocked(p) {
+				return fmt.Errorf("%w: %s at (%d,%d)", ErrBadPort, m.Name, p.X, p.Y)
+			}
+		}
+	}
+	return nil
+}
+
+// Blocked returns the obstacle predicate for droplet routing: electrodes
+// inside any module block droplet transport.
+func (l *Layout) Blocked() func(Point) bool {
+	rects := make([]Rect, len(l.Modules))
+	for i, m := range l.Modules {
+		rects[i] = m.Rect
+	}
+	return func(p Point) bool {
+		for _, r := range rects {
+			if r.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Module returns the module with the given name.
+func (l *Layout) Module(name string) (Module, bool) {
+	for _, m := range l.Modules {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Module{}, false
+}
+
+// OfKind returns the modules of one kind, in layout order.
+func (l *Layout) OfKind(k Kind) []Module {
+	var out []Module
+	for _, m := range l.Modules {
+		if m.Kind == k {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Render draws the floorplan as ASCII art: module cells show the first rune
+// of the module name, ports show '+', free electrodes '.'.
+func (l *Layout) Render() string {
+	grid := make([][]rune, l.Height)
+	for y := range grid {
+		grid[y] = make([]rune, l.Width)
+		for x := range grid[y] {
+			grid[y][x] = '.'
+		}
+	}
+	for _, m := range l.Modules {
+		c := rune(m.Name[0])
+		for y := m.Rect.Y; y < m.Rect.Y+m.Rect.H; y++ {
+			for x := m.Rect.X; x < m.Rect.X+m.Rect.W; x++ {
+				grid[y][x] = c
+			}
+		}
+	}
+	for _, m := range l.Modules {
+		grid[m.Port.Y][m.Port.X] = '+'
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package chip
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Flow is a symmetric droplet-traffic matrix: Flow[{a,b}] counts how many
+// droplet transports a schedule performs between modules a and b. The
+// executor (internal/exec) produces it; the placer consumes it.
+type Flow map[[2]string]int
+
+// Add accumulates one transport between a and b (order-insensitive).
+func (f Flow) Add(a, b string, n int) {
+	if a > b {
+		a, b = b, a
+	}
+	f[[2]string{a, b}] += n
+}
+
+// PlacementCost evaluates a layout against a traffic matrix: the total
+// droplet-transportation cost sum(flow * distance) using the given
+// inter-module cost matrix.
+func PlacementCost(flow Flow, cost map[[2]string]int) int {
+	total := 0
+	for k, n := range flow {
+		total += n * cost[k]
+	}
+	return total
+}
+
+// OptimizePlacement improves a layout for a given traffic matrix by
+// simulated annealing over position swaps of same-footprint modules,
+// mirroring the paper's "relative positions of reservoirs and mixers are
+// optimized considering the total droplet-transportation cost" (§5). The
+// cost of each candidate is evaluated with the provided matrix function
+// (typically route.CostMatrix). The search is deterministic for a fixed
+// seed. It returns the best layout found and its cost.
+func OptimizePlacement(l *Layout, flow Flow, matrix func(*Layout) (map[[2]string]int, error), iterations int, seed int64) (*Layout, int, error) {
+	cur := cloneLayout(l)
+	curCost, err := layoutCost(cur, flow, matrix)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := cloneLayout(cur)
+	bestCost := curCost
+
+	rng := rand.New(rand.NewSource(seed))
+	temp := float64(curCost)/10 + 1
+	cooling := math.Pow(1.0/(temp+1), 1/float64(iterations+1))
+	for it := 0; it < iterations; it++ {
+		i, j := rng.Intn(len(cur.Modules)), rng.Intn(len(cur.Modules))
+		if i == j || !sameFootprint(cur.Modules[i], cur.Modules[j]) {
+			continue
+		}
+		swapPlaces(cur, i, j)
+		cost, err := layoutCost(cur, flow, matrix)
+		if err != nil {
+			// A swap cannot invalidate a lattice layout, but stay safe.
+			swapPlaces(cur, i, j)
+			continue
+		}
+		accept := cost <= curCost ||
+			rng.Float64() < math.Exp(float64(curCost-cost)/temp)
+		if accept {
+			curCost = cost
+			if cost < bestCost {
+				bestCost = cost
+				best = cloneLayout(cur)
+			}
+		} else {
+			swapPlaces(cur, i, j)
+		}
+		temp *= cooling
+		if temp < 1e-3 {
+			temp = 1e-3
+		}
+	}
+	return best, bestCost, nil
+}
+
+func layoutCost(l *Layout, flow Flow, matrix func(*Layout) (map[[2]string]int, error)) (int, error) {
+	m, err := matrix(l)
+	if err != nil {
+		return 0, err
+	}
+	return PlacementCost(flow, m), nil
+}
+
+func sameFootprint(a, b Module) bool {
+	return a.Rect.W == b.Rect.W && a.Rect.H == b.Rect.H
+}
+
+// swapPlaces exchanges the physical positions (rect and port) of two
+// modules, keeping their identities and roles.
+func swapPlaces(l *Layout, i, j int) {
+	l.Modules[i].Rect, l.Modules[j].Rect = l.Modules[j].Rect, l.Modules[i].Rect
+	l.Modules[i].Port, l.Modules[j].Port = l.Modules[j].Port, l.Modules[i].Port
+	l.Modules[i].Exit, l.Modules[j].Exit = l.Modules[j].Exit, l.Modules[i].Exit
+	l.Modules[i].HasExit, l.Modules[j].HasExit = l.Modules[j].HasExit, l.Modules[i].HasExit
+}
+
+func cloneLayout(l *Layout) *Layout {
+	c := &Layout{Width: l.Width, Height: l.Height, Modules: append([]Module(nil), l.Modules...)}
+	return c
+}

@@ -1,0 +1,163 @@
+package chip
+
+import (
+	"errors"
+	"testing"
+)
+
+// manhattanMatrix is a cheap cost model for placement tests: port-to-port
+// Manhattan distance, ignoring obstacles.
+func manhattanMatrix(l *Layout) (map[[2]string]int, error) {
+	out := map[[2]string]int{}
+	for _, a := range l.Modules {
+		for _, b := range l.Modules {
+			dx, dy := a.Port.X-b.Port.X, a.Port.Y-b.Port.Y
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			out[[2]string{a.Name, b.Name}] = dx + dy
+		}
+	}
+	return out, nil
+}
+
+func TestFlowAddCanonical(t *testing.T) {
+	f := Flow{}
+	f.Add("B", "A", 2)
+	f.Add("A", "B", 3)
+	if len(f) != 1 {
+		t.Fatalf("flow has %d keys, want 1", len(f))
+	}
+	if f[[2]string{"A", "B"}] != 5 {
+		t.Errorf("accumulated %d, want 5", f[[2]string{"A", "B"}])
+	}
+}
+
+func TestPlacementCost(t *testing.T) {
+	f := Flow{}
+	f.Add("A", "B", 2)
+	cost := map[[2]string]int{{"A", "B"}: 7}
+	if got := PlacementCost(f, cost); got != 14 {
+		t.Errorf("PlacementCost = %d, want 14", got)
+	}
+}
+
+func TestOptimizePlacementImprovesSeparatedPair(t *testing.T) {
+	// Two mixers with heavy mutual traffic placed at opposite corners, with
+	// two idle storage cells adjacent to each other: a single swap brings
+	// the mixers together.
+	l, err := NewLatticeLayout(3, 3, []Slot{
+		{0, 0, Mixer, "M1", -1},
+		{2, 2, Mixer, "M2", -1},
+		{1, 0, Mixer, "S1", -1},
+		{0, 1, Mixer, "S2", -1},
+	})
+	if err != nil {
+		t.Fatalf("NewLatticeLayout: %v", err)
+	}
+	flow := Flow{}
+	flow.Add("M1", "M2", 100)
+	before, _ := manhattanMatrix(l)
+	startCost := PlacementCost(flow, before)
+	opt, optCost, err := OptimizePlacement(l, flow, manhattanMatrix, 500, 7)
+	if err != nil {
+		t.Fatalf("OptimizePlacement: %v", err)
+	}
+	if optCost >= startCost {
+		t.Errorf("no improvement: %d -> %d", startCost, optCost)
+	}
+	if err := opt.Validate(); err != nil {
+		t.Errorf("optimized layout invalid: %v", err)
+	}
+	// Original layout untouched.
+	if m, _ := l.Module("M1"); m.Rect != SlotRect(0, 0) {
+		t.Error("OptimizePlacement mutated its input")
+	}
+}
+
+func TestOptimizePlacementKeepsRoles(t *testing.T) {
+	l := PCRLayout()
+	flow := Flow{}
+	flow.Add("R1", "M1", 10)
+	opt, _, err := OptimizePlacement(l, flow, manhattanMatrix, 200, 3)
+	if err != nil {
+		t.Fatalf("OptimizePlacement: %v", err)
+	}
+	// Census and fluid bindings are preserved; only positions move.
+	for _, m := range l.Modules {
+		om, ok := opt.Module(m.Name)
+		if !ok {
+			t.Fatalf("module %s vanished", m.Name)
+		}
+		if om.Kind != m.Kind || om.Fluid != m.Fluid {
+			t.Errorf("module %s changed role: %v/%d -> %v/%d", m.Name, m.Kind, m.Fluid, om.Kind, om.Fluid)
+		}
+	}
+}
+
+func TestOptimizePlacementMatrixError(t *testing.T) {
+	l := PCRLayout()
+	bad := func(*Layout) (map[[2]string]int, error) {
+		return nil, errors.New("boom")
+	}
+	if _, _, err := OptimizePlacement(l, Flow{}, bad, 10, 1); err == nil {
+		t.Error("matrix error swallowed")
+	}
+}
+
+func TestOptimizePlacementDeterministic(t *testing.T) {
+	l := PCRLayout()
+	flow := Flow{}
+	flow.Add("R7", "M1", 5)
+	flow.Add("M1", "M3", 9)
+	_, c1, err := OptimizePlacement(l, flow, manhattanMatrix, 300, 42)
+	if err != nil {
+		t.Fatalf("OptimizePlacement: %v", err)
+	}
+	_, c2, err := OptimizePlacement(l, flow, manhattanMatrix, 300, 42)
+	if err != nil {
+		t.Fatalf("OptimizePlacement: %v", err)
+	}
+	if c1 != c2 {
+		t.Errorf("same seed, different costs: %d vs %d", c1, c2)
+	}
+}
+
+func TestSameFootprint(t *testing.T) {
+	a := Module{Rect: Rect{W: 2, H: 2}}
+	b := Module{Rect: Rect{W: 2, H: 2}}
+	c := Module{Rect: Rect{W: 1, H: 1}}
+	if !sameFootprint(a, b) || sameFootprint(a, c) {
+		t.Error("sameFootprint mismatch")
+	}
+}
+
+func TestSlotGeometry(t *testing.T) {
+	r := SlotRect(2, 1)
+	if r.X != 7 || r.Y != 4 || r.W != 2 || r.H != 2 {
+		t.Errorf("SlotRect(2,1) = %+v", r)
+	}
+	p := SlotPort(2, 1)
+	if p.X != 6 || p.Y != 4 {
+		t.Errorf("SlotPort(2,1) = %+v", p)
+	}
+	w, h := LatticeSize(5, 4)
+	if w != 16 || h != 13 {
+		t.Errorf("LatticeSize = %dx%d", w, h)
+	}
+}
+
+func TestNewLatticeLayoutErrors(t *testing.T) {
+	if _, err := NewLatticeLayout(2, 2, []Slot{{5, 0, Mixer, "M1", -1}}); err == nil {
+		t.Error("out-of-lattice slot accepted")
+	}
+	if _, err := NewLatticeLayout(2, 2, []Slot{
+		{0, 0, Mixer, "M1", -1},
+		{0, 0, Mixer, "M2", -1},
+	}); err == nil {
+		t.Error("double-booked slot accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Package contam analyses cross-contamination of a routed droplet plan.
+// When droplets of different compositions traverse the same electrode, the
+// residue left by one can corrupt the other — the classic washing problem
+// of DMF biochips (Zhao & Chakrabarty). The DAC 2014 paper does not model
+// contamination, but any deployment of its streaming engine must: this
+// package reports which electrodes are shared across compositions, how many
+// residue transitions occur (each needing a wash droplet in a
+// contamination-aware flow), and which cells are the worst offenders.
+package contam
+
+import (
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/motion"
+)
+
+// visit is one droplet crossing one electrode.
+type visit struct {
+	t       int // global micro-step
+	content string
+}
+
+// Report summarises contamination exposure.
+type Report struct {
+	// Cells is the number of distinct route electrodes.
+	Cells int
+	// SharedCells is the number of electrodes crossed by droplets of more
+	// than one composition.
+	SharedCells int
+	// Transitions counts content changes per electrode over time — the
+	// number of wash operations a contamination-aware controller would
+	// schedule.
+	Transitions int
+	// WorstCell is the electrode with the most transitions.
+	WorstCell chip.Point
+	// WorstTransitions is its transition count.
+	WorstTransitions int
+}
+
+// Analyze walks every route of the result and accumulates the report.
+// Moves must carry Content tags (exec.Execute sets them).
+func Analyze(res *motion.Result) *Report {
+	visits := map[chip.Point][]visit{}
+	offset := 0
+	for _, cyc := range res.Cycles {
+		for _, r := range cyc.Routes {
+			if len(r.Steps) <= 1 {
+				continue // in-module hand-off
+			}
+			for k, p := range r.Steps {
+				visits[p] = append(visits[p], visit{t: offset + r.Start + k, content: r.Move.Content})
+			}
+		}
+		offset += cyc.Makespan + 1
+	}
+	rep := &Report{Cells: len(visits)}
+	for p, vs := range visits {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].t < vs[j].t })
+		contents := map[string]bool{}
+		transitions := 0
+		for i, v := range vs {
+			contents[v.content] = true
+			if i > 0 && vs[i-1].content != v.content {
+				transitions++
+			}
+		}
+		if len(contents) > 1 {
+			rep.SharedCells++
+		}
+		rep.Transitions += transitions
+		if transitions > rep.WorstTransitions {
+			rep.WorstTransitions = transitions
+			rep.WorstCell = p
+		}
+	}
+	return rep
+}
+
+// WashOverheadEstimate returns the extra transport micro-steps a simple
+// wash policy would add: one wash droplet pass (crossing the cell once,
+// amortised as one micro-step per transition) per residue transition.
+func (r *Report) WashOverheadEstimate() int {
+	return r.Transitions
+}

@@ -1,0 +1,107 @@
+package contam
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/motion"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+)
+
+func routedPCR(t *testing.T, demand int) *motion.Result {
+	t.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("minmix.Build: %v", err)
+	}
+	f, err := forest.Build(g, demand)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		t.Fatalf("SRS: %v", err)
+	}
+	l := chip.PCRLayout()
+	plan, err := exec.Execute(s, l)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	res, err := motion.RoutePlan(plan, l)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	return res
+}
+
+func TestAnalyzePCR(t *testing.T) {
+	rep := Analyze(routedPCR(t, 16))
+	if rep.Cells == 0 {
+		t.Fatal("no cells analysed")
+	}
+	// Seven distinct fluids plus intermediates share the routing channels:
+	// contamination exposure must be detected.
+	if rep.SharedCells == 0 {
+		t.Error("no shared cells found on a seven-fluid workload")
+	}
+	if rep.Transitions < rep.SharedCells {
+		t.Errorf("transitions %d < shared cells %d", rep.Transitions, rep.SharedCells)
+	}
+	if rep.WorstTransitions == 0 {
+		t.Error("no worst cell identified")
+	}
+	if rep.WashOverheadEstimate() != rep.Transitions {
+		t.Error("wash estimate mismatch")
+	}
+	t.Logf("contamination: %d/%d cells shared, %d residue transitions, worst (%d,%d) with %d",
+		rep.SharedCells, rep.Cells, rep.Transitions, rep.WorstCell.X, rep.WorstCell.Y, rep.WorstTransitions)
+}
+
+func TestContentTagsPresent(t *testing.T) {
+	res := routedPCR(t, 8)
+	for _, cyc := range res.Cycles {
+		for _, r := range cyc.Routes {
+			if r.Move.Content == "" {
+				t.Fatalf("move %s->%s has no content tag", r.Move.From, r.Move.To)
+			}
+		}
+	}
+}
+
+func TestSingleContentNoContamination(t *testing.T) {
+	// A hand-built result where every droplet carries the same composition.
+	routes := []motion.Route{
+		{Move: exec.Move{Content: "a"}, Start: 0, Steps: []chip.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}},
+		{Move: exec.Move{Content: "a"}, Start: 5, Steps: []chip.Point{{X: 1, Y: 0}, {X: 2, Y: 0}}},
+	}
+	res := &motion.Result{Cycles: []motion.CycleResult{{Cycle: 1, Routes: routes, Makespan: 6}}}
+	rep := Analyze(res)
+	if rep.SharedCells != 0 || rep.Transitions != 0 {
+		t.Errorf("identical contents flagged: %+v", rep)
+	}
+	if rep.Cells != 3 {
+		t.Errorf("cells = %d, want 3", rep.Cells)
+	}
+}
+
+func TestDistinctContentsFlagged(t *testing.T) {
+	routes := []motion.Route{
+		{Move: exec.Move{Content: "a"}, Start: 0, Steps: []chip.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}},
+		{Move: exec.Move{Content: "b"}, Start: 5, Steps: []chip.Point{{X: 1, Y: 0}, {X: 2, Y: 0}}},
+	}
+	res := &motion.Result{Cycles: []motion.CycleResult{{Cycle: 1, Routes: routes, Makespan: 6}}}
+	rep := Analyze(res)
+	if rep.SharedCells != 1 {
+		t.Errorf("shared cells = %d, want 1 (cell (1,0))", rep.SharedCells)
+	}
+	if rep.Transitions != 1 {
+		t.Errorf("transitions = %d, want 1", rep.Transitions)
+	}
+	if rep.WorstCell != (chip.Point{X: 1, Y: 0}) {
+		t.Errorf("worst cell = %v", rep.WorstCell)
+	}
+}

@@ -1,0 +1,264 @@
+// Package core assembles the paper's complete demand-driven
+// mixture-preparation engine (MDST): pick a base mixing algorithm, grow
+// mixing forests to meet droplet demands as they arrive, schedule them on
+// the available mixers with MMS or SRS, and split work into passes when
+// on-chip storage is scarce. It also plans the repeated-baseline engines
+// (RMM, RRMA, RMTCS) the paper compares against.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/mixgraph"
+	"repro/internal/mtcs"
+	"repro/internal/ratio"
+	"repro/internal/rma"
+	"repro/internal/rsm"
+	"repro/internal/sched"
+	"repro/internal/stream"
+)
+
+// Algorithm selects the base mixing-tree builder.
+type Algorithm int
+
+const (
+	// MM is the MinMix algorithm of Thies et al. [24].
+	MM Algorithm = iota
+	// RMA is the layout-aware algorithm of Roy et al. [18] (reconstruction).
+	RMA
+	// MTCS is the reagent-saving algorithm of Kumar et al. [16]
+	// (reconstruction).
+	MTCS
+	// RSM is the reagent-saving algorithm of Hsieh et al. [25]
+	// (reconstruction); listed in the paper's Table 1 but not part of its
+	// Table 2/3 comparisons.
+	RSM
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case MM:
+		return "MM"
+	case RMA:
+		return "RMA"
+	case MTCS:
+		return "MTCS"
+	case RSM:
+		return "RSM"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Build constructs the base mixing graph for the target ratio.
+func (a Algorithm) Build(r ratio.Ratio) (*mixgraph.Graph, error) {
+	switch a {
+	case MM:
+		return minmix.Build(r)
+	case RMA:
+		return rma.Build(r)
+	case MTCS:
+		return mtcs.Build(r)
+	case RSM:
+		return rsm.Build(r)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(a))
+	}
+}
+
+// Algorithms lists the base algorithms the paper evaluates (Tables 2-3).
+func Algorithms() []Algorithm { return []Algorithm{MM, RMA, MTCS} }
+
+// AllAlgorithms additionally includes RSM, which the paper names (Table 1)
+// but does not benchmark.
+func AllAlgorithms() []Algorithm { return []Algorithm{MM, RMA, MTCS, RSM} }
+
+// ParseAlgorithm resolves the paper's algorithm names.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "MM", "mm":
+		return MM, nil
+	case "RMA", "rma":
+		return RMA, nil
+	case "MTCS", "mtcs":
+		return MTCS, nil
+	case "RSM", "rsm":
+		return RSM, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q (want MM, RMA, MTCS or RSM)", s)
+	}
+}
+
+// Config describes one mixture-preparation engine.
+type Config struct {
+	// Target is the mixture to stream (ratio-sum a power of two).
+	Target ratio.Ratio
+	// Algorithm is the base mixing-tree builder (default MM).
+	Algorithm Algorithm
+	// Scheduler is the forest scheduling scheme (default stream.MMS).
+	Scheduler stream.Scheduler
+	// Mixers is the number of on-chip mixers Mc; 0 uses Mlb of the MM base
+	// tree, the paper's experimental setting.
+	Mixers int
+	// Storage is the number of on-chip storage units q'; 0 means unlimited.
+	Storage int
+	// PersistPool keeps one mixing forest growing across Requests, so spare
+	// droplets pooled by earlier batches feed later ones (see persist.go).
+	// The pooled droplets occupy storage between batches; with a Storage
+	// budget set, a Request that cannot fit fails with ErrPersistStorage.
+	PersistPool bool
+}
+
+// Engine is a demand-driven droplet-streaming engine. Each Request plans the
+// emission of additional target droplets, continuing on the engine's
+// timeline; the engine never re-plans droplets it has already promised.
+type Engine struct {
+	cfg     Config
+	base    *mixgraph.Graph
+	mixers  int
+	elapsed int
+	emitted int
+	batches []*Batch
+	builder *forest.Builder // persistent-pool mode only
+}
+
+// Batch is the plan for one Request.
+type Batch struct {
+	// Request is the number of droplets asked for.
+	Request int
+	// Result is the pass plan producing them.
+	Result *stream.Result
+	// StartCycle is the absolute engine cycle the batch begins at.
+	StartCycle int
+}
+
+// ErrNoTarget reports a Config without a target ratio.
+var ErrNoTarget = errors.New("core: config has no target ratio")
+
+// New builds an engine for the given configuration.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Target.N() == 0 {
+		return nil, ErrNoTarget
+	}
+	base, err := cfg.Algorithm.Build(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	mixers := cfg.Mixers
+	if mixers == 0 {
+		// The paper schedules every scheme with Mlb of the MM tree.
+		mm, err := minmix.Build(cfg.Target)
+		if err != nil {
+			return nil, err
+		}
+		mixers = sched.Mlb(mm)
+	}
+	if mixers < 1 {
+		return nil, sched.ErrNoMixers
+	}
+	return &Engine{cfg: cfg, base: base, mixers: mixers}, nil
+}
+
+// Base returns the engine's base mixing graph.
+func (e *Engine) Base() *mixgraph.Graph { return e.base }
+
+// Mixers returns the resolved on-chip mixer count.
+func (e *Engine) Mixers() int { return e.mixers }
+
+// Emitted returns the number of target droplets planned so far.
+func (e *Engine) Emitted() int { return e.emitted }
+
+// Elapsed returns the engine cycles consumed by the plans so far.
+func (e *Engine) Elapsed() int { return e.elapsed }
+
+// Batches returns the plans produced by previous Requests.
+func (e *Engine) Batches() []*Batch { return e.batches }
+
+// Request plans the emission of n further target droplets and appends the
+// batch to the engine timeline.
+func (e *Engine) Request(n int) (*Batch, error) {
+	if e.cfg.PersistPool {
+		return e.requestPersistent(n)
+	}
+	res, err := stream.Run(stream.Config{
+		Base:      e.base,
+		Mixers:    e.mixers,
+		Storage:   e.cfg.Storage,
+		Scheduler: e.cfg.Scheduler,
+	}, n)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{Request: n, Result: res, StartCycle: e.elapsed + 1}
+	e.batches = append(e.batches, b)
+	e.elapsed += res.TotalCycles
+	e.emitted += res.Emitted
+	return b, nil
+}
+
+// Emissions returns all emission events planned so far, on the engine's
+// absolute timeline.
+func (e *Engine) Emissions() []stream.Emission {
+	var out []stream.Emission
+	for _, b := range e.batches {
+		for _, em := range b.Result.Emissions() {
+			out = append(out, stream.Emission{Cycle: b.StartCycle - 1 + em.Cycle, Count: em.Count})
+		}
+	}
+	return out
+}
+
+// BaselineResult captures the repeated-pass baseline engine (RMM, RRMA,
+// RMTCS): the base tree is scheduled once by OMS and re-run ⌈D/2⌉ times.
+type BaselineResult struct {
+	// Algorithm is the base mixing algorithm being repeated.
+	Algorithm Algorithm
+	// Passes is ⌈D/2⌉.
+	Passes int
+	// PassCycles is tc, the OMS makespan of one pass.
+	PassCycles int
+	// Cycles is Tr = Passes * tc.
+	Cycles int
+	// Inputs is Ir, Waste is Wr (Passes times the per-pass figures).
+	Inputs int64
+	Waste  int64
+	// Storage is the measured per-pass storage units; StorageFormula is the
+	// paper's closed-form estimate d - (floor(log2 Mc) + 1).
+	Storage        int
+	StorageFormula int
+	// Schedule is the per-pass OMS schedule.
+	Schedule *sched.Schedule
+}
+
+// Baseline plans the repeated-baseline engine for the target using the given
+// algorithm, mixer count and demand.
+func Baseline(alg Algorithm, target ratio.Ratio, mixers, demand int) (*BaselineResult, error) {
+	if demand <= 0 {
+		return nil, fmt.Errorf("core: demand must be positive, got %d", demand)
+	}
+	base, err := alg.Build(target)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.OMS(base, mixers)
+	if err != nil {
+		return nil, err
+	}
+	st := base.Stats()
+	passes := (demand + 1) / 2
+	return &BaselineResult{
+		Algorithm:      alg,
+		Passes:         passes,
+		PassCycles:     s.Cycles,
+		Cycles:         passes * s.Cycles,
+		Inputs:         int64(passes) * st.InputTotal,
+		Waste:          int64(passes) * st.Waste,
+		Storage:        sched.StorageUnits(s),
+		StorageFormula: sched.BaselineStorage(base.Root.Level, mixers),
+		Schedule:       s,
+	}, nil
+}

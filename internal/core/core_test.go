@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ratio"
+	"repro/internal/stream"
+)
+
+var pcr = ratio.MustParse("2:1:1:1:1:1:9")
+
+func TestAlgorithmBuilders(t *testing.T) {
+	for _, a := range Algorithms() {
+		g, err := a.Build(pcr)
+		if err != nil {
+			t.Fatalf("%s.Build: %v", a, err)
+		}
+		if g.Algorithm != a.String() {
+			t.Errorf("graph tagged %q, want %q", g.Algorithm, a)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for s, want := range map[string]Algorithm{"MM": MM, "rma": RMA, "MTCS": MTCS, "RSM": RSM} {
+		got, err := ParseAlgorithm(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("BS"); err == nil {
+		t.Error("unknown algorithm parsed")
+	}
+}
+
+func TestAllAlgorithmsBuild(t *testing.T) {
+	for _, a := range AllAlgorithms() {
+		g, err := a.Build(pcr)
+		if err != nil {
+			t.Fatalf("%s.Build: %v", a, err)
+		}
+		if g.Root == nil {
+			t.Errorf("%s: nil root", a)
+		}
+	}
+}
+
+func TestEngineDefaultsToMlb(t *testing.T) {
+	e, err := New(Config{Target: pcr})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if e.Mixers() != 3 {
+		t.Errorf("default mixers = %d, want Mlb = 3", e.Mixers())
+	}
+}
+
+func TestEngineSingleRequest(t *testing.T) {
+	e, err := New(Config{Target: pcr, Scheduler: stream.SRS})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := e.Request(20)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if b.Result.TotalCycles != 11 {
+		t.Errorf("Tc = %d, want 11 (Fig. 3)", b.Result.TotalCycles)
+	}
+	if e.Emitted() != 20 || e.Elapsed() != 11 {
+		t.Errorf("engine state: emitted=%d elapsed=%d", e.Emitted(), e.Elapsed())
+	}
+}
+
+func TestEngineDemandDrivenRequests(t *testing.T) {
+	e, err := New(Config{Target: pcr, Scheduler: stream.SRS, Storage: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var total int
+	for _, n := range []int{4, 10, 6, 2} {
+		b, err := e.Request(n)
+		if err != nil {
+			t.Fatalf("Request(%d): %v", n, err)
+		}
+		total += b.Result.Emitted
+	}
+	if e.Emitted() != total || e.Emitted() < 22 {
+		t.Errorf("emitted %d, want >= 22 and consistent", e.Emitted())
+	}
+	// Batches chain on the timeline without overlap.
+	next := 1
+	for i, b := range e.Batches() {
+		if b.StartCycle != next {
+			t.Errorf("batch %d starts at %d, want %d", i, b.StartCycle, next)
+		}
+		next += b.Result.TotalCycles
+	}
+	// Emissions are within the elapsed window and ordered per batch.
+	for _, em := range e.Emissions() {
+		if em.Cycle < 1 || em.Cycle > e.Elapsed() {
+			t.Errorf("emission at cycle %d outside [1, %d]", em.Cycle, e.Elapsed())
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Target: pcr, Mixers: -1}); err == nil {
+		t.Error("negative mixers accepted")
+	}
+	e, _ := New(Config{Target: pcr})
+	if _, err := e.Request(0); err == nil {
+		t.Error("zero request accepted")
+	}
+}
+
+func TestBaselinePCR(t *testing.T) {
+	// RMM for D=20 on 3 mixers: 10 passes x 4 cycles, 10 x 8 inputs.
+	b, err := Baseline(MM, pcr, 3, 20)
+	if err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+	if b.Passes != 10 || b.PassCycles != 4 || b.Cycles != 40 {
+		t.Errorf("passes=%d tc=%d Tr=%d, want 10, 4, 40", b.Passes, b.PassCycles, b.Cycles)
+	}
+	if b.Inputs != 80 {
+		t.Errorf("Ir = %d, want 80", b.Inputs)
+	}
+	if b.Waste != 60 {
+		t.Errorf("Wr = %d, want 60", b.Waste)
+	}
+	if b.StorageFormula != 2 {
+		t.Errorf("storage formula = %d, want 2 (d=4, Mc=3)", b.StorageFormula)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	if _, err := Baseline(MM, pcr, 3, 0); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := Baseline(Algorithm(99), pcr, 3, 4); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestEngineBeatsBaseline(t *testing.T) {
+	// The headline claim: for any decent demand, the forest engine uses
+	// fewer cycles and fewer input droplets than the repeated baseline.
+	e, _ := New(Config{Target: pcr})
+	b, err := e.Request(32)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	base, err := Baseline(MM, pcr, e.Mixers(), 32)
+	if err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+	if b.Result.TotalCycles >= base.Cycles {
+		t.Errorf("engine Tc=%d not better than baseline Tr=%d", b.Result.TotalCycles, base.Cycles)
+	}
+	if b.Result.TotalInputs >= base.Inputs {
+		t.Errorf("engine I=%d not better than baseline Ir=%d", b.Result.TotalInputs, base.Inputs)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ratio"
+	"repro/internal/stream"
+)
+
+func TestPlanMultiDilutionPair(t *testing.T) {
+	reqs := []MultiRequest{
+		{Target: ratio.MustNew(3, 13), Demand: 8},
+		{Target: ratio.MustNew(5, 11), Demand: 8},
+	}
+	plan, err := PlanMulti(reqs, MM, 0, stream.MMS)
+	if err != nil {
+		t.Fatalf("PlanMulti: %v", err)
+	}
+	if err := plan.Forest.Validate(); err != nil {
+		t.Fatalf("forest: %v", err)
+	}
+	if err := plan.Schedule.Validate(); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if plan.Emitted[0] < 8 || plan.Emitted[1] < 8 {
+		t.Errorf("emitted %v, want >= 8 each", plan.Emitted)
+	}
+	if got := plan.Forest.Stats().InputTotal; got > plan.IndependentInputs {
+		t.Errorf("combined inputs %d exceed independent %d", got, plan.IndependentInputs)
+	}
+}
+
+func TestPlanMultiSevenFluids(t *testing.T) {
+	reqs := []MultiRequest{
+		{Target: ratio.MustParse("2:1:1:1:1:1:9"), Demand: 10},
+		{Target: ratio.MustParse("1:2:1:1:1:1:9"), Demand: 6},
+	}
+	plan, err := PlanMulti(reqs, MM, 3, stream.SRS)
+	if err != nil {
+		t.Fatalf("PlanMulti: %v", err)
+	}
+	if plan.Schedule.Mixers != 3 {
+		t.Errorf("mixers = %d", plan.Schedule.Mixers)
+	}
+	if plan.Storage < 0 {
+		t.Errorf("storage = %d", plan.Storage)
+	}
+	if err := plan.Forest.Validate(); err != nil {
+		t.Errorf("forest: %v", err)
+	}
+}
+
+func TestPlanMultiErrors(t *testing.T) {
+	if _, err := PlanMulti(nil, MM, 3, stream.MMS); err == nil {
+		t.Error("empty request list accepted")
+	}
+	reqs := []MultiRequest{
+		{Target: ratio.MustNew(3, 13), Demand: 8},
+		{Target: ratio.MustParse("2:1:1:1:1:1:9"), Demand: 8},
+	}
+	if _, err := PlanMulti(reqs, MM, 3, stream.MMS); err == nil {
+		t.Error("mismatched fluid universes accepted")
+	}
+	bad := []MultiRequest{{Target: ratio.MustNew(3, 13), Demand: 0}}
+	if _, err := PlanMulti(bad, MM, 3, stream.MMS); err == nil {
+		t.Error("zero demand accepted")
+	}
+}

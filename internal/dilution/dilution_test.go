@@ -1,0 +1,149 @@
+package dilution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ratio"
+	"repro/internal/stream"
+)
+
+func TestTargetRatio(t *testing.T) {
+	r, err := Target{Num: 3, Depth: 4}.Ratio()
+	if err != nil {
+		t.Fatalf("Ratio: %v", err)
+	}
+	if !r.Equal(ratio.MustNew(3, 13)) {
+		t.Errorf("ratio = %v, want 3:13", r)
+	}
+	if got := r.Name(0); got != "sample" {
+		t.Errorf("fluid 0 = %q, want sample", got)
+	}
+}
+
+func TestTargetErrors(t *testing.T) {
+	if _, err := (Target{Num: 0, Depth: 4}).Ratio(); err == nil {
+		t.Error("CF 0 accepted")
+	}
+	if _, err := (Target{Num: 16, Depth: 4}).Ratio(); err == nil {
+		t.Error("CF 1 accepted")
+	}
+	if _, err := (Target{Num: 1, Depth: 0}).Ratio(); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := (Target{Num: 1, Depth: 99}).Ratio(); err == nil {
+		t.Error("huge depth accepted")
+	}
+}
+
+func TestFromFraction(t *testing.T) {
+	tt, err := FromFraction(0.25, 4)
+	if err != nil {
+		t.Fatalf("FromFraction: %v", err)
+	}
+	if tt.Num != 4 {
+		t.Errorf("0.25 at d=4 -> c=%d, want 4", tt.Num)
+	}
+	if math.Abs(tt.CF()-0.25) > 1e-9 {
+		t.Errorf("CF = %g", tt.CF())
+	}
+	// Clamping at the edges.
+	lo, err := FromFraction(0.001, 4)
+	if err != nil || lo.Num != 1 {
+		t.Errorf("tiny CF -> %v, %v", lo, err)
+	}
+	hi, err := FromFraction(0.999, 4)
+	if err != nil || hi.Num != 15 {
+		t.Errorf("huge CF -> %v, %v", hi, err)
+	}
+	if _, err := FromFraction(0, 4); err == nil {
+		t.Error("cf=0 accepted")
+	}
+	if _, err := FromFraction(1.5, 4); err == nil {
+		t.Error("cf>1 accepted")
+	}
+}
+
+func TestEngineStream(t *testing.T) {
+	e, err := New(Target{Num: 3, Depth: 4}, Config{Scheduler: stream.SRS, Storage: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := e.Request(16)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if b.Result.Emitted < 16 {
+		t.Errorf("emitted %d", b.Result.Emitted)
+	}
+	sample, buffer := e.SampleUsage()
+	if sample+buffer != b.Result.TotalInputs {
+		t.Errorf("usage %d+%d != inputs %d", sample, buffer, b.Result.TotalInputs)
+	}
+	// At CF 3/16 the buffer dominates the sample.
+	if sample >= buffer {
+		t.Errorf("sample %d >= buffer %d at CF 3/16", sample, buffer)
+	}
+}
+
+func TestFullCycleUsesExactRatio(t *testing.T) {
+	// For D = 2^d the forest wastes nothing, so sample usage is exactly c
+	// droplets and buffer exactly 2^d - c.
+	e, err := New(Target{Num: 5, Depth: 4}, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := e.Request(16); err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	sample, buffer := e.SampleUsage()
+	if sample != 5 || buffer != 11 {
+		t.Errorf("usage = %d sample, %d buffer; want 5 and 11", sample, buffer)
+	}
+}
+
+func TestEngineBeatsRepeatedDilution(t *testing.T) {
+	tgt := Target{Num: 7, Depth: 5}
+	e, err := New(tgt, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := e.Request(32)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	r, _ := tgt.Ratio()
+	base, err := core.Baseline(core.MM, r, e.Mixers(), 32)
+	if err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+	if b.Result.TotalInputs >= base.Inputs || b.Result.TotalCycles >= base.Cycles {
+		t.Errorf("dilution engine (I=%d Tc=%d) not better than repeated (I=%d Tr=%d)",
+			b.Result.TotalInputs, b.Result.TotalCycles, base.Inputs, base.Cycles)
+	}
+}
+
+func TestQuickAnyCFStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(6)
+		c := 1 + rng.Int63n(int64(1)<<uint(d)-1)
+		e, err := New(Target{Num: c, Depth: d}, Config{Scheduler: stream.SRS})
+		if err != nil {
+			return false
+		}
+		n := 2 + rng.Intn(30)
+		b, err := e.Request(n)
+		if err != nil {
+			return false
+		}
+		sample, buffer := e.SampleUsage()
+		return b.Result.Emitted >= n && sample+buffer == b.Result.TotalInputs && sample >= 1 && buffer >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package errormodel quantifies how physical imperfections of a DMF biochip
+// — unbalanced droplet splits and dispensing volume errors — perturb the
+// concentration factors of the target droplets a mixing forest emits. The
+// DAC 2014 paper treats only the rounding error of approximating a ratio at
+// accuracy level d (at most 1/2^d per constituent); this package adds the
+// volumetric dimension by Monte-Carlo propagation through the exact task
+// graph, which is how one compares base algorithms of different depths and
+// shapes for robustness.
+//
+// Model: dispensing yields volume 1±δ (uniform); a (1:1) split of a merged
+// droplet of volume v yields v/2·(1+ε) and v/2·(1−ε) with ε uniform in the
+// configured imbalance range. Merging mixes concentrations in proportion to
+// the actual volumes; splitting preserves concentration. The reported error
+// of a target droplet is its L∞ CF deviation from the exact target.
+package errormodel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/forest"
+)
+
+// Params configures the Monte-Carlo simulation.
+type Params struct {
+	// SplitImbalance is the maximum relative volume imbalance per split
+	// (e.g. 0.05 for ±5%).
+	SplitImbalance float64
+	// DispenseError is the maximum relative volume error per dispensed
+	// droplet.
+	DispenseError float64
+	// Trials is the number of Monte-Carlo runs (default 1000).
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Report summarises the CF error distribution over all target droplets and
+// trials.
+type Report struct {
+	// Trials and Targets are the sample dimensions.
+	Trials  int
+	Targets int
+	// MeanErr, P95Err and MaxErr describe the L∞ CF error distribution.
+	MeanErr, P95Err, MaxErr float64
+	// MinVolume and MaxVolume bound the emitted droplet volumes (ideal 1.0).
+	MinVolume, MaxVolume float64
+}
+
+// Simulation errors.
+var (
+	ErrBadParams = errors.New("errormodel: error magnitudes must be in [0, 0.5) and trials positive")
+)
+
+// droplet is one physical droplet in flight.
+type droplet struct {
+	volume float64
+	cf     []float64 // concentration per fluid, sums to 1
+}
+
+// Simulate propagates volumetric errors through the forest.
+func Simulate(f *forest.Forest, p Params) (*Report, error) {
+	if p.Trials == 0 {
+		p.Trials = 1000
+	}
+	if p.Trials < 0 || p.SplitImbalance < 0 || p.SplitImbalance >= 0.5 ||
+		p.DispenseError < 0 || p.DispenseError >= 0.5 {
+		return nil, ErrBadParams
+	}
+	n := f.Base.Target.N()
+
+	// Ideal CF of each tree's target.
+	ideal := make(map[int][]float64, len(f.Trees))
+	for _, tree := range f.Trees {
+		want := tree.Want
+		if want.IsZero() {
+			want = f.Base.Target.Vector()
+		}
+		cf := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cf[i] = float64(want.Num(i)) / float64(want.Denom())
+		}
+		ideal[tree.Index] = cf
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	uniform := func(mag float64) float64 { return (2*rng.Float64() - 1) * mag }
+
+	var errs []float64
+	rep := &Report{Trials: p.Trials, MinVolume: 1e18, MaxVolume: -1e18}
+	for trial := 0; trial < p.Trials; trial++ {
+		// outputs[taskID] holds the task's two droplets; handed to
+		// consumers in order, leftovers are targets/waste.
+		outputs := make([][]droplet, len(f.Tasks))
+		take := func(src forest.Source) droplet {
+			if src.Kind == forest.Input {
+				cf := make([]float64, n)
+				cf[src.Fluid] = 1
+				return droplet{volume: 1 + uniform(p.DispenseError), cf: cf}
+			}
+			outs := outputs[src.Task.ID]
+			d := outs[0]
+			outputs[src.Task.ID] = outs[1:]
+			return d
+		}
+		for _, t := range f.Tasks {
+			a, b := take(t.In[0]), take(t.In[1])
+			v := a.volume + b.volume
+			cf := make([]float64, n)
+			for i := 0; i < n; i++ {
+				cf[i] = (a.volume*a.cf[i] + b.volume*b.cf[i]) / v
+			}
+			eps := uniform(p.SplitImbalance)
+			outputs[t.ID] = []droplet{
+				{volume: v / 2 * (1 + eps), cf: cf},
+				{volume: v / 2 * (1 - eps), cf: cf},
+			}
+		}
+		// Collect target droplets: the unconsumed outputs of tree roots.
+		for _, tree := range f.Trees {
+			want := ideal[tree.Index]
+			for _, d := range outputs[tree.Root.ID] {
+				worst := 0.0
+				for i := 0; i < n; i++ {
+					if e := abs(d.cf[i] - want[i]); e > worst {
+						worst = e
+					}
+				}
+				errs = append(errs, worst)
+				if d.volume < rep.MinVolume {
+					rep.MinVolume = d.volume
+				}
+				if d.volume > rep.MaxVolume {
+					rep.MaxVolume = d.volume
+				}
+				if trial == 0 {
+					rep.Targets++
+				}
+			}
+		}
+	}
+	if len(errs) == 0 {
+		return nil, fmt.Errorf("errormodel: forest emits no target droplets")
+	}
+	sort.Float64s(errs)
+	var sum float64
+	for _, e := range errs {
+		sum += e
+	}
+	rep.MeanErr = sum / float64(len(errs))
+	rep.MaxErr = errs[len(errs)-1]
+	rep.P95Err = errs[int(float64(len(errs))*0.95)]
+	return rep, nil
+}
+
+// RoundingErrorBound returns the paper's analytic bound on the CF error
+// introduced by approximating the target ratio at accuracy level d: at most
+// 1/2^d per constituent (§2.1).
+func RoundingErrorBound(d int) float64 {
+	return 1 / float64(int64(1)<<uint(d))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

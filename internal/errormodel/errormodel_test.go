@@ -1,0 +1,164 @@
+package errormodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/rma"
+)
+
+func pcrForest(t *testing.T, demand int) *forest.Forest {
+	t.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("minmix.Build: %v", err)
+	}
+	f, err := forest.Build(g, demand)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	return f
+}
+
+func TestPerfectChipIsExact(t *testing.T) {
+	f := pcrForest(t, 16)
+	rep, err := Simulate(f, Params{Trials: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rep.MaxErr > 1e-12 {
+		t.Errorf("error-free chip produced CF error %g", rep.MaxErr)
+	}
+	if math.Abs(rep.MinVolume-1) > 1e-12 || math.Abs(rep.MaxVolume-1) > 1e-12 {
+		t.Errorf("volumes drifted without error sources: [%g, %g]", rep.MinVolume, rep.MaxVolume)
+	}
+	if rep.Targets != 16 {
+		t.Errorf("targets = %d, want 16", rep.Targets)
+	}
+}
+
+func TestErrorGrowsWithImbalance(t *testing.T) {
+	f := pcrForest(t, 16)
+	prev := -1.0
+	for _, eps := range []float64{0.01, 0.03, 0.08} {
+		rep, err := Simulate(f, Params{SplitImbalance: eps, Trials: 400, Seed: 7})
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		if rep.MeanErr <= prev {
+			t.Errorf("mean error %g did not grow at eps=%g (prev %g)", rep.MeanErr, eps, prev)
+		}
+		prev = rep.MeanErr
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	f := pcrForest(t, 8)
+	p := Params{SplitImbalance: 0.05, DispenseError: 0.02, Trials: 50, Seed: 99}
+	a, err := Simulate(f, p)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	b, _ := Simulate(f, p)
+	if a.MeanErr != b.MeanErr || a.MaxErr != b.MaxErr {
+		t.Error("same seed, different results")
+	}
+	c, _ := Simulate(f, Params{SplitImbalance: 0.05, DispenseError: 0.02, Trials: 50, Seed: 100})
+	if a.MeanErr == c.MeanErr {
+		t.Error("different seeds, identical results (suspicious)")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	f := pcrForest(t, 8)
+	rep, err := Simulate(f, Params{SplitImbalance: 0.05, Trials: 200, Seed: 3})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rep.MeanErr > rep.P95Err || rep.P95Err > rep.MaxErr {
+		t.Errorf("distribution order violated: mean %g, p95 %g, max %g", rep.MeanErr, rep.P95Err, rep.MaxErr)
+	}
+	if rep.MinVolume > rep.MaxVolume {
+		t.Error("volume bounds inverted")
+	}
+	if rep.Trials != 200 {
+		t.Errorf("trials = %d", rep.Trials)
+	}
+}
+
+func TestDeeperRatioAccumulatesMoreError(t *testing.T) {
+	// d=6 chains more splits than d=2 for a comparable dilution, so the
+	// same physical imbalance hurts more.
+	shallowBase, _ := minmix.Build(ratio.MustNew(1, 3)) // d=2
+	deepBase, _ := minmix.Build(ratio.MustNew(1, 63))   // d=6
+	shallow, _ := forest.Build(shallowBase, 8)
+	deep, _ := forest.Build(deepBase, 8)
+	p := Params{SplitImbalance: 0.05, Trials: 600, Seed: 11}
+	rs, err := Simulate(shallow, p)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	rd, err := Simulate(deep, p)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// Compare relative error: deep target CFs are tiny, so normalise by the
+	// smallest nonzero ideal CF... simplest robust check: absolute error of
+	// the deep chain's P95 exceeds the shallow one's scaled bound is flaky;
+	// instead require the deep chain's volume spread to be wider (more
+	// splits => more volume drift).
+	if rd.MaxVolume-rd.MinVolume <= rs.MaxVolume-rs.MinVolume {
+		t.Errorf("deep forest volume spread %g not wider than shallow %g",
+			rd.MaxVolume-rd.MinVolume, rs.MaxVolume-rs.MinVolume)
+	}
+}
+
+func TestAlgorithmRobustnessComparison(t *testing.T) {
+	// The module's purpose: compare base algorithms under the same physical
+	// error. Both must produce finite, comparable reports.
+	r := ratio.MustParse("26:21:2:2:3:3:199")
+	mm, _ := minmix.Build(r)
+	rm, _ := rma.Build(r)
+	fm, _ := forest.Build(mm, 16)
+	fr, _ := forest.Build(rm, 16)
+	p := Params{SplitImbalance: 0.03, DispenseError: 0.01, Trials: 300, Seed: 5}
+	repMM, err := Simulate(fm, p)
+	if err != nil {
+		t.Fatalf("Simulate(MM): %v", err)
+	}
+	repRMA, err := Simulate(fr, p)
+	if err != nil {
+		t.Fatalf("Simulate(RMA): %v", err)
+	}
+	if repMM.MaxErr <= 0 || repRMA.MaxErr <= 0 {
+		t.Error("no error measured despite imbalance")
+	}
+	t.Logf("CF error (mean/p95): MM %.5f/%.5f, RMA %.5f/%.5f",
+		repMM.MeanErr, repMM.P95Err, repRMA.MeanErr, repRMA.P95Err)
+}
+
+func TestRoundingErrorBound(t *testing.T) {
+	if RoundingErrorBound(4) != 1.0/16 {
+		t.Error("bound at d=4 wrong")
+	}
+	if RoundingErrorBound(8) != 1.0/256 {
+		t.Error("bound at d=8 wrong")
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	f := pcrForest(t, 4)
+	for _, p := range []Params{
+		{SplitImbalance: -0.1, Trials: 10},
+		{SplitImbalance: 0.6, Trials: 10},
+		{DispenseError: 0.5, Trials: 10},
+		{Trials: -5},
+	} {
+		if _, err := Simulate(f, p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package exec binds a mixing-forest schedule to a chip layout and derives
+// the droplet-transport plan: which droplet moves where in every cycle, what
+// each move costs in electrode actuations, and which storage cell parks each
+// waiting droplet. This is the machinery behind §5 of the DAC 2014 paper,
+// which compares the streaming engine (386 actuations for the D=20 PCR
+// forest) against repeated baseline mixing (980 actuations) on the Fig. 5
+// floorplan.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/forest"
+	"repro/internal/ratio"
+	"repro/internal/route"
+	"repro/internal/sched"
+)
+
+// Purpose classifies a droplet movement.
+type Purpose int8
+
+const (
+	// Dispense moves a fresh droplet from a fluid reservoir to a mixer.
+	Dispense Purpose = iota
+	// Transfer moves a droplet mixer-to-mixer (consumed the next cycle).
+	Transfer
+	// Store parks a droplet in a storage cell.
+	Store
+	// Fetch retrieves a stored droplet into a mixer.
+	Fetch
+	// Discard routes a waste droplet to a waste reservoir.
+	Discard
+	// Emit delivers a target droplet to the output port.
+	Emit
+)
+
+func (p Purpose) String() string {
+	switch p {
+	case Dispense:
+		return "dispense"
+	case Transfer:
+		return "transfer"
+	case Store:
+		return "store"
+	case Fetch:
+		return "fetch"
+	case Discard:
+		return "discard"
+	case Emit:
+		return "emit"
+	default:
+		return fmt.Sprintf("Purpose(%d)", int8(p))
+	}
+}
+
+// Move is one droplet transport.
+type Move struct {
+	// Cycle is the schedule cycle the move serves (the cycle a consumed
+	// droplet must arrive in, or the producing cycle for outgoing moves).
+	Cycle int
+	// From and To are module names.
+	From, To string
+	// Cost is the electrode-actuation cost (shortest-path length).
+	Cost int
+	// Purpose classifies the move.
+	Purpose Purpose
+	// Content identifies the droplet's exact composition (a CF-vector key):
+	// the cross-contamination analysis groups moves by it.
+	Content string
+}
+
+// Plan is a complete transport plan for one schedule on one layout.
+type Plan struct {
+	// Moves lists every droplet transport in cycle order.
+	Moves []Move
+	// TotalCost is the total number of electrode actuations (§5's metric).
+	TotalCost int
+	// StorageCells maps each stored droplet (producer task ID, consumer task
+	// ID) to the storage module used.
+	StorageCells map[[2]int]string
+	// Flow is the symmetric module-to-module traffic matrix, reusable for
+	// placement optimization.
+	Flow chip.Flow
+}
+
+// Binding errors.
+var (
+	ErrNoMixerModules  = errors.New("exec: layout has fewer mixers than the schedule uses")
+	ErrNoReservoir     = errors.New("exec: no reservoir for a required fluid")
+	ErrNoWaste         = errors.New("exec: layout has no waste reservoir")
+	ErrNoOutput        = errors.New("exec: layout has no output port")
+	ErrStorageOverflow = errors.New("exec: schedule needs more storage cells than the layout offers")
+)
+
+// Execute derives the transport plan of schedule s on layout l.
+//
+// Binding rules: schedule mixer k runs on the k-th Mixer module; fluid i is
+// dispensed from the reservoir declaring that fluid; a droplet consumed in
+// the cycle right after production transfers mixer-to-mixer, otherwise it is
+// parked in a storage cell (chosen nearest-first among free cells) and
+// fetched later; unconsumed non-target droplets go to the nearest waste
+// reservoir; target droplets go to the output port.
+func Execute(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
+	mixers := l.OfKind(chip.Mixer)
+	if len(mixers) < s.Mixers {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNoMixerModules, len(mixers), s.Mixers)
+	}
+	binding := make([]int, s.Mixers)
+	for i := range binding {
+		binding[i] = i
+	}
+	return executeBound(s, l, binding)
+}
+
+// ExecuteOptimized searches over all bindings of the schedule's logical
+// mixers onto the layout's physical mixer modules and returns the
+// cheapest transport plan. With k logical and n physical mixers the search
+// is P(n, k) plans — fine for the handful of mixers real chips carry.
+func ExecuteOptimized(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
+	mixers := l.OfKind(chip.Mixer)
+	if len(mixers) < s.Mixers {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNoMixerModules, len(mixers), s.Mixers)
+	}
+	var best *Plan
+	perm := make([]int, 0, s.Mixers)
+	used := make([]bool, len(mixers))
+	var rec func() error
+	rec = func() error {
+		if len(perm) == s.Mixers {
+			plan, err := executeBound(s, l, perm)
+			if err != nil {
+				return err
+			}
+			if best == nil || plan.TotalCost < best.TotalCost {
+				best = plan
+			}
+			return nil
+		}
+		for i := range mixers {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			if err := rec(); err != nil {
+				return err
+			}
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// executeBound derives the plan with logical mixer k running on physical
+// mixer module binding[k-1].
+func executeBound(s *sched.Schedule, l *chip.Layout, binding []int) (*Plan, error) {
+	cost, err := route.CostMatrix(l)
+	if err != nil {
+		return nil, err
+	}
+
+	mixers := l.OfKind(chip.Mixer)
+	reservoirs := map[int]string{}
+	for _, m := range l.OfKind(chip.Reservoir) {
+		reservoirs[m.Fluid] = m.Name
+	}
+	wastes := l.OfKind(chip.Waste)
+	if len(wastes) == 0 {
+		return nil, ErrNoWaste
+	}
+	outputs := l.OfKind(chip.Output)
+	if len(outputs) == 0 {
+		return nil, ErrNoOutput
+	}
+	out := outputs[0].Name
+	storage := l.OfKind(chip.Storage)
+
+	mixerName := func(k int) string { return mixers[binding[k-1]].Name }
+	nearest := func(from string, candidates []chip.Module) string {
+		best, bestCost := candidates[0].Name, int(^uint(0)>>1)
+		for _, c := range candidates {
+			if d := cost[[2]string{from, c.Name}]; d < bestCost {
+				best, bestCost = c.Name, d
+			}
+		}
+		return best
+	}
+
+	plan := &Plan{StorageCells: map[[2]int]string{}, Flow: chip.Flow{}}
+	n := s.Forest.Target().N()
+	add := func(cycle int, from, to string, p Purpose, content string) {
+		c := cost[[2]string{from, to}]
+		plan.Moves = append(plan.Moves, Move{Cycle: cycle, From: from, To: to, Cost: c, Purpose: p, Content: content})
+		plan.TotalCost += c
+		plan.Flow.Add(from, to, 1)
+	}
+
+	// Assign storage cells to waiting droplets by interval: droplets whose
+	// storage intervals overlap need distinct cells (greedy first-fit over
+	// cells ordered near the producer works because intervals are released
+	// in consumption order).
+	type interval struct {
+		sd   sched.StoredDroplet
+		cell string
+	}
+	var waiting []interval
+	for _, sd := range sched.StoredDroplets(s) {
+		if sd.From <= sd.To {
+			waiting = append(waiting, interval{sd: sd})
+		}
+	}
+	sort.Slice(waiting, func(i, j int) bool {
+		if waiting[i].sd.From != waiting[j].sd.From {
+			return waiting[i].sd.From < waiting[j].sd.From
+		}
+		return waiting[i].sd.Producer.ID < waiting[j].sd.Producer.ID
+	})
+	busyUntil := map[string]int{}
+	for i := range waiting {
+		iv := &waiting[i]
+		prodMixer := mixerName(s.At(iv.sd.Producer).Mixer)
+		// Candidate cells: free for the whole interval, nearest first.
+		type cand struct {
+			name string
+			d    int
+		}
+		var cands []cand
+		for _, q := range storage {
+			if busyUntil[q.Name] < iv.sd.From {
+				cands = append(cands, cand{q.Name, cost[[2]string{prodMixer, q.Name}]})
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: at cycle %d (have %d cells)", ErrStorageOverflow, iv.sd.From, len(storage))
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].name < cands[b].name
+		})
+		iv.cell = cands[0].name
+		busyUntil[iv.cell] = iv.sd.To
+		plan.StorageCells[[2]int{iv.sd.Producer.ID, iv.sd.Consumer.ID}] = iv.cell
+	}
+
+	// Input moves: each task's two input droplets arrive at its mixer.
+	for _, t := range s.Forest.Tasks {
+		a := s.At(t)
+		dst := mixerName(a.Mixer)
+		for _, src := range t.In {
+			switch src.Kind {
+			case forest.Input:
+				r, ok := reservoirs[src.Fluid]
+				if !ok {
+					return nil, fmt.Errorf("%w: fluid %d", ErrNoReservoir, src.Fluid)
+				}
+				add(a.Cycle, r, dst, Dispense, ratio.Unit(src.Fluid, n).Key())
+			case forest.FromTask:
+				p := s.At(src.Task)
+				from := mixerName(p.Mixer)
+				content := src.Task.Vec.Key()
+				if cell, stored := plan.StorageCells[[2]int{src.Task.ID, t.ID}]; stored {
+					add(p.Cycle, from, cell, Store, content)
+					add(a.Cycle, cell, dst, Fetch, content)
+				} else {
+					add(a.Cycle, from, dst, Transfer, content)
+				}
+			}
+		}
+	}
+	// Output moves: targets to the output port, free outputs to waste.
+	for _, t := range s.Forest.Tasks {
+		a := s.At(t)
+		from := mixerName(a.Mixer)
+		for k := 0; k < t.Targets; k++ {
+			add(a.Cycle, from, out, Emit, t.Vec.Key())
+		}
+		for k := 0; k < t.FreeOutputs(); k++ {
+			add(a.Cycle, from, nearest(from, wastes), Discard, t.Vec.Key())
+		}
+	}
+	sort.SliceStable(plan.Moves, func(i, j int) bool { return plan.Moves[i].Cycle < plan.Moves[j].Cycle })
+	return plan, nil
+}
+
+// StorageCellsUsed returns how many distinct storage cells the plan touches.
+func (p *Plan) StorageCellsUsed() int {
+	set := map[string]bool{}
+	for _, c := range p.StorageCells {
+		set[c] = true
+	}
+	return len(set)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/errormodel"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/protocols"
+	"repro/internal/sched"
+)
+
+func TestE1Roster(t *testing.T) {
+	rows, err := E1AlgorithmRoster()
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// RSM never uses more single-pass inputs than MM or RMA.
+		if r.Inputs["RSM"] > r.Inputs["MM"] || r.Inputs["RSM"] > r.Inputs["RMA"] {
+			t.Errorf("%s: RSM=%d, MM=%d, RMA=%d", r.Key, r.Inputs["RSM"], r.Inputs["MM"], r.Inputs["RMA"])
+		}
+		for alg, v := range r.Forest {
+			if v <= 0 {
+				t.Errorf("%s/%s: forest inputs %d", r.Key, alg, v)
+			}
+		}
+	}
+	out := FormatE1(rows)
+	if !strings.Contains(out, "RSM") || !strings.Contains(out, "Ex.5") {
+		t.Error("E1 format incomplete")
+	}
+}
+
+func TestE2Persistence(t *testing.T) {
+	rows, err := E2PersistentPool([][]int{{4, 4, 4, 4}, {2, 2, 2, 2, 2, 2, 2, 2}, {16}})
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	for _, r := range rows {
+		if r.Persistent > r.OneShot {
+			t.Errorf("pattern %v: persistent %d > one-shot %d", r.Pattern, r.Persistent, r.OneShot)
+		}
+	}
+	// Requests totalling 16 persist to exactly 16 inputs.
+	if rows[0].Persistent != 16 || rows[1].Persistent != 16 || rows[2].Persistent != 16 {
+		t.Errorf("full-cycle patterns should cost exactly 16 inputs: %+v", rows)
+	}
+	// A single 16-droplet request needs no pool at all, so both modes match.
+	if rows[2].OneShot != rows[2].Persistent {
+		t.Errorf("single request differs between modes")
+	}
+	if !strings.Contains(FormatE2(rows), "peak pool") {
+		t.Error("E2 format incomplete")
+	}
+}
+
+func TestE3Routing(t *testing.T) {
+	rows, err := E3ConcurrentRouting([]int{8, 16, 20})
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	for _, r := range rows {
+		if r.Speedup < 1 {
+			t.Errorf("D=%d: speedup %.2f < 1", r.Demand, r.Speedup)
+		}
+		if r.Concurrent > r.Serialized {
+			t.Errorf("D=%d: concurrent %d worse than serialized %d", r.Demand, r.Concurrent, r.Serialized)
+		}
+	}
+	if !strings.Contains(FormatE3(rows), "speedup") {
+		t.Error("E3 format incomplete")
+	}
+}
+
+func TestE4Robustness(t *testing.T) {
+	p := errormodel.Params{SplitImbalance: 0.05, DispenseError: 0.02, Trials: 150, Seed: 1}
+	rows, err := E4ErrorRobustness(protocols.PCR16().Ratio, p)
+	if err != nil {
+		t.Fatalf("E4: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 algorithms", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanErr <= 0 || r.P95Err < r.MeanErr {
+			t.Errorf("%s: implausible error stats %+v", r.Algorithm, r)
+		}
+	}
+	if !strings.Contains(FormatE4(rows, p), "p95") {
+		t.Error("E4 format incomplete")
+	}
+}
+
+func TestScheduleQuality(t *testing.T) {
+	g, _ := minmix.Build(protocols.PCR16().Ratio)
+	f, _ := forest.Build(g, 20)
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		t.Fatalf("SRS: %v", err)
+	}
+	q := Quality(s)
+	if q.Utilization <= 0 || q.Utilization > 1 {
+		t.Errorf("utilization = %g", q.Utilization)
+	}
+	if q.PeakStorage != sched.StorageUnits(s) {
+		t.Errorf("peak storage %d != %d", q.PeakStorage, sched.StorageUnits(s))
+	}
+	// 27 tasks in 11 cycles on 3 mixers: 33 slots, 6 idle.
+	if q.IdleMixerSlots != 6 {
+		t.Errorf("idle slots = %d, want 6", q.IdleMixerSlots)
+	}
+}
+
+func TestE5OptimalityGap(t *testing.T) {
+	rows, err := E5OptimalityGap(60, 1)
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instances < 30 {
+			t.Errorf("%s: only %d instances", r.Scheduler, r.Instances)
+		}
+		// List schedulers on these small in-tree-like forests stay close to
+		// optimal: at least half the instances exactly optimal, worst gap
+		// bounded.
+		if r.OptimalRate() < 0.5 {
+			t.Errorf("%s: optimal rate %.2f", r.Scheduler, r.OptimalRate())
+		}
+		if r.MaxGap > 3 {
+			t.Errorf("%s: max gap %d", r.Scheduler, r.MaxGap)
+		}
+	}
+	if !strings.Contains(FormatE5(rows), "avg gap") {
+		t.Error("E5 format incomplete")
+	}
+}

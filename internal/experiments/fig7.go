@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/protocols"
+	"repro/internal/sched"
+	"repro/internal/stream"
+	"repro/internal/textplot"
+)
+
+// Fig7 holds the mixer-count sweep of Fig. 7: Tc (a) and q (b) for the
+// RMA-based engine under MMS and SRS, for the PCR master-mix ratio
+// 2:1:1:1:1:1:9 with D=32.
+type Fig7 struct {
+	Mixers []int
+	TcMMS  []int
+	TcSRS  []int
+	QMMS   []int
+	QSRS   []int
+}
+
+// Fig7Compute sweeps the mixer count (the paper uses 1..15).
+func Fig7Compute(mixers []int, demand int) (*Fig7, error) {
+	base, err := core.RMA.Build(protocols.PCR16().Ratio)
+	if err != nil {
+		return nil, err
+	}
+	f, err := forest.Build(base, demand)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7{Mixers: mixers}
+	for _, mc := range mixers {
+		for _, scheduler := range []stream.Scheduler{stream.MMS, stream.SRS} {
+			s, err := scheduler.Schedule(f, mc)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig7 M=%d: %w", mc, err)
+			}
+			q := sched.StorageUnits(s)
+			if scheduler == stream.MMS {
+				out.TcMMS = append(out.TcMMS, s.Cycles)
+				out.QMMS = append(out.QMMS, q)
+			} else {
+				out.TcSRS = append(out.TcSRS, s.Cycles)
+				out.QSRS = append(out.QSRS, q)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChartTc renders Fig. 7(a).
+func (f *Fig7) ChartTc() string {
+	return textplot.Chart("Fig. 7(a): Tc vs #mixers (PCR 2:1:1:1:1:1:9, D=32)",
+		"#mixers M", "Tc", textplot.Ints(f.Mixers), []textplot.Series{
+			{Name: "RMA+MMS", Y: textplot.Ints(f.TcMMS)},
+			{Name: "RMA+SRS", Y: textplot.Ints(f.TcSRS)},
+		}, 60, 14)
+}
+
+// ChartQ renders Fig. 7(b).
+func (f *Fig7) ChartQ() string {
+	return textplot.Chart("Fig. 7(b): storage q vs #mixers (PCR 2:1:1:1:1:1:9, D=32)",
+		"#mixers M", "q", textplot.Ints(f.Mixers), []textplot.Series{
+			{Name: "RMA+MMS", Y: textplot.Ints(f.QMMS)},
+			{Name: "RMA+SRS", Y: textplot.Ints(f.QSRS)},
+		}, 60, 14)
+}
+
+// CSV renders the sweep as CSV.
+func (f *Fig7) CSV() string {
+	out := "mixers,tc_mms,tc_srs,q_mms,q_srs\n"
+	for i, m := range f.Mixers {
+		out += fmt.Sprintf("%d,%d,%d,%d,%d\n", m, f.TcMMS[i], f.TcSRS[i], f.QMMS[i], f.QSRS[i])
+	}
+	return out
+}

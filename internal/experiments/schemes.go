@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the evaluation
+// section (§6) of Roy et al., DAC 2014: Table 2 (per-protocol comparison of
+// nine schemes), Table 3 (average improvements over the synthetic ratio
+// population), Table 4 (storage-constrained multi-pass streaming), Fig. 5
+// (chip-level electrode-actuation comparison), Fig. 6 (cost vs. demand) and
+// Fig. 7 (cost vs. mixer count). EXPERIMENTS.md records paper-reported vs.
+// measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+	"repro/internal/stream"
+)
+
+// Scheme identifies one of the nine evaluated engine configurations.
+type Scheme struct {
+	// Name is the paper's label (e.g. "RMA+MMS", or "RMM" for a repeated
+	// baseline).
+	Name string
+	// Algorithm is the base mixing algorithm.
+	Algorithm core.Algorithm
+	// Repeated marks the repeated-baseline engines (RMM, RRMA, RMTCS).
+	Repeated bool
+	// Scheduler applies to forest engines (MMS or SRS).
+	Scheduler stream.Scheduler
+}
+
+// Schemes lists the paper's nine columns of Table 2, in order:
+// A=RMM, B=MM+MMS, C=MM+SRS, D=RRMA, E=RMA+MMS, F=RMA+SRS, G=RMTCS,
+// H=MTCS+MMS, I=MTCS+SRS.
+func Schemes() []Scheme {
+	return []Scheme{
+		{Name: "RMM", Algorithm: core.MM, Repeated: true},
+		{Name: "MM+MMS", Algorithm: core.MM, Scheduler: stream.MMS},
+		{Name: "MM+SRS", Algorithm: core.MM, Scheduler: stream.SRS},
+		{Name: "RRMA", Algorithm: core.RMA, Repeated: true},
+		{Name: "RMA+MMS", Algorithm: core.RMA, Scheduler: stream.MMS},
+		{Name: "RMA+SRS", Algorithm: core.RMA, Scheduler: stream.SRS},
+		{Name: "RMTCS", Algorithm: core.MTCS, Repeated: true},
+		{Name: "MTCS+MMS", Algorithm: core.MTCS, Scheduler: stream.MMS},
+		{Name: "MTCS+SRS", Algorithm: core.MTCS, Scheduler: stream.SRS},
+	}
+}
+
+// Result is one scheme's cost on one MDST instance.
+type Result struct {
+	// Tc is the time of completion in cycles (Tr for repeated baselines).
+	Tc int
+	// Q is the measured number of storage units.
+	Q int
+	// I is the total input-droplet usage; W the waste droplets.
+	I int64
+	W int64
+}
+
+// PaperMixers returns the mixer count the paper uses for every scheme on a
+// ratio: Mlb of the corresponding MM tree.
+func PaperMixers(r ratio.Ratio) (int, error) {
+	mm, err := minmix.Build(r)
+	if err != nil {
+		return 0, err
+	}
+	return sched.Mlb(mm), nil
+}
+
+// RunScheme evaluates one scheme on (ratio, demand) with mc mixers.
+func RunScheme(s Scheme, r ratio.Ratio, mc, demand int) (Result, error) {
+	if s.Repeated {
+		b, err := core.Baseline(s.Algorithm, r, mc, demand)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Tc: b.Cycles, Q: b.Storage, I: b.Inputs, W: b.Waste}, nil
+	}
+	base, err := s.Algorithm.Build(r)
+	if err != nil {
+		return Result{}, err
+	}
+	f, err := forest.Build(base, demand)
+	if err != nil {
+		return Result{}, err
+	}
+	schedule, err := s.Scheduler.Schedule(f, mc)
+	if err != nil {
+		return Result{}, err
+	}
+	st := f.Stats()
+	return Result{
+		Tc: schedule.Cycles,
+		Q:  sched.StorageUnits(schedule),
+		I:  st.InputTotal,
+		W:  st.Waste,
+	}, nil
+}
+
+// schemeByName resolves a scheme label.
+func schemeByName(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("experiments: unknown scheme %q", name)
+}

@@ -1,0 +1,192 @@
+package fluidsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+)
+
+func pcrPlan(t *testing.T, demand int) (*exec.Plan, *chip.Layout, *sched.Schedule) {
+	t.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("minmix.Build: %v", err)
+	}
+	f, err := forest.Build(g, demand)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		t.Fatalf("SRS: %v", err)
+	}
+	l := chip.PCRLayout()
+	plan, err := exec.Execute(s, l)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return plan, l, s
+}
+
+func TestReplayMatchesPlanCost(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 20)
+	res, err := Replay(plan, layout)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.Total != plan.TotalCost {
+		t.Errorf("replayed %d actuations, plan says %d", res.Total, plan.TotalCost)
+	}
+	if res.Moves != len(plan.Moves) {
+		t.Errorf("replayed %d moves, plan has %d", res.Moves, len(plan.Moves))
+	}
+	if res.MicroSteps != res.Total {
+		t.Errorf("micro-steps %d != total %d", res.MicroSteps, res.Total)
+	}
+}
+
+func TestActuationsOnFreeCellsOnly(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 16)
+	res, err := Replay(plan, layout)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	blocked := layout.Blocked()
+	for p, n := range res.Actuations {
+		if blocked(p) {
+			t.Errorf("blocked electrode (%d,%d) actuated %d times", p.X, p.Y, n)
+		}
+		if n <= 0 {
+			t.Errorf("non-positive count at (%d,%d)", p.X, p.Y)
+		}
+	}
+}
+
+func TestHottestElectrode(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 20)
+	res, _ := Replay(plan, layout)
+	if res.MaxActuations <= 0 {
+		t.Fatal("no hottest electrode found")
+	}
+	if got := res.Actuations[res.Hottest]; got != res.MaxActuations {
+		t.Errorf("hottest count %d != recorded %d", got, res.MaxActuations)
+	}
+	for _, n := range res.Actuations {
+		if n > res.MaxActuations {
+			t.Errorf("count %d exceeds recorded max %d", n, res.MaxActuations)
+		}
+	}
+}
+
+// TestStreamingReducesWear carries the §5 reliability argument to the
+// per-electrode level: the streaming engine wears the hottest electrode
+// far less than ⌈D/2⌉ repeated baseline passes.
+func TestStreamingReducesWear(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 20)
+	engine, err := Replay(plan, layout)
+	if err != nil {
+		t.Fatalf("Replay(engine): %v", err)
+	}
+	g, _ := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	oms, _ := sched.OMS(g, 3)
+	basePlan, err := exec.Execute(oms, layout)
+	if err != nil {
+		t.Fatalf("Execute(base): %v", err)
+	}
+	base, err := Replay(basePlan, layout)
+	if err != nil {
+		t.Fatalf("Replay(base): %v", err)
+	}
+	repeatedMax := 10 * base.MaxActuations
+	if engine.MaxActuations >= repeatedMax {
+		t.Errorf("hottest electrode: engine %d, repeated %d — engine should wear less",
+			engine.MaxActuations, repeatedMax)
+	}
+	t.Logf("hottest electrode wear: engine %d vs repeated %d (%.2fx)",
+		engine.MaxActuations, repeatedMax, float64(repeatedMax)/float64(engine.MaxActuations))
+}
+
+func TestHeatmap(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 16)
+	res, _ := Replay(plan, layout)
+	hm := res.Heatmap(layout)
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != layout.Height {
+		t.Fatalf("heatmap has %d rows, want %d", len(lines), layout.Height)
+	}
+	if !strings.Contains(hm, "#") {
+		t.Error("heatmap missing module cells")
+	}
+	hasDigit := false
+	for _, c := range hm {
+		if c >= '1' && c <= '9' || c >= 'a' && c <= 'z' || c == '+' {
+			hasDigit = true
+			break
+		}
+	}
+	if !hasDigit {
+		t.Error("heatmap shows no wear")
+	}
+}
+
+func TestHistogramSorted(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 16)
+	res, _ := Replay(plan, layout)
+	h := res.Histogram()
+	if len(h) == 0 {
+		t.Fatal("empty histogram")
+	}
+	sum := 0
+	for i, n := range h {
+		sum += n
+		if i > 0 && n > h[i-1] {
+			t.Fatal("histogram not descending")
+		}
+	}
+	if sum != res.Total {
+		t.Errorf("histogram sums to %d, want %d", sum, res.Total)
+	}
+	if h[0] != res.MaxActuations {
+		t.Errorf("histogram head %d != max %d", h[0], res.MaxActuations)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 8)
+	frames, err := Trace(plan, layout, 2)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames")
+	}
+	for _, f := range frames {
+		if !strings.Contains(f, "@") {
+			t.Error("frame missing droplet marker")
+		}
+		if !strings.Contains(f, "cycle ") {
+			t.Error("frame missing header")
+		}
+	}
+	// Frame count = sum over first two moves of (cost + 1).
+	want := plan.Moves[0].Cost + 1 + plan.Moves[1].Cost + 1
+	if len(frames) != want {
+		t.Errorf("frames = %d, want %d", len(frames), want)
+	}
+}
+
+func TestReplayRejectsUnknownModule(t *testing.T) {
+	plan, layout, _ := pcrPlan(t, 8)
+	bad := *plan
+	bad.Moves = append([]exec.Move(nil), plan.Moves...)
+	bad.Moves[0].From = "nowhere"
+	if _, err := Replay(&bad, layout); err == nil {
+		t.Error("unknown module accepted")
+	}
+}

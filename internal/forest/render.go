@@ -1,0 +1,78 @@
+package forest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Labels assigns the paper's m_{i,j} labels: i is the component-tree index
+// and j the task's 1-based breadth-first position within its tree (root
+// first, left to right), as in Figs. 1-3.
+func (f *Forest) Labels() map[*Task]string {
+	labels := make(map[*Task]string, len(f.Tasks))
+	for _, tree := range f.Trees {
+		j := 1
+		queue := []*Task{tree.Root}
+		seen := map[*Task]bool{tree.Root: true}
+		for len(queue) > 0 {
+			t := queue[0]
+			queue = queue[1:]
+			labels[t] = fmt.Sprintf("m%d,%d", tree.Index, j)
+			j++
+			for _, src := range t.In {
+				if src.Kind == FromTask && src.Task.Tree == tree.Index && !seen[src.Task] {
+					seen[src.Task] = true
+					queue = append(queue, src.Task)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// Render draws the forest tree by tree as indented ASCII, marking fresh
+// inputs, in-tree intermediates and cross-tree waste reuses (the paper's
+// brown nodes).
+func (f *Forest) Render() string {
+	labels := f.Labels()
+	s := f.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mixing forest for %s (d=%d, base %s)\n", f.Base.Target, f.Base.Root.Level, f.Base.Algorithm)
+	fmt.Fprintf(&b, "demand D=%d  |F|=%d  Tms=%d  W=%d  I=%d  I[]=%v\n",
+		f.Demand, s.Trees, s.Mixes, s.Waste, s.InputTotal, s.Inputs)
+	var rec func(t *Task, prefix string, last bool)
+	describe := func(src Source) (string, *Task) {
+		switch {
+		case src.Kind == Input:
+			return fmt.Sprintf("%s (input)", f.Base.Target.Name(src.Fluid)), nil
+		case src.Reused:
+			return fmt.Sprintf("%s (reused waste of T%d)", labels[src.Task], src.Task.Tree), nil
+		default:
+			return "", src.Task
+		}
+	}
+	rec = func(t *Task, prefix string, last bool) {
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		fmt.Fprintf(&b, "%s%s%s L%d %s\n", prefix, connector, labels[t], t.Level, t.Vec)
+		for k, src := range t.In {
+			lastChild := k == 1
+			if desc, child := describe(src); child == nil {
+				cc := "├─ "
+				if lastChild {
+					cc = "└─ "
+				}
+				fmt.Fprintf(&b, "%s%s%s\n", childPrefix, cc, desc)
+			} else {
+				rec(child, childPrefix, lastChild)
+			}
+		}
+	}
+	for _, tree := range f.Trees {
+		fmt.Fprintf(&b, "T%d:\n", tree.Index)
+		rec(tree.Root, "", true)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/ratio"
+)
+
+// Stats summarises a mixing forest in the paper's notation.
+type Stats struct {
+	// Trees is |F|, the number of component mixing trees.
+	Trees int
+	// Mixes is Tms, the total number of (1:1) mix-split steps.
+	Mixes int
+	// Waste is W, the number of droplets discarded at the end of the run.
+	Waste int64
+	// Inputs is I[], input droplets consumed per fluid.
+	Inputs []int64
+	// InputTotal is I = sum(Inputs).
+	InputTotal int64
+	// Targets is the number of emitted target droplets (2 per tree).
+	Targets int
+	// Reuses counts cross-tree waste reuses (brown nodes in Figs. 1-2).
+	Reuses int
+}
+
+// Stats computes the forest's aggregate statistics.
+func (f *Forest) Stats() Stats {
+	s := Stats{
+		Trees:   len(f.Trees),
+		Mixes:   len(f.Tasks),
+		Inputs:  make([]int64, f.Base.Target.N()),
+		Targets: 2 * len(f.Trees),
+	}
+	for _, t := range f.Tasks {
+		for _, src := range t.In {
+			if src.Kind == Input {
+				s.Inputs[src.Fluid]++
+				s.InputTotal++
+			} else if src.Reused {
+				s.Reuses++
+			}
+		}
+		s.Waste += int64(t.FreeOutputs())
+	}
+	return s
+}
+
+// Validate checks the forest's structural invariants: exact CF arithmetic at
+// every task, tag-correct waste reuse, output-consumption bounds, droplet
+// conservation and topological ordering. It returns nil for forests produced
+// by Build/Builder; it exists so tests (and downstream users constructing
+// forests manually) can prove correctness rather than assume it.
+func (f *Forest) Validate() error {
+	n := f.Base.Target.N()
+	seen := make(map[*Task]int, len(f.Tasks))
+	for i, t := range f.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("forest: task %d has ID %d", i, t.ID)
+		}
+		seen[t] = i
+		for _, src := range t.In {
+			switch src.Kind {
+			case Input:
+				if src.Fluid < 0 || src.Fluid >= n {
+					return fmt.Errorf("forest: task %d consumes unknown fluid %d", i, src.Fluid)
+				}
+			case FromTask:
+				j, ok := seen[src.Task]
+				if !ok {
+					return fmt.Errorf("forest: task %d consumes a task outside the forest or after itself", i)
+				}
+				if j >= i {
+					return fmt.Errorf("forest: task %d consumes task %d out of topological order", i, j)
+				}
+			default:
+				return fmt.Errorf("forest: task %d has invalid source kind %d", i, src.Kind)
+			}
+		}
+		if want := ratio.Mix(t.In[0].Vec(n), t.In[1].Vec(n)); !t.Vec.Equal(want) {
+			return fmt.Errorf("forest: task %d vector %v, inputs average %v", i, t.Vec, want)
+		}
+		if !t.Vec.Equal(t.Base.Vec) {
+			return fmt.Errorf("forest: task %d vector %v does not match its base node %v", i, t.Vec, t.Base.Vec)
+		}
+		if t.Targets+len(t.consumers) > 2 {
+			return fmt.Errorf("forest: task %d outputs over-consumed (%d targets + %d consumers)",
+				i, t.Targets, len(t.consumers))
+		}
+	}
+	for _, tree := range f.Trees {
+		if tree.Root == nil {
+			return fmt.Errorf("forest: tree %d has no root", tree.Index)
+		}
+		if tree.Root.Targets != 2 {
+			return fmt.Errorf("forest: tree %d root emits %d targets, want 2", tree.Index, tree.Root.Targets)
+		}
+		want := tree.Want
+		if want.IsZero() {
+			want = f.Base.Target.Vector()
+		}
+		if !tree.Root.Vec.Equal(want) {
+			return fmt.Errorf("forest: tree %d root vector %v, want target %v", tree.Index, tree.Root.Vec, want)
+		}
+	}
+	// Droplet conservation: every droplet dispensed ends as a target or as
+	// waste; mixes preserve droplet count.
+	s := f.Stats()
+	if s.InputTotal != int64(s.Targets)+s.Waste {
+		return fmt.Errorf("forest: conservation violated: I=%d, targets=%d, W=%d",
+			s.InputTotal, s.Targets, s.Waste)
+	}
+	return nil
+}

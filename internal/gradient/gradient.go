@@ -1,0 +1,112 @@
+// Package gradient plans dilution gradients: streams of droplets at several
+// concentration factors of one sample, the workload of drug-susceptibility
+// and dose-response assays. A gradient is the sweet spot for the
+// multi-target mixing forest (forest.BuildMulti): neighbouring CFs share
+// long prefixes of their dilution chains, so the combined forest's
+// vector-keyed waste pool removes most duplicate mixing work compared with
+// planning each concentration independently.
+package gradient
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dilution"
+	"repro/internal/ratio"
+	"repro/internal/stream"
+)
+
+// Step is one gradient point.
+type Step struct {
+	// Target is the concentration c/2^d.
+	Target dilution.Target
+	// Demand is the droplet count wanted at this concentration.
+	Demand int
+}
+
+// Plan is a scheduled gradient.
+type Plan struct {
+	// Steps echoes the request, sorted by decreasing concentration.
+	Steps []Step
+	// Multi is the underlying combined multi-target plan.
+	Multi *core.MultiPlan
+	// SampleUsed and BufferUsed count input droplets by kind.
+	SampleUsed, BufferUsed int64
+	// IndependentInputs is the total input cost of planning each step as
+	// its own forest; the combined plan never exceeds it.
+	IndependentInputs int64
+}
+
+// Errors.
+var (
+	ErrNoSteps = errors.New("gradient: no steps")
+)
+
+// Serial builds the classic two-fold serial-dilution gradient: CFs 1/2,
+// 1/4, ..., 1/2^n at accuracy depth n.
+func Serial(n, demandPer int) ([]Step, error) {
+	if n < 1 || n > ratio.MaxDepth {
+		return nil, fmt.Errorf("gradient: bad series length %d", n)
+	}
+	steps := make([]Step, 0, n)
+	for k := 1; k <= n; k++ {
+		steps = append(steps, Step{
+			Target: dilution.Target{Num: int64(1) << uint(n-k), Depth: n},
+			Demand: demandPer,
+		})
+	}
+	return steps, nil
+}
+
+// Build plans the gradient on mc mixers (0 = automatic) with the given
+// scheduler.
+func Build(steps []Step, mc int, scheduler stream.Scheduler) (*Plan, error) {
+	if len(steps) == 0 {
+		return nil, ErrNoSteps
+	}
+	sorted := append([]Step(nil), steps...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Target.CF() > sorted[j].Target.CF()
+	})
+	reqs := make([]core.MultiRequest, 0, len(sorted))
+	for _, s := range sorted {
+		r, err := s.Target.Ratio()
+		if err != nil {
+			return nil, fmt.Errorf("gradient: CF %d/2^%d: %w", s.Target.Num, s.Target.Depth, err)
+		}
+		if s.Demand < 1 {
+			return nil, fmt.Errorf("gradient: CF %d/2^%d: demand %d", s.Target.Num, s.Target.Depth, s.Demand)
+		}
+		reqs = append(reqs, core.MultiRequest{Target: r, Demand: s.Demand})
+	}
+	multi, err := core.PlanMulti(reqs, core.MM, mc, scheduler)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Steps: sorted, Multi: multi, IndependentInputs: multi.IndependentInputs}
+	st := multi.Forest.Stats()
+	p.SampleUsed = st.Inputs[0]
+	p.BufferUsed = st.Inputs[1]
+	return p, nil
+}
+
+// Sharing reports how many input droplets the combined plan saves against
+// independent per-concentration planning.
+func (p *Plan) Sharing() int64 {
+	return p.IndependentInputs - (p.SampleUsed + p.BufferUsed)
+}
+
+// Format renders the gradient plan.
+func (p *Plan) Format() string {
+	out := fmt.Sprintf("dilution gradient: %d concentrations, Tc=%d on %d mixers, q=%d\n",
+		len(p.Steps), p.Multi.Schedule.Cycles, p.Multi.Schedule.Mixers, p.Multi.Storage)
+	for i, s := range p.Steps {
+		out += fmt.Sprintf("  CF %5d/%d = %.4f: %d droplets (emitted %d)\n",
+			s.Target.Num, int64(1)<<uint(s.Target.Depth), s.Target.CF(), s.Demand, p.Multi.Emitted[i])
+	}
+	out += fmt.Sprintf("inputs: %d sample + %d buffer (independent planning: %d; sharing saves %d)\n",
+		p.SampleUsed, p.BufferUsed, p.IndependentInputs, p.Sharing())
+	return out
+}

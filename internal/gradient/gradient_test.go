@@ -1,0 +1,112 @@
+package gradient
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dilution"
+	"repro/internal/stream"
+)
+
+func TestSerialSeries(t *testing.T) {
+	steps, err := Serial(4, 8)
+	if err != nil {
+		t.Fatalf("Serial: %v", err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	// CFs: 8/16, 4/16, 2/16, 1/16.
+	want := []int64{8, 4, 2, 1}
+	for i, s := range steps {
+		if s.Target.Num != want[i] || s.Target.Depth != 4 {
+			t.Errorf("step %d: %d/2^%d", i, s.Target.Num, s.Target.Depth)
+		}
+	}
+	if _, err := Serial(0, 4); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestBuildSerialGradient(t *testing.T) {
+	steps, _ := Serial(4, 8)
+	p, err := Build(steps, 0, stream.MMS)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := p.Multi.Forest.Validate(); err != nil {
+		t.Fatalf("forest: %v", err)
+	}
+	if err := p.Multi.Schedule.Validate(); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	for i := range steps {
+		if p.Multi.Emitted[i] < steps[i].Demand {
+			t.Errorf("CF %d under-emitted: %d < %d", i, p.Multi.Emitted[i], steps[i].Demand)
+		}
+	}
+	// Never worse than independent planning.
+	if p.Sharing() < 0 {
+		t.Errorf("combined plan worse than independent (independent %d, combined %d)",
+			p.IndependentInputs, p.SampleUsed+p.BufferUsed)
+	}
+}
+
+func TestSharingOnPartialDemands(t *testing.T) {
+	// With demands of 2 droplets per CF, every independent forest leaves
+	// waste (D < 2^d); the combined pool turns the 1/16 chain's spills into
+	// the shallower targets, so sharing must be strictly positive.
+	steps, _ := Serial(4, 2)
+	p, err := Build(steps, 0, stream.MMS)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Sharing() <= 0 {
+		t.Errorf("no sharing on partial demands (independent %d, combined %d)",
+			p.IndependentInputs, p.SampleUsed+p.BufferUsed)
+	}
+	t.Logf("serial gradient, 2 droplets per CF: %d sample + %d buffer, saves %d vs independent",
+		p.SampleUsed, p.BufferUsed, p.Sharing())
+}
+
+func TestBuildUnsortedSteps(t *testing.T) {
+	steps := []Step{
+		{Target: dilution.Target{Num: 1, Depth: 4}, Demand: 4},
+		{Target: dilution.Target{Num: 8, Depth: 4}, Demand: 4},
+	}
+	p, err := Build(steps, 0, stream.SRS)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Steps[0].Target.Num != 8 {
+		t.Error("steps not sorted by decreasing CF")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 0, stream.MMS); err == nil {
+		t.Error("empty gradient accepted")
+	}
+	bad := []Step{{Target: dilution.Target{Num: 0, Depth: 4}, Demand: 4}}
+	if _, err := Build(bad, 0, stream.MMS); err == nil {
+		t.Error("CF 0 accepted")
+	}
+	neg := []Step{{Target: dilution.Target{Num: 3, Depth: 4}, Demand: 0}}
+	if _, err := Build(neg, 0, stream.MMS); err == nil {
+		t.Error("zero demand accepted")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	steps, _ := Serial(3, 4)
+	p, err := Build(steps, 2, stream.MMS)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	out := p.Format()
+	for _, want := range []string{"dilution gradient", "0.5000", "sharing saves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

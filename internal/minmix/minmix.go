@@ -1,0 +1,74 @@
+// Package minmix implements the MM mixing algorithm of Thies et al.
+// ("Abstraction Layers for Scalable Microfluidic Biocomputing", Natural
+// Computing 2008), the canonical base mixing-tree builder used by the DAC
+// 2014 droplet-streaming paper as its primary baseline.
+//
+// MM works on the binary expansions of the ratio parts. For a target ratio
+// a1:...:aN with sum 2^d, a droplet of fluid i placed as a leaf below k mix
+// levels contributes a_i-weight 2^(d-k); so bit j of a_i demands one pure
+// droplet of fluid i entering at mix level j+1. The tree is assembled bottom
+// up: at level 1 the fluids with bit 0 set are paired and mixed; at each
+// higher level the carried intermediate droplets and the fresh leaves for
+// that bit are paired again, until a single droplet — the target — remains.
+// The count at every level is even, a consequence of sum(a_i) = 2^d.
+package minmix
+
+import (
+	"fmt"
+
+	"repro/internal/mixgraph"
+	"repro/internal/ratio"
+)
+
+// Name is the algorithm identifier used across the repository.
+const Name = "MM"
+
+// Build constructs the MM mixing tree for the target ratio. The resulting
+// tree has exactly one leaf per set bit of each ratio part and depth equal to
+// the normalized accuracy level of the ratio.
+func Build(target ratio.Ratio) (*mixgraph.Graph, error) {
+	r := target.Normalized()
+	d := r.Depth()
+	if r.N() < 2 || d == 0 {
+		return nil, fmt.Errorf("minmix: ratio %v needs no mixing", target)
+	}
+
+	b := mixgraph.NewBuilder(target)
+	var carry []*mixgraph.Node
+	for level := 1; level <= d; level++ {
+		bit := uint(level - 1)
+		pool := carry
+		for i := 0; i < r.N(); i++ {
+			if r.Part(i)>>bit&1 == 1 {
+				pool = append(pool, b.Leaf(i))
+			}
+		}
+		if len(pool)%2 != 0 {
+			return nil, fmt.Errorf("minmix: internal error: odd pool (%d) at level %d for %v", len(pool), level, target)
+		}
+		carry = make([]*mixgraph.Node, 0, len(pool)/2)
+		for i := 0; i+1 < len(pool); i += 2 {
+			carry = append(carry, b.Mix(pool[i], pool[i+1]))
+		}
+	}
+	if len(carry) != 1 {
+		return nil, fmt.Errorf("minmix: internal error: %d droplets remain for %v", len(carry), target)
+	}
+	return b.Build(carry[0], Name)
+}
+
+// InputCount returns the number of input droplets the MM tree for r uses:
+// the total popcount of the normalized ratio parts. It matches
+// Build(r).Stats().InputTotal without constructing the tree.
+func InputCount(r ratio.Ratio) int64 {
+	n := r.Normalized()
+	var total int64
+	for i := 0; i < n.N(); i++ {
+		v := n.Part(i)
+		for v != 0 {
+			total += v & 1
+			v >>= 1
+		}
+	}
+	return total
+}

@@ -1,0 +1,148 @@
+package minmix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ratio"
+)
+
+func TestPCRTree(t *testing.T) {
+	// Fig. 1 of the paper: MM tree for 2:1:1:1:1:1:9 has 7 mix-splits,
+	// 8 input droplets ([1,1,1,1,1,1,2]) and depth 4.
+	g, err := Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := g.Stats()
+	if s.Mixes != 7 {
+		t.Errorf("Tms = %d, want 7", s.Mixes)
+	}
+	if s.Depth != 4 {
+		t.Errorf("depth = %d, want 4", s.Depth)
+	}
+	if s.InputTotal != 8 {
+		t.Errorf("I = %d, want 8", s.InputTotal)
+	}
+	want := []int64{1, 1, 1, 1, 1, 1, 2}
+	for i, w := range want {
+		if s.Inputs[i] != w {
+			t.Errorf("I[%d] = %d, want %d", i, s.Inputs[i], w)
+		}
+	}
+	if s.Waste != 6 {
+		t.Errorf("W = %d, want 6", s.Waste)
+	}
+}
+
+func TestLevelWidthsPCR(t *testing.T) {
+	// The paper states Mlb = 3 for the PCR MM tree; the widest level has
+	// three mixes (m15, m16, m17 at level 1).
+	g, err := Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	w := g.LevelWidths()
+	max := 0
+	for _, x := range w {
+		if x > max {
+			max = x
+		}
+	}
+	if max != 3 {
+		t.Errorf("max level width = %d, want 3", max)
+	}
+}
+
+func TestTwoFluidDilution(t *testing.T) {
+	// Dilution is the N=2 special case. 1:3 (d=2): leaves x1@bit0? 1=01,
+	// 3=11 -> level1: x1,x2 mix; level2: that + x2 -> root. 3 leaves, 2 mixes.
+	g, err := Build(ratio.MustNew(1, 3))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := g.Stats()
+	if s.Mixes != 2 || s.InputTotal != 3 || s.Depth != 2 {
+		t.Errorf("got Tms=%d I=%d depth=%d, want 2, 3, 2", s.Mixes, s.InputTotal, s.Depth)
+	}
+}
+
+func TestNonNormalizedRatio(t *testing.T) {
+	// 2:2 must build the same tree as 1:1 (one mix of the two fluids).
+	g, err := Build(ratio.MustNew(2, 2))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := g.Stats()
+	if s.Mixes != 1 || s.InputTotal != 2 || s.Depth != 1 {
+		t.Errorf("got Tms=%d I=%d depth=%d, want 1, 2, 1", s.Mixes, s.InputTotal, s.Depth)
+	}
+}
+
+func TestTable2InputCounts(t *testing.T) {
+	// Table 2 of the paper: RMM input usage is ceil(D/2) * popcount-sum of
+	// the example ratios at L=256 (D=32 -> 16 passes). Column A: Ex.1 272,
+	// Ex.2 144, Ex.3 432, Ex.4 208, Ex.5 304 => per-pass 17, 9, 27, 13, 19.
+	cases := []struct {
+		ratio string
+		want  int64
+	}{
+		{"26:21:2:2:3:3:199", 17},
+		{"128:123:5", 9},
+		{"25:5:5:5:5:13:13:25:1:159", 27},
+		{"9:17:26:9:195", 13},
+		{"57:28:6:6:6:3:150", 19},
+	}
+	for _, c := range cases {
+		r := ratio.MustParse(c.ratio)
+		if got := InputCount(r); got != c.want {
+			t.Errorf("InputCount(%s) = %d, want %d", c.ratio, got, c.want)
+		}
+		g, err := Build(r)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", c.ratio, err)
+		}
+		if got := g.Stats().InputTotal; got != c.want {
+			t.Errorf("Build(%s).InputTotal = %d, want %d", c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Build(ratio.MustNew(4)); err == nil {
+		t.Error("single-fluid ratio accepted")
+	}
+}
+
+func TestQuickRandomRatios(t *testing.T) {
+	// Any valid ratio yields a validated tree with I = popcount sum,
+	// Tms = I - 1 (binary tree) and depth <= normalized d.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(11)
+		parts := make([]int64, n)
+		for i := range parts {
+			parts[i] = 1
+		}
+		for rest := 32 - n; rest > 0; rest-- {
+			parts[rng.Intn(n)]++
+		}
+		r, err := ratio.New(parts...)
+		if err != nil {
+			return false
+		}
+		g, err := Build(r)
+		if err != nil {
+			return false
+		}
+		s := g.Stats()
+		return s.InputTotal == InputCount(r) &&
+			int64(s.Mixes) == s.InputTotal-1 &&
+			s.Depth <= r.Normalized().Depth() &&
+			s.Waste == s.InputTotal-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

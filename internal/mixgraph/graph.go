@@ -1,0 +1,258 @@
+// Package mixgraph provides the (1:1) mix-split task-graph substrate shared
+// by all base mixing algorithms (MM, RMA, MTCS) of Roy et al., DAC 2014.
+//
+// A Graph describes one pass of mixture preparation: leaf nodes dispense unit
+// droplets of input fluids at CF 100%, and every Mix node merges the output
+// droplets of its two children and splits the result into two identical unit
+// droplets. Each node therefore offers exactly two output droplets. In a
+// plain mixing tree (MM, RMA) one output of every interior node feeds its
+// parent and the other is waste; algorithms with common-subtree sharing
+// (MTCS) may consume both outputs, making the graph a DAG. The root's two
+// outputs are the pass's two target droplets.
+package mixgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ratio"
+)
+
+// Kind discriminates graph nodes.
+type Kind int8
+
+const (
+	// Leaf dispenses a fresh unit droplet of one input fluid.
+	Leaf Kind = iota
+	// Mix is a (1:1) mix-split operation on two child droplets.
+	Mix
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Leaf:
+		return "leaf"
+	case Mix:
+		return "mix"
+	default:
+		return fmt.Sprintf("Kind(%d)", int8(k))
+	}
+}
+
+// Node is one vertex of a mix-split graph. Nodes are created through a
+// Builder and are immutable afterwards.
+type Node struct {
+	// ID is the node's index in Graph.Nodes (children precede parents).
+	ID int
+	// Kind says whether the node dispenses an input droplet or mixes.
+	Kind Kind
+	// Fluid is the input-fluid index for Leaf nodes (0-based), -1 for Mix.
+	Fluid int
+	// Children are the two droplet sources of a Mix node (nil for leaves).
+	// Each child reference consumes exactly one of the child's two outputs.
+	Children [2]*Node
+	// Level is the structural level: leaves at level 0 and a mix at one more
+	// than its highest child, i.e. the longest mix chain below the node.
+	// The root of a depth-d graph is at level d.
+	Level int
+	// PosLevel is the paper's positional level, assigned top-down: the root
+	// at Level d, every child one below its parent. It differs from Level
+	// for shallow subtrees hanging high in the tree (e.g. a leaf-leaf mix
+	// directly under the root has Level 1 but PosLevel d-1). For shared
+	// nodes (two parents) the smaller candidate — the more urgent one — is
+	// kept. Scheduling policies use PosLevel; set by Builder.Build.
+	PosLevel int
+	// Vec is the node's exact CF vector.
+	Vec ratio.Vector
+
+	parents []*Node
+}
+
+// IsLeaf reports whether n dispenses an input droplet.
+func (n *Node) IsLeaf() bool { return n.Kind == Leaf }
+
+// outputs returns how many droplets the node offers: a leaf dispenses one
+// unit droplet, a mix-split yields two.
+func (n *Node) outputs() int {
+	if n.Kind == Leaf {
+		return 1
+	}
+	return 2
+}
+
+// Parents returns the mix nodes consuming this node's outputs (0, 1 or 2).
+func (n *Node) Parents() []*Node { return n.parents }
+
+// Graph is a complete one-pass mix-split task graph for a target ratio.
+type Graph struct {
+	// Target is the mixture the pass prepares.
+	Target ratio.Ratio
+	// Root is the mix node whose two outputs are the target droplets.
+	Root *Node
+	// Nodes lists every node in topological order (children first).
+	Nodes []*Node
+	// Algorithm names the base algorithm that built the graph ("MM", ...).
+	Algorithm string
+}
+
+// Builder constructs a Graph incrementally. The zero value is not usable;
+// call NewBuilder.
+type Builder struct {
+	target ratio.Ratio
+	nodes  []*Node
+}
+
+// NewBuilder returns a builder for a mix-split graph targeting r.
+func NewBuilder(r ratio.Ratio) *Builder {
+	return &Builder{target: r}
+}
+
+// Leaf adds a fresh input-droplet node for the given fluid index.
+func (b *Builder) Leaf(fluid int) *Node {
+	if fluid < 0 || fluid >= b.target.N() {
+		panic(fmt.Sprintf("mixgraph: leaf fluid %d out of range [0,%d)", fluid, b.target.N()))
+	}
+	n := &Node{
+		ID:    len(b.nodes),
+		Kind:  Leaf,
+		Fluid: fluid,
+		Level: 0,
+		Vec:   ratio.Unit(fluid, b.target.N()),
+	}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// Mix adds a (1:1) mix-split node over droplets from l and r. Each call
+// consumes one output of each operand; an operand with both outputs already
+// consumed panics (builders control their own operand reuse).
+func (b *Builder) Mix(l, r *Node) *Node {
+	for _, c := range []*Node{l, r} {
+		if c == nil {
+			panic("mixgraph: Mix with nil child")
+		}
+		if len(c.parents) >= c.outputs() {
+			panic(fmt.Sprintf("mixgraph: node %d already has all outputs consumed", c.ID))
+		}
+	}
+	lvl := l.Level
+	if r.Level > lvl {
+		lvl = r.Level
+	}
+	n := &Node{
+		ID:       len(b.nodes),
+		Kind:     Mix,
+		Fluid:    -1,
+		Children: [2]*Node{l, r},
+		Level:    lvl + 1,
+		Vec:      ratio.Mix(l.Vec, r.Vec),
+	}
+	l.parents = append(l.parents, n)
+	r.parents = append(r.parents, n)
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// Build finalises the graph with the given root and verifies every
+// structural invariant. The builder must not be reused afterwards.
+func (b *Builder) Build(root *Node, algorithm string) (*Graph, error) {
+	g := &Graph{Target: b.target, Root: root, Nodes: b.nodes, Algorithm: algorithm}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.assignPosLevels()
+	return g, nil
+}
+
+// assignPosLevels computes positional levels top-down from the root.
+func (g *Graph) assignPosLevels() {
+	for _, n := range g.Nodes {
+		n.PosLevel = 0
+	}
+	g.Root.PosLevel = g.Root.Level
+	// Nodes are topologically ordered (children before parents), so a
+	// reverse sweep sees every parent before its children.
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		if n.Kind != Mix {
+			continue
+		}
+		for _, c := range n.Children {
+			if c.PosLevel == 0 || n.PosLevel-1 < c.PosLevel {
+				c.PosLevel = n.PosLevel - 1
+			}
+		}
+	}
+}
+
+// Validation errors.
+var (
+	ErrNoRoot       = errors.New("mixgraph: nil root")
+	ErrRootConsumed = errors.New("mixgraph: root outputs must be targets, not inputs to other mixes")
+	ErrRootNotMix   = errors.New("mixgraph: root must be a mix node")
+	ErrWrongTarget  = errors.New("mixgraph: root CF vector does not match the target ratio")
+	ErrUnreachable  = errors.New("mixgraph: node unreachable from root")
+	ErrBadTopology  = errors.New("mixgraph: nodes not in topological order")
+	ErrBadVector    = errors.New("mixgraph: mix vector is not the average of its children")
+	ErrOverConsumed = errors.New("mixgraph: node output consumed more than twice")
+)
+
+// Validate checks the full set of graph invariants: topological node order,
+// exact CF arithmetic at every mix, output-consumption bounds, root identity
+// with the target ratio and reachability of every node.
+func (g *Graph) Validate() error {
+	if g.Root == nil {
+		return ErrNoRoot
+	}
+	if g.Root.Kind != Mix {
+		return ErrRootNotMix
+	}
+	if len(g.Root.parents) != 0 {
+		return ErrRootConsumed
+	}
+	if !g.Root.Vec.Equal(g.Target.Vector()) {
+		return fmt.Errorf("%w: root %v, target %v", ErrWrongTarget, g.Root.Vec, g.Target.Vector())
+	}
+	reach := make([]bool, len(g.Nodes))
+	stack := []*Node{g.Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.ID < 0 || n.ID >= len(g.Nodes) || g.Nodes[n.ID] != n {
+			return fmt.Errorf("mixgraph: node ID %d inconsistent with node list", n.ID)
+		}
+		if reach[n.ID] {
+			continue
+		}
+		reach[n.ID] = true
+		if n.Kind == Mix {
+			stack = append(stack, n.Children[0], n.Children[1])
+		}
+	}
+	for i, n := range g.Nodes {
+		if !reach[i] {
+			return fmt.Errorf("%w: node %d", ErrUnreachable, i)
+		}
+		if len(n.parents) > n.outputs() {
+			return fmt.Errorf("%w: node %d", ErrOverConsumed, i)
+		}
+		if n.Kind == Mix {
+			for _, c := range n.Children {
+				if c.ID >= n.ID {
+					return fmt.Errorf("%w: mix %d before child %d", ErrBadTopology, n.ID, c.ID)
+				}
+			}
+			if want := ratio.Mix(n.Children[0].Vec, n.Children[1].Vec); !n.Vec.Equal(want) {
+				return fmt.Errorf("%w: node %d has %v, children average %v", ErrBadVector, n.ID, n.Vec, want)
+			}
+			wantLvl := n.Children[0].Level
+			if n.Children[1].Level > wantLvl {
+				wantLvl = n.Children[1].Level
+			}
+			if n.Level != wantLvl+1 {
+				return fmt.Errorf("mixgraph: node %d level %d, want %d", n.ID, n.Level, wantLvl+1)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package mixgraph
+
+// Stats summarises the single-pass cost of a base mix-split graph in the
+// paper's notation.
+type Stats struct {
+	// Mixes is Tms for one pass: the number of (1:1) mix-split operations.
+	Mixes int
+	// Inputs counts input droplets per fluid (the paper's I[] for one pass).
+	Inputs []int64
+	// InputTotal is the total number of input droplets (the paper's I).
+	InputTotal int64
+	// Waste is W for one pass. By droplet conservation it always equals
+	// InputTotal - 2 (two outputs of the root are targets).
+	Waste int64
+	// Depth is the level of the root node.
+	Depth int
+	// Shared counts mix nodes with both outputs consumed in-pass (common
+	// subtrees; zero for plain trees such as MM and RMA).
+	Shared int
+}
+
+// Stats computes the single-pass statistics of g.
+func (g *Graph) Stats() Stats {
+	s := Stats{Inputs: make([]int64, g.Target.N()), Depth: g.Root.Level}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Leaf:
+			s.Inputs[n.Fluid]++
+			s.InputTotal++
+		case Mix:
+			s.Mixes++
+			if len(n.parents) == 2 {
+				s.Shared++
+			}
+		}
+	}
+	// Count waste directly (unconsumed outputs of non-root mixes); in a
+	// validated graph this always equals InputTotal - 2 by conservation.
+	for _, n := range g.Nodes {
+		if n.Kind == Mix && n != g.Root {
+			s.Waste += int64(2 - len(n.parents))
+		}
+	}
+	return s
+}
+
+// Wastes lists the non-root mix nodes with at least one unconsumed output,
+// i.e. the droplets a single pass discards. These are exactly the droplets
+// the paper's mixing forest recycles. Nodes appear in topological order; a
+// node with two free outputs appears twice.
+func (g *Graph) Wastes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind != Mix || n == g.Root {
+			continue
+		}
+		for k := len(n.parents); k < 2; k++ {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MixNodes returns all mix nodes in topological order.
+func (g *Graph) MixNodes() []*Node {
+	out := make([]*Node, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == Mix {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LevelWidths returns, for positional levels 1..Depth, the number of mix
+// nodes at each level (index 0 corresponds to level 1). Scheduling every
+// node at its positional level is always feasible, so the maximum width is
+// an upper bound on the mixers needed for completion in Depth cycles.
+func (g *Graph) LevelWidths() []int {
+	w := make([]int, g.Root.Level)
+	for _, n := range g.Nodes {
+		if n.Kind == Mix {
+			w[n.PosLevel-1]++
+		}
+	}
+	return w
+}

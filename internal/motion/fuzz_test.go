@@ -1,0 +1,180 @@
+package motion
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+)
+
+// randomLayout builds a random lattice floorplan with mixers (with exits),
+// reservoirs, storage cells, a waste reservoir and an output port.
+func randomLayout(rng *rand.Rand) (*chip.Layout, error) {
+	cols := 3 + rng.Intn(3)
+	rows := 3 + rng.Intn(2)
+	type pos struct{ c, r int }
+	var free []pos
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			free = append(free, pos{c, r})
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	take := func() pos {
+		p := free[0]
+		free = free[1:]
+		return p
+	}
+	var slots []chip.Slot
+	nMix := 2 + rng.Intn(2)
+	nRes0 := 2 + rng.Intn(3)
+	if nMix+nRes0+3 > len(free) {
+		return nil, fmt.Errorf("lattice too small")
+	}
+	for i := 0; i < nMix; i++ {
+		p := take()
+		slots = append(slots, chip.Slot{Col: p.c, Row: p.r, Kind: chip.Mixer, Name: fmt.Sprintf("M%d", i+1)})
+	}
+	for i := 0; i < nRes0; i++ {
+		p := take()
+		slots = append(slots, chip.Slot{Col: p.c, Row: p.r, Kind: chip.Reservoir, Name: fmt.Sprintf("R%d", i+1), Fluid: i})
+	}
+	p := take()
+	slots = append(slots, chip.Slot{Col: p.c, Row: p.r, Kind: chip.Storage, Name: "q1"})
+	p = take()
+	slots = append(slots, chip.Slot{Col: p.c, Row: p.r, Kind: chip.Waste, Name: "W1"})
+	p = take()
+	slots = append(slots, chip.Slot{Col: p.c, Row: p.r, Kind: chip.Output, Name: "OUT"})
+	return chip.NewLatticeLayout(cols, rows, slots)
+}
+
+// randomMoves builds a plausible single-cycle move set over the layout.
+func randomMoves(rng *rand.Rand, l *chip.Layout) []exec.Move {
+	mixers := l.OfKind(chip.Mixer)
+	reservoirs := l.OfKind(chip.Reservoir)
+	var moves []exec.Move
+	n := 2 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		m := mixers[rng.Intn(len(mixers))]
+		switch rng.Intn(3) {
+		case 0: // dispense
+			r := reservoirs[rng.Intn(len(reservoirs))]
+			moves = append(moves, exec.Move{Cycle: 1, From: r.Name, To: m.Name, Purpose: exec.Dispense})
+		case 1: // transfer
+			m2 := mixers[rng.Intn(len(mixers))]
+			moves = append(moves, exec.Move{Cycle: 1, From: m.Name, To: m2.Name, Purpose: exec.Transfer})
+		default: // fetch from storage
+			moves = append(moves, exec.Move{Cycle: 1, From: "q1", To: m.Name, Purpose: exec.Fetch})
+		}
+	}
+	return moves
+}
+
+// checkRoutes revalidates the fluidic constraints of one routed cycle.
+func checkRoutes(l *chip.Layout, cyc CycleResult) error {
+	blocked := l.Blocked()
+	at := func(i, t int) (chip.Point, bool) {
+		r := cyc.Routes[i]
+		if len(r.Steps) <= 1 { // in-module hand-off
+			return chip.Point{}, false
+		}
+		if t < r.Start || t > r.Arrival() {
+			return chip.Point{}, false
+		}
+		return r.Steps[t-r.Start], true
+	}
+	for i, r := range cyc.Routes {
+		for k, p := range r.Steps {
+			if len(r.Steps) > 1 && blocked(p) {
+				return fmt.Errorf("droplet %d crosses a module at %v", i, p)
+			}
+			if k > 0 {
+				prev := r.Steps[k-1]
+				dx, dy := p.X-prev.X, p.Y-prev.Y
+				if dx*dx+dy*dy > 1 {
+					return fmt.Errorf("droplet %d jumps", i)
+				}
+			}
+		}
+	}
+	for t := 0; t <= cyc.Makespan; t++ {
+		for i := range cyc.Routes {
+			pi, ok := at(i, t)
+			if !ok {
+				continue
+			}
+			for j := i + 1; j < len(cyc.Routes); j++ {
+				for _, tt := range []int{t - 1, t, t + 1} {
+					pj, ok := at(j, tt)
+					if !ok {
+						continue
+					}
+					dx, dy := pi.X-pj.X, pi.Y-pj.Y
+					if dx < 0 {
+						dx = -dx
+					}
+					if dy < 0 {
+						dy = -dy
+					}
+					if dx <= 1 && dy <= 1 {
+						return fmt.Errorf("droplets %d and %d within margin at t=%d/%d", i, j, t, tt)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func TestQuickRandomLayoutsRouteSafely(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := randomLayout(rng)
+		if err != nil {
+			return true // rejected layout (e.g. not enough slots); skip
+		}
+		moves := randomMoves(rng, l)
+		plan := &exec.Plan{Moves: moves}
+		res, err := RoutePlan(plan, l)
+		if err != nil {
+			// Dense random traffic may genuinely saturate a tiny array;
+			// failing to route is acceptable, unsafe routing is not.
+			return true
+		}
+		for _, cyc := range res.Cycles {
+			if err := checkRoutes(l, cyc); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomLayoutsUsuallyRoutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	attempts, failures := 0, 0
+	for i := 0; i < 60; i++ {
+		l, err := randomLayout(rng)
+		if err != nil {
+			continue
+		}
+		moves := randomMoves(rng, l)
+		attempts++
+		if _, err := RoutePlan(&exec.Plan{Moves: moves}, l); err != nil {
+			failures++
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no layouts generated")
+	}
+	if failures*5 > attempts {
+		t.Errorf("router failed on %d/%d random instances", failures, attempts)
+	}
+}

@@ -1,0 +1,221 @@
+package motion
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+)
+
+func pcrPlan(t *testing.T, demand int) (*exec.Plan, *chip.Layout) {
+	t.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("minmix.Build: %v", err)
+	}
+	f, err := forest.Build(g, demand)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		t.Fatalf("SRS: %v", err)
+	}
+	l := chip.PCRLayout()
+	plan, err := exec.Execute(s, l)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return plan, l
+}
+
+func TestRoutePlanCompletes(t *testing.T) {
+	plan, layout := pcrPlan(t, 20)
+	res, err := RoutePlan(plan, layout)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	routed := 0
+	for _, c := range res.Cycles {
+		routed += len(c.Routes)
+	}
+	if routed != len(plan.Moves) {
+		t.Errorf("routed %d of %d moves", routed, len(plan.Moves))
+	}
+	if res.Makespan <= 0 || res.Serialized < res.Makespan {
+		t.Errorf("makespan %d, serialized %d", res.Makespan, res.Serialized)
+	}
+}
+
+func TestConcurrencyBeatsSerialization(t *testing.T) {
+	plan, layout := pcrPlan(t, 20)
+	res, err := RoutePlan(plan, layout)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	if res.Speedup() <= 1.2 {
+		t.Errorf("speedup = %.2f, expected clear win over serialized routing", res.Speedup())
+	}
+	t.Logf("concurrent %d vs serialized %d micro-steps (%.2fx)",
+		res.Makespan, res.Serialized, res.Speedup())
+}
+
+// TestFluidicConstraints revalidates every routed cycle independently:
+// trajectories stay on free electrodes, are 4-connected-or-waiting, and any
+// two droplets keep Chebyshev distance >= 2 at equal and adjacent
+// micro-steps while both are on the array.
+func TestFluidicConstraints(t *testing.T) {
+	plan, layout := pcrPlan(t, 20)
+	res, err := RoutePlan(plan, layout)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	blocked := layout.Blocked()
+	for _, cyc := range res.Cycles {
+		// position of droplet i at micro-step t, and whether it is on-array.
+		at := func(i, t int) (chip.Point, bool) {
+			r := cyc.Routes[i]
+			if t < r.Start || t > r.Arrival() {
+				return chip.Point{}, false
+			}
+			return r.Steps[t-r.Start], true
+		}
+		for i, r := range cyc.Routes {
+			for k, p := range r.Steps {
+				if blocked(p) {
+					t.Fatalf("cycle %d: droplet %d crosses a module at %v", cyc.Cycle, i, p)
+				}
+				if k > 0 {
+					prev := r.Steps[k-1]
+					dx, dy := p.X-prev.X, p.Y-prev.Y
+					if dx*dx+dy*dy > 1 {
+						t.Fatalf("cycle %d: droplet %d jumps from %v to %v", cyc.Cycle, i, prev, p)
+					}
+				}
+			}
+			if last := r.Steps[len(r.Steps)-1]; cyc.Routes[i].Move.To != "" {
+				_ = last
+			}
+		}
+		for tstep := 0; tstep <= cyc.Makespan; tstep++ {
+			for i := range cyc.Routes {
+				pi, oki := at(i, tstep)
+				if !oki {
+					continue
+				}
+				for j := i + 1; j < len(cyc.Routes); j++ {
+					for _, tt := range []int{tstep - 1, tstep, tstep + 1} {
+						pj, okj := at(j, tt)
+						if !okj {
+							continue
+						}
+						dx, dy := pi.X-pj.X, pi.Y-pj.Y
+						if dx < 0 {
+							dx = -dx
+						}
+						if dy < 0 {
+							dy = -dy
+						}
+						// The arriving droplet leaves the array at its port;
+						// a droplet at its own arrival instant is excused
+						// from the forward-looking check against later
+						// steps of others only if it has vanished: our
+						// model keeps it until Arrival inclusive, so the
+						// margin must hold up to that instant.
+						if dx <= 1 && dy <= 1 {
+							t.Fatalf("cycle %d: droplets %d and %d within margin at t=%d/%d (%v vs %v)",
+								cyc.Cycle, i, j, tstep, tt, pi, pj)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSameSourceSequentialInjection(t *testing.T) {
+	// Cycle 1 of the PCR forest dispenses several droplets; any two moves
+	// from the same reservoir must not overlap on the array.
+	plan, layout := pcrPlan(t, 20)
+	res, err := RoutePlan(plan, layout)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	for _, cyc := range res.Cycles {
+		bySource := map[string][]Route{}
+		for _, r := range cyc.Routes {
+			if r.Move.From == r.Move.To {
+				continue // in-module hand-off, never on the array
+			}
+			bySource[r.Move.From] = append(bySource[r.Move.From], r)
+		}
+		for src, rs := range bySource {
+			for i := 0; i < len(rs); i++ {
+				for j := i + 1; j < len(rs); j++ {
+					a, b := rs[i], rs[j]
+					if a.Start > b.Start {
+						a, b = b, a
+					}
+					if b.Start <= a.Arrival() {
+						t.Errorf("cycle %d: two droplets from %s overlap ([%d,%d] and [%d,%d])",
+							cyc.Cycle, src, a.Start, a.Arrival(), b.Start, b.Arrival())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoutesEndAtPorts(t *testing.T) {
+	plan, layout := pcrPlan(t, 8)
+	in := map[string]chip.Point{}
+	out := map[string]chip.Point{}
+	for _, m := range layout.Modules {
+		in[m.Name] = m.Port
+		out[m.Name] = m.Out()
+	}
+	res, err := RoutePlan(plan, layout)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	for _, cyc := range res.Cycles {
+		for _, r := range cyc.Routes {
+			if r.Move.From == r.Move.To {
+				// In-module hand-off: no array transport.
+				if len(r.Steps) != 1 {
+					t.Errorf("self-move %s has %d steps", r.Move.From, len(r.Steps))
+				}
+				continue
+			}
+			if r.Steps[0] != out[r.Move.From] {
+				t.Errorf("route starts at %v, want exit of %s", r.Steps[0], r.Move.From)
+			}
+			if r.Steps[len(r.Steps)-1] != in[r.Move.To] {
+				t.Errorf("route ends at %v, want port of %s", r.Steps[len(r.Steps)-1], r.Move.To)
+			}
+		}
+	}
+}
+
+func TestMakespanAtLeastLongestMove(t *testing.T) {
+	plan, layout := pcrPlan(t, 16)
+	res, err := RoutePlan(plan, layout)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	for _, cyc := range res.Cycles {
+		longest := 0
+		for _, r := range cyc.Routes {
+			if r.Move.Cost > longest {
+				longest = r.Move.Cost
+			}
+		}
+		if cyc.Makespan < longest {
+			t.Errorf("cycle %d makespan %d below longest move %d", cyc.Cycle, cyc.Makespan, longest)
+		}
+	}
+}

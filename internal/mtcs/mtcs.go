@@ -1,0 +1,118 @@
+// Package mtcs reconstructs the MTCS mixing algorithm of Kumar et al.
+// ("Efficient Mixture Preparation on Digital Microfluidic Biochips", IEEE
+// DDECS 2013), the reagent-efficient base mixing algorithm of the DAC 2014
+// droplet-streaming paper.
+//
+// The DAC 2014 paper uses MTCS as a black box characterised by lower input
+// usage than MM (Table 2: e.g. 15 vs. 17 droplets per pass for the PCR
+// master-mix at L=256). This package reconstructs that behaviour as "MM with
+// common-subtree sharing":
+//
+//  1. an MM-style bit-decomposition tree shape is planned with the pool at
+//     every level sorted by CF vector, so identical sub-mixtures become
+//     siblings and recur as identical subtrees;
+//  2. the shape is instantiated top-down with memoisation: when a needed
+//     sub-mixture was already produced by an earlier mix whose second output
+//     droplet is still unconsumed, that spare droplet is used instead of
+//     rebuilding the subtree.
+//
+// Both split outputs of a shared mix are consumed in-pass, so the result is
+// a DAG rather than a tree, with strictly fewer leaves and mix-splits than
+// MM whenever the ratio contains repeated sub-mixtures (e.g. several fluids
+// with equal parts). See DESIGN.md §4 for the substitution rationale.
+package mtcs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mixgraph"
+	"repro/internal/ratio"
+)
+
+// Name is the algorithm identifier used across the repository.
+const Name = "MTCS"
+
+// shape is a planned (not yet instantiated) mixing-tree node.
+type shape struct {
+	fluid    int // >= 0 for a leaf
+	children [2]*shape
+	vec      ratio.Vector
+	key      string
+}
+
+// Build constructs the MTCS mixing DAG for the target ratio.
+func Build(target ratio.Ratio) (*mixgraph.Graph, error) {
+	r := target.Normalized()
+	d := r.Depth()
+	if r.N() < 2 || d == 0 {
+		return nil, fmt.Errorf("mtcs: ratio %v needs no mixing", target)
+	}
+	root, err := planShape(r)
+	if err != nil {
+		return nil, err
+	}
+
+	b := mixgraph.NewBuilder(target)
+	avail := make(map[string][]*mixgraph.Node)
+	var need func(s *shape, isRoot bool) *mixgraph.Node
+	need = func(s *shape, isRoot bool) *mixgraph.Node {
+		if !isRoot {
+			if free := avail[s.key]; len(free) > 0 {
+				n := free[len(free)-1]
+				avail[s.key] = free[:len(free)-1]
+				return n
+			}
+		}
+		if s.fluid >= 0 {
+			return b.Leaf(s.fluid)
+		}
+		l := need(s.children[0], false)
+		rn := need(s.children[1], false)
+		m := b.Mix(l, rn)
+		if !isRoot {
+			// The second split output is spare: offer it for sharing.
+			avail[s.key] = append(avail[s.key], m)
+		}
+		return m
+	}
+	rootNode := need(root, true)
+	return b.Build(rootNode, Name)
+}
+
+// planShape builds the MM bit-decomposition shape with vector-sorted pools,
+// maximising adjacent identical sub-mixtures.
+func planShape(r ratio.Ratio) (*shape, error) {
+	d := r.Depth()
+	var carry []*shape
+	for level := 1; level <= d; level++ {
+		bit := uint(level - 1)
+		pool := append([]*shape(nil), carry...)
+		for i := 0; i < r.N(); i++ {
+			if r.Part(i)>>bit&1 == 1 {
+				v := ratio.Unit(i, r.N())
+				pool = append(pool, &shape{fluid: i, vec: v, key: v.Key()})
+			}
+		}
+		if len(pool)%2 != 0 {
+			return nil, fmt.Errorf("mtcs: internal error: odd pool (%d) at level %d for %v", len(pool), level, r)
+		}
+		// Sort by vector key so identical droplets pair with each other and
+		// identical pairs recur as identical subtrees.
+		sort.SliceStable(pool, func(i, j int) bool { return pool[i].key < pool[j].key })
+		carry = make([]*shape, 0, len(pool)/2)
+		for i := 0; i+1 < len(pool); i += 2 {
+			v := ratio.Mix(pool[i].vec, pool[i+1].vec)
+			carry = append(carry, &shape{
+				fluid:    -1,
+				children: [2]*shape{pool[i], pool[i+1]},
+				vec:      v,
+				key:      v.Key(),
+			})
+		}
+	}
+	if len(carry) != 1 {
+		return nil, fmt.Errorf("mtcs: internal error: %d droplets remain for %v", len(carry), r)
+	}
+	return carry[0], nil
+}

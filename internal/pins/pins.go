@@ -1,0 +1,183 @@
+// Package pins implements broadcast electrode addressing for
+// pin-constrained DMF biochips, following the idea of Huang, Ho and
+// Chakrabarty ("Reliability-Oriented Broadcast Electrode-Addressing for
+// Pin-Constrained Digital Microfluidic Biochips", ICCAD 2011) — reference
+// [10] of the DAC 2014 droplet-streaming paper. Direct addressing wires one
+// control pin per electrode, which does not scale; broadcast addressing
+// lets several electrodes share one pin whenever their actuation sequences
+// are compatible.
+//
+// From a concurrently routed plan (internal/motion) the package derives
+// each electrode's actuation sequence over the global micro-step timeline —
+// '1' when a droplet stands on the electrode, '0' when a droplet stands on
+// a neighbouring electrode (it must be grounded so the droplet is not torn
+// apart), don't-care otherwise — and greedily partitions electrodes into
+// pin groups whose merged sequences stay free of 1/0 clashes.
+package pins
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/motion"
+)
+
+// bit is one timeline constraint for an electrode.
+type bit byte
+
+const (
+	on  bit = '1' // must be actuated
+	off bit = '0' // must be grounded
+)
+
+// sequence maps global micro-step to a hard constraint; absent = don't care.
+type sequence map[int]bit
+
+// compatible reports whether two sequences can share one pin.
+func compatible(a, b sequence) bool {
+	// Iterate over the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for t, v := range a {
+		if w, ok := b[t]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// merge folds b into a.
+func merge(a, b sequence) {
+	for t, v := range b {
+		a[t] = v
+	}
+}
+
+// Assignment is a complete pin plan.
+type Assignment struct {
+	// Electrodes is the number of array electrodes the plan ever touches
+	// (actuated or grounded); untouched electrodes need no dedicated pin.
+	Electrodes int
+	// Pins is the number of control pins after broadcast grouping.
+	Pins int
+	// Groups lists the electrodes sharing each pin, deterministic order.
+	Groups [][]chip.Point
+}
+
+// Reduction returns Electrodes/Pins (>= 1); direct addressing gives 1.
+func (a *Assignment) Reduction() float64 {
+	if a.Pins == 0 {
+		return 1
+	}
+	return float64(a.Electrodes) / float64(a.Pins)
+}
+
+// ErrEmpty reports a plan with no droplet motion to address.
+var ErrEmpty = errors.New("pins: no electrode activity in the routed plan")
+
+// Broadcast derives the pin assignment for a routed plan.
+func Broadcast(res *motion.Result, layout *chip.Layout) (*Assignment, error) {
+	seqs := rawSequences(res, layout)
+	if len(seqs) == 0 {
+		return nil, ErrEmpty
+	}
+
+	// Deterministic electrode order: row-major.
+	points := make([]chip.Point, 0, len(seqs))
+	for p := range seqs {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Y != points[j].Y {
+			return points[i].Y < points[j].Y
+		}
+		return points[i].X < points[j].X
+	})
+
+	// Greedy broadcast grouping (first-fit clique partition).
+	var groupSeqs []sequence
+	var groups [][]chip.Point
+	for _, p := range points {
+		s := seqs[p]
+		placed := false
+		for gi := range groupSeqs {
+			if compatible(groupSeqs[gi], s) {
+				merge(groupSeqs[gi], s)
+				groups[gi] = append(groups[gi], p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			gs := sequence{}
+			merge(gs, s)
+			groupSeqs = append(groupSeqs, gs)
+			groups = append(groups, []chip.Point{p})
+		}
+	}
+	return &Assignment{
+		Electrodes: len(points),
+		Pins:       len(groups),
+		Groups:     groups,
+	}, nil
+}
+
+// Verify independently rechecks the assignment against the routed plan: no
+// two electrodes in one group may ever demand opposite states.
+func Verify(a *Assignment, res *motion.Result, layout *chip.Layout) error {
+	seqs := rawSequences(res, layout)
+	for _, g := range a.Groups {
+		acc := sequence{}
+		for _, p := range g {
+			if !compatible(acc, seqs[p]) {
+				return errors.New("pins: incompatible electrodes share a pin")
+			}
+			merge(acc, seqs[p])
+		}
+	}
+	return nil
+}
+
+// rawSequences derives each electrode's constraint sequence on the global
+// micro-step timeline. A '1' (droplet on the electrode) dominates a
+// neighbour's '0'.
+func rawSequences(res *motion.Result, layout *chip.Layout) map[chip.Point]sequence {
+	seqs := map[chip.Point]sequence{}
+	constrain := func(p chip.Point, t int, v bit) {
+		if p.X < 0 || p.Y < 0 || p.X >= layout.Width || p.Y >= layout.Height {
+			return
+		}
+		s, ok := seqs[p]
+		if !ok {
+			s = sequence{}
+			seqs[p] = s
+		}
+		if s[t] != on {
+			s[t] = v
+		}
+	}
+	offset := 0
+	for _, cyc := range res.Cycles {
+		for _, r := range cyc.Routes {
+			if len(r.Steps) <= 1 {
+				continue
+			}
+			for k, p := range r.Steps {
+				t := offset + r.Start + k
+				constrain(p, t, on)
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						constrain(chip.Point{X: p.X + dx, Y: p.Y + dy}, t, off)
+					}
+				}
+			}
+		}
+		offset += cyc.Makespan + 1
+	}
+	return seqs
+}

@@ -1,0 +1,138 @@
+package pins
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/motion"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+)
+
+func routedPCR(t *testing.T, demand int) (*motion.Result, *chip.Layout) {
+	t.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("minmix.Build: %v", err)
+	}
+	f, err := forest.Build(g, demand)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		t.Fatalf("SRS: %v", err)
+	}
+	l := chip.PCRLayout()
+	plan, err := exec.Execute(s, l)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	res, err := motion.RoutePlan(plan, l)
+	if err != nil {
+		t.Fatalf("RoutePlan: %v", err)
+	}
+	return res, l
+}
+
+func TestBroadcastReducesPins(t *testing.T) {
+	res, layout := routedPCR(t, 20)
+	a, err := Broadcast(res, layout)
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if a.Pins >= a.Electrodes {
+		t.Errorf("no reduction: %d pins for %d electrodes", a.Pins, a.Electrodes)
+	}
+	if a.Reduction() < 1.5 {
+		t.Errorf("reduction %.2f, expected at least 1.5x on this workload", a.Reduction())
+	}
+	t.Logf("broadcast addressing: %d electrodes -> %d pins (%.2fx)", a.Electrodes, a.Pins, a.Reduction())
+}
+
+func TestBroadcastVerifies(t *testing.T) {
+	res, layout := routedPCR(t, 16)
+	a, err := Broadcast(res, layout)
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if err := Verify(a, res, layout); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesBadGrouping(t *testing.T) {
+	res, layout := routedPCR(t, 16)
+	a, err := Broadcast(res, layout)
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if a.Pins < 2 {
+		t.Skip("workload grouped into a single pin")
+	}
+	// Force all electrodes into one group: at least one 1/0 clash must be
+	// caught (an actuated electrode and its grounded neighbour).
+	var all []chip.Point
+	for _, g := range a.Groups {
+		all = append(all, g...)
+	}
+	bad := &Assignment{Electrodes: a.Electrodes, Pins: 1, Groups: [][]chip.Point{all}}
+	if err := Verify(bad, res, layout); err == nil {
+		t.Error("Verify accepted a one-pin grouping of the whole array")
+	}
+}
+
+func TestGroupsPartitionElectrodes(t *testing.T) {
+	res, layout := routedPCR(t, 16)
+	a, _ := Broadcast(res, layout)
+	seen := map[chip.Point]bool{}
+	count := 0
+	for _, g := range a.Groups {
+		for _, p := range g {
+			if seen[p] {
+				t.Fatalf("electrode %v in two groups", p)
+			}
+			seen[p] = true
+			count++
+		}
+	}
+	if count != a.Electrodes {
+		t.Errorf("groups hold %d electrodes, assignment says %d", count, a.Electrodes)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	res, layout := routedPCR(t, 8)
+	a1, _ := Broadcast(res, layout)
+	a2, _ := Broadcast(res, layout)
+	if a1.Pins != a2.Pins || a1.Electrodes != a2.Electrodes {
+		t.Errorf("non-deterministic: %d/%d vs %d/%d", a1.Pins, a1.Electrodes, a2.Pins, a2.Electrodes)
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	layout := chip.PCRLayout()
+	if _, err := Broadcast(&motion.Result{}, layout); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestCompatibleAndMerge(t *testing.T) {
+	a := sequence{1: on, 2: off}
+	b := sequence{2: off, 3: on}
+	if !compatible(a, b) {
+		t.Error("compatible sequences rejected")
+	}
+	c := sequence{1: off}
+	if compatible(a, c) {
+		t.Error("clashing sequences accepted")
+	}
+	merge(a, b)
+	if a[3] != on || a[1] != on {
+		t.Error("merge lost constraints")
+	}
+}

@@ -1,0 +1,112 @@
+// Package protocols collects the real-life bioprotocol mixtures the DAC 2014
+// droplet-streaming paper evaluates on: the PCR master-mix used throughout
+// its running example (Figs. 1-5, Table 4) and the five example ratios of
+// Table 2 (§6), all approximated on a scale of 256 in the paper.
+package protocols
+
+import "repro/internal/ratio"
+
+// Protocol is a named target mixture with its provenance.
+type Protocol struct {
+	// Key is the paper's identifier (e.g. "Ex.1").
+	Key string
+	// Name describes the bioassay.
+	Name string
+	// Source cites the paper's reference for the mixture.
+	Source string
+	// Ratio is the integer target ratio (ratio-sum a power of two).
+	Ratio ratio.Ratio
+}
+
+// PCRPercent is the PCR master-mix composition for DNA amplification
+// (paper §1): reactant buffer, dNTPs, forward primer, reverse primer,
+// DNA template, optimase and water, in volume percent.
+var PCRPercent = []float64{10, 8, 0.8, 0.8, 1, 1, 78.4}
+
+// PCRFluidNames names the PCR master-mix constituents.
+var PCRFluidNames = []string{"buffer", "dNTPs", "fwd-primer", "rev-primer", "template", "optimase", "water"}
+
+// PCR16 is the paper's running example: the PCR master-mix approximated at
+// accuracy level d=4 as 2:1:1:1:1:1:9 (§4.1).
+func PCR16() Protocol {
+	r, err := ratio.MustParse("2:1:1:1:1:1:9").WithNames(PCRFluidNames...)
+	if err != nil {
+		panic(err)
+	}
+	return Protocol{
+		Key:    "PCR16",
+		Name:   "PCR master-mix (d=4)",
+		Source: "PCR Master Mix Calculator, mutationdiscovery.com [14]",
+		Ratio:  r,
+	}
+}
+
+// PCRAtDepth approximates the PCR master-mix at accuracy level d (Table 4
+// sweeps d = 4, 5, 6).
+func PCRAtDepth(d int) (Protocol, error) {
+	r, err := ratio.FromPercent(PCRPercent, d)
+	if err != nil {
+		return Protocol{}, err
+	}
+	r, err = r.WithNames(PCRFluidNames...)
+	if err != nil {
+		return Protocol{}, err
+	}
+	return Protocol{
+		Key:    "PCR",
+		Name:   "PCR master-mix",
+		Source: "PCR Master Mix Calculator, mutationdiscovery.com [14]",
+		Ratio:  r,
+	}, nil
+}
+
+// Table2 returns the five example mixtures of Table 2, all on a scale of 256
+// (accuracy level d = 8), exactly as printed in §6.
+func Table2() []Protocol {
+	return []Protocol{
+		{
+			Key:    "Ex.1",
+			Name:   "PCR master-mix for DNA amplification",
+			Source: "Bio-Protocol [3], mutationdiscovery.com [14]",
+			Ratio:  ratio.MustParse("26:21:2:2:3:3:199"),
+		},
+		{
+			Key:    "Ex.2",
+			Name:   "Phenol/chloroform/isoamylalcohol, One-Step Miniprep",
+			Source: "Chowdhury, Nucleic Acids Res. 19(10) [4]",
+			Ratio:  ratio.MustParse("128:123:5"),
+		},
+		{
+			Key:    "Ex.3",
+			Name:   "Ten-fluid mixture, Molecular Barcodes",
+			Source: "Lopez & Erickson, DNA Barcodes [12]",
+			Ratio:  ratio.MustParse("25:5:5:5:5:13:13:25:1:159"),
+		},
+		{
+			Key:    "Ex.4",
+			Name:   "Five-fluid mixture, Splinkerette PCR",
+			Source: "Uren et al., Nature Protocols 4(5) [1]",
+			Ratio:  ratio.MustParse("9:17:26:9:195"),
+		},
+		{
+			Key:    "Ex.5",
+			Name:   "Miniprep alkaline-lysis mixture",
+			Source: "Cold Spring Harbor Protocols [15]",
+			Ratio:  ratio.MustParse("57:28:6:6:6:3:150"),
+		},
+	}
+}
+
+// ByKey returns the Table 2 protocol with the given key ("Ex.1".."Ex.5") or
+// the PCR16 running example for "PCR16".
+func ByKey(key string) (Protocol, bool) {
+	if key == "PCR16" {
+		return PCR16(), true
+	}
+	for _, p := range Table2() {
+		if p.Key == key {
+			return p, true
+		}
+	}
+	return Protocol{}, false
+}

@@ -1,0 +1,73 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/minmix"
+)
+
+func TestPCR16(t *testing.T) {
+	p := PCR16()
+	if got := p.Ratio.String(); got != "2:1:1:1:1:1:9" {
+		t.Errorf("PCR16 ratio = %s", got)
+	}
+	if p.Ratio.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", p.Ratio.Depth())
+	}
+	if got := p.Ratio.Name(6); got != "water" {
+		t.Errorf("fluid 7 = %q, want water", got)
+	}
+}
+
+func TestPCRAtDepthMatchesRunningExample(t *testing.T) {
+	p, err := PCRAtDepth(4)
+	if err != nil {
+		t.Fatalf("PCRAtDepth: %v", err)
+	}
+	if !p.Ratio.Equal(PCR16().Ratio) {
+		t.Errorf("PCRAtDepth(4) = %v, want 2:1:1:1:1:1:9", p.Ratio)
+	}
+	for d := 5; d <= 8; d++ {
+		p, err := PCRAtDepth(d)
+		if err != nil {
+			t.Fatalf("PCRAtDepth(%d): %v", d, err)
+		}
+		if p.Ratio.Sum() != int64(1)<<uint(d) {
+			t.Errorf("d=%d: sum = %d", d, p.Ratio.Sum())
+		}
+	}
+	if _, err := PCRAtDepth(2); err == nil {
+		t.Error("impossible depth accepted")
+	}
+}
+
+func TestTable2Complete(t *testing.T) {
+	ps := Table2()
+	if len(ps) != 5 {
+		t.Fatalf("Table2 has %d protocols, want 5", len(ps))
+	}
+	// All on a scale of 256, and all buildable by MM.
+	for _, p := range ps {
+		if p.Ratio.Sum() != 256 {
+			t.Errorf("%s: sum = %d, want 256", p.Key, p.Ratio.Sum())
+		}
+		if _, err := minmix.Build(p.Ratio); err != nil {
+			t.Errorf("%s: MM build failed: %v", p.Key, err)
+		}
+		if p.Source == "" || p.Name == "" {
+			t.Errorf("%s: missing provenance", p.Key)
+		}
+	}
+}
+
+func TestByKey(t *testing.T) {
+	if p, ok := ByKey("Ex.3"); !ok || p.Ratio.N() != 10 {
+		t.Errorf("ByKey(Ex.3) = %v, %v", p, ok)
+	}
+	if p, ok := ByKey("PCR16"); !ok || p.Ratio.Depth() != 4 {
+		t.Errorf("ByKey(PCR16) = %v, %v", p, ok)
+	}
+	if _, ok := ByKey("nope"); ok {
+		t.Error("unknown key found")
+	}
+}

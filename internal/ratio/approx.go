@@ -1,0 +1,90 @@
+package ratio
+
+import (
+	"fmt"
+	"math"
+)
+
+// FromPercent approximates a percentage composition (summing to 100, e.g. the
+// PCR master-mix {10, 8, 0.8, 0.8, 1, 1, 78.4}) as an integer ratio with
+// ratio-sum exactly 2^d, the form required by (1:1) mix-split trees of depth
+// d. Every fluid is kept present (part >= 1).
+//
+// The rule follows the paper's worked example (PCR at d=4 becomes
+// 2:1:1:1:1:1:9): every fluid except the dominant one gets its exact share
+// p_i/100 * 2^d rounded to the nearest integer, clamped to at least 1; the
+// dominant fluid (the "filler", typically water or buffer) absorbs the
+// remainder so the sum is exactly 2^d.
+func FromPercent(percents []float64, d int) (Ratio, error) {
+	if len(percents) == 0 {
+		return Ratio{}, ErrEmpty
+	}
+	if d < 0 || d > MaxDepth {
+		return Ratio{}, ErrSumTooLarge
+	}
+	var sum float64
+	filler := 0
+	for i, p := range percents {
+		if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return Ratio{}, ErrBadPercent
+		}
+		sum += p
+		if p > percents[filler] {
+			filler = i
+		}
+	}
+	if math.Abs(sum-100) > 1e-6 {
+		return Ratio{}, fmt.Errorf("%w (got %g)", ErrBadPercent, sum)
+	}
+	total := int64(1) << uint(d)
+	if total < int64(len(percents)) {
+		return Ratio{}, ErrDepthTooSmall
+	}
+
+	parts := make([]int64, len(percents))
+	rest := total
+	for i, p := range percents {
+		if i == filler {
+			continue
+		}
+		v := int64(math.Round(p / 100 * float64(total)))
+		if v < 1 {
+			v = 1
+		}
+		parts[i] = v
+		rest -= v
+	}
+	if rest < 1 {
+		return Ratio{}, ErrDepthTooSmall
+	}
+	parts[filler] = rest
+	return New(parts...)
+}
+
+// MustFromPercent is FromPercent for known-good literals; it panics on error.
+func MustFromPercent(percents []float64, d int) Ratio {
+	r, err := FromPercent(percents, d)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ApproxError returns the worst-case absolute CF error of ratio r as an
+// approximation of the percentage composition, in percentage points. Over
+// the non-filler fluids the paper bounds this by 100/2^d per constituent
+// (plus the min-1 clamp); the filler absorbs their accumulated error.
+func ApproxError(percents []float64, r Ratio) float64 {
+	if len(percents) != r.N() {
+		return math.Inf(1)
+	}
+	total := float64(r.Sum())
+	worst := 0.0
+	for i, p := range percents {
+		got := float64(r.Part(i)) / total * 100
+		if e := math.Abs(got - p); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,112 @@
+package ratio
+
+import (
+	"math"
+	"testing"
+)
+
+// pcrPercent is the PCR master-mix composition from the paper's introduction:
+// reactant buffer, dNTPs, forward primer, reverse primer, DNA template,
+// optimase, water.
+var pcrPercent = []float64{10, 8, 0.8, 0.8, 1, 1, 78.4}
+
+func TestFromPercentPCRd4(t *testing.T) {
+	r, err := FromPercent(pcrPercent, 4)
+	if err != nil {
+		t.Fatalf("FromPercent: %v", err)
+	}
+	// The paper approximates the PCR master-mix as 2:1:1:1:1:1:9 at d=4.
+	if want := MustParse("2:1:1:1:1:1:9"); !r.Equal(want) {
+		t.Errorf("FromPercent(PCR, 4) = %v, want %v", r, want)
+	}
+}
+
+func TestFromPercentSumInvariant(t *testing.T) {
+	for d := 3; d <= 10; d++ {
+		r, err := FromPercent(pcrPercent, d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if r.Sum() != int64(1)<<uint(d) {
+			t.Errorf("d=%d: sum = %d, want %d", d, r.Sum(), int64(1)<<uint(d))
+		}
+		for i := 0; i < r.N(); i++ {
+			if r.Part(i) < 1 {
+				t.Errorf("d=%d: part %d = %d < 1", d, i, r.Part(i))
+			}
+		}
+	}
+}
+
+func TestFromPercentErrorShrinks(t *testing.T) {
+	// Finer accuracy levels must not increase the worst-case CF error
+	// (paper: max error 1/2^d per constituent).
+	prev := math.Inf(1)
+	for d := 4; d <= 12; d++ {
+		r := MustFromPercent(pcrPercent, d)
+		e := ApproxError(pcrPercent, r)
+		if e > prev+1e-9 {
+			t.Errorf("d=%d: error %g grew from %g", d, e, prev)
+		}
+		prev = e
+	}
+	if e := ApproxError(pcrPercent, MustFromPercent(pcrPercent, 12)); e > 100.0/4096*2 {
+		t.Errorf("error at d=12 too large: %g", e)
+	}
+}
+
+func TestFromPercentTwoFluids(t *testing.T) {
+	r, err := FromPercent([]float64{50, 50}, 1)
+	if err != nil {
+		t.Fatalf("FromPercent: %v", err)
+	}
+	if !r.Equal(MustNew(1, 1)) {
+		t.Errorf("50/50 at d=1 = %v, want 1:1", r)
+	}
+}
+
+func TestFromPercentErrors(t *testing.T) {
+	if _, err := FromPercent(nil, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FromPercent([]float64{60, 60}, 4); err == nil {
+		t.Error("sum != 100 accepted")
+	}
+	if _, err := FromPercent([]float64{100, 0}, 4); err == nil {
+		t.Error("zero percentage accepted")
+	}
+	if _, err := FromPercent([]float64{120, -20}, 4); err == nil {
+		t.Error("negative percentage accepted")
+	}
+	// 7 fluids cannot fit at d=2 (only 4 units available).
+	if _, err := FromPercent(pcrPercent, 2); err == nil {
+		t.Error("impossible accuracy level accepted")
+	}
+	if _, err := FromPercent([]float64{50, 50}, -1); err == nil {
+		t.Error("negative depth accepted")
+	}
+}
+
+func TestFromPercentClampReclaim(t *testing.T) {
+	// Many tiny fluids force the min-1 clamp to overshoot; the reclaim path
+	// must pull the excess back from the dominant fluid.
+	p := []float64{96.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	r, err := FromPercent(p, 3) // 8 units across 8 fluids: must be all ones
+	if err != nil {
+		t.Fatalf("FromPercent: %v", err)
+	}
+	if r.Sum() != 8 {
+		t.Fatalf("sum = %d, want 8", r.Sum())
+	}
+	for i := 0; i < r.N(); i++ {
+		if r.Part(i) != 1 {
+			t.Errorf("part %d = %d, want 1", i, r.Part(i))
+		}
+	}
+}
+
+func TestApproxErrorMismatchedLength(t *testing.T) {
+	if !math.IsInf(ApproxError([]float64{50, 50}, MustNew(1, 1, 2)), 1) {
+		t.Error("mismatched lengths should yield +Inf")
+	}
+}

@@ -1,0 +1,143 @@
+package ratio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomRatio builds a valid random ratio with the given sum from a rand
+// source: a composition of sum into 1..maxN positive parts.
+func randomRatio(r *rand.Rand, sum int64, maxN int) Ratio {
+	n := 1 + r.Intn(maxN)
+	if int64(n) > sum {
+		n = int(sum)
+	}
+	parts := make([]int64, n)
+	for i := range parts {
+		parts[i] = 1
+	}
+	for rest := sum - int64(n); rest > 0; rest-- {
+		parts[r.Intn(n)]++
+	}
+	ret, err := New(parts...)
+	if err != nil {
+		panic(err)
+	}
+	return ret
+}
+
+func TestQuickRatioRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRatio(rng, 32, 12)
+		back, err := Parse(r.String())
+		return err == nil && back.Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizedIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRatio(rng, 64, 10)
+		n := r.Normalized()
+		return n.Normalized().Equal(n) && n.Sum()&(n.Sum()-1) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixPreservesMass(t *testing.T) {
+	// Any chain of random mixes keeps numerators summing to the denominator.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		pool := make([]Vector, n)
+		for i := range pool {
+			pool[i] = Unit(i, n)
+		}
+		for step := 0; step < 20; step++ {
+			a, b := rng.Intn(len(pool)), rng.Intn(len(pool))
+			m := Mix(pool[a], pool[b])
+			var sum int64
+			for i := 0; i < m.N(); i++ {
+				sum += m.Num(i)
+			}
+			if sum != m.Denom() {
+				return false
+			}
+			pool = append(pool, m)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixCanonical(t *testing.T) {
+	// Result of Mix is always in reduced form: either exp == 0 or some
+	// numerator is odd.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		v := Unit(rng.Intn(n), n)
+		for step := 0; step < 15; step++ {
+			v = Mix(v, Unit(rng.Intn(n), n))
+			if v.Exp() == 0 {
+				continue
+			}
+			anyOdd := false
+			for i := 0; i < v.N(); i++ {
+				if v.Num(i)&1 == 1 {
+					anyOdd = true
+					break
+				}
+			}
+			if !anyOdd {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFromPercentSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		raw := make([]float64, n)
+		var sum float64
+		for i := range raw {
+			raw[i] = rng.Float64() + 0.01
+			sum += raw[i]
+		}
+		for i := range raw {
+			raw[i] = raw[i] / sum * 100
+		}
+		d := 5 + rng.Intn(5)
+		r, err := FromPercent(raw, d)
+		if err != nil {
+			return false
+		}
+		if r.Sum() != int64(1)<<uint(d) {
+			return false
+		}
+		for i := 0; i < r.N(); i++ {
+			if r.Part(i) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package ratio
+
+import "testing"
+
+func TestUnit(t *testing.T) {
+	v := Unit(2, 5)
+	if v.Exp() != 0 {
+		t.Errorf("Exp = %d, want 0", v.Exp())
+	}
+	for i := 0; i < 5; i++ {
+		want := int64(0)
+		if i == 2 {
+			want = 1
+		}
+		if v.Num(i) != want {
+			t.Errorf("Num(%d) = %d, want %d", i, v.Num(i), want)
+		}
+	}
+	fluid, ok := v.IsPure()
+	if !ok || fluid != 2 {
+		t.Errorf("IsPure = (%d, %v), want (2, true)", fluid, ok)
+	}
+}
+
+func TestUnitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unit out of range did not panic")
+		}
+	}()
+	Unit(5, 5)
+}
+
+func TestMixBasic(t *testing.T) {
+	a := Unit(0, 2)
+	b := Unit(1, 2)
+	m := Mix(a, b)
+	if m.Exp() != 1 || m.Num(0) != 1 || m.Num(1) != 1 {
+		t.Errorf("Mix(pure, pure) = %v, want <1:1>/2", m)
+	}
+}
+
+func TestMixReduces(t *testing.T) {
+	// Mixing two identical droplets yields the same droplet: the factor of
+	// two must cancel so the result stays canonical.
+	a := Mix(Unit(0, 2), Unit(1, 2)) // <1:1>/2
+	m := Mix(a, a)
+	if !m.Equal(a) {
+		t.Errorf("Mix(v, v) = %v, want %v", m, a)
+	}
+}
+
+func TestMixCommutative(t *testing.T) {
+	a := Mix(Unit(0, 3), Unit(1, 3))
+	b := Unit(2, 3)
+	if !Mix(a, b).Equal(Mix(b, a)) {
+		t.Error("Mix is not commutative")
+	}
+}
+
+func TestMixDifferentExps(t *testing.T) {
+	a := Unit(0, 2)                  // exp 0
+	b := Mix(Unit(0, 2), Unit(1, 2)) // exp 1
+	m := Mix(a, b)                   // (1 + 1/2)/2 : (1/2)/2 = 3/4 : 1/4
+	if m.Exp() != 2 || m.Num(0) != 3 || m.Num(1) != 1 {
+		t.Errorf("Mix across exponents = %v, want <3:1>/4", m)
+	}
+}
+
+func TestMixPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mix with mismatched fluid counts did not panic")
+		}
+	}()
+	Mix(Unit(0, 2), Unit(0, 3))
+}
+
+func TestNewVector(t *testing.T) {
+	v, err := NewVector([]int64{2, 1, 1, 1, 1, 1, 9}, 4)
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	if v.Exp() != 4 {
+		t.Errorf("Exp = %d, want 4", v.Exp())
+	}
+	// Canonicalisation: <2:2>/4 reduces to <1:1>/2.
+	v2, err := NewVector([]int64{2, 2}, 2)
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	if v2.Exp() != 1 || v2.Num(0) != 1 {
+		t.Errorf("NewVector(<2:2>/4) = %v, want <1:1>/2", v2)
+	}
+}
+
+func TestNewVectorErrors(t *testing.T) {
+	if _, err := NewVector([]int64{1, 1}, 2); err == nil {
+		t.Error("sum != 2^exp accepted")
+	}
+	if _, err := NewVector([]int64{-1, 5}, 2); err == nil {
+		t.Error("negative numerator accepted")
+	}
+	if _, err := NewVector([]int64{1}, 63); err == nil {
+		t.Error("exp > MaxDepth accepted")
+	}
+}
+
+func TestAtDepth(t *testing.T) {
+	v := Mix(Unit(0, 2), Unit(1, 2)) // <1:1>/2
+	n, err := v.AtDepth(4)
+	if err != nil {
+		t.Fatalf("AtDepth: %v", err)
+	}
+	if n[0] != 8 || n[1] != 8 {
+		t.Errorf("AtDepth(4) = %v, want [8 8]", n)
+	}
+	if _, err := v.AtDepth(0); err == nil {
+		t.Error("AtDepth below Exp accepted")
+	}
+}
+
+func TestIsPureFalse(t *testing.T) {
+	v := Mix(Unit(0, 2), Unit(1, 2))
+	if _, ok := v.IsPure(); ok {
+		t.Error("mixed droplet reported pure")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	a := Mix(Unit(0, 3), Unit(1, 3))
+	b := Mix(Unit(0, 3), Unit(2, 3))
+	if a.Key() == b.Key() {
+		t.Error("distinct vectors share a Key")
+	}
+	if a.Key() != Mix(Unit(1, 3), Unit(0, 3)).Key() {
+		t.Error("equal vectors have different Keys")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Mix(Unit(0, 2), Unit(1, 2))
+	if got := v.String(); got != "<1:1>/2" {
+		t.Errorf("String = %q, want <1:1>/2", got)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var v Vector
+	if !v.IsZero() {
+		t.Error("zero Vector not IsZero")
+	}
+	if Unit(0, 1).IsZero() {
+		t.Error("constructed Vector reported IsZero")
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/ratio"
+	"repro/internal/stream"
+)
+
+func TestGeneratePlanOnly(t *testing.T) {
+	out, err := Generate(Options{
+		Target:    ratio.MustParse("2:1:1:1:1:1:9"),
+		Demand:    20,
+		Algorithm: core.MM,
+		Scheduler: stream.SRS,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, want := range []string{
+		"# MDST plan: 2:1:1:1:1:1:9, D=20",
+		"|F|=10, Tms=27, W=5, I=25",
+		"Tc=11, q=5",
+		"## Gantt",
+		"saves 72.5% time",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "## Chip execution") {
+		t.Error("chip section without a layout")
+	}
+}
+
+func TestGenerateWithChip(t *testing.T) {
+	out, err := Generate(Options{
+		Target:    ratio.MustParse("2:1:1:1:1:1:9"),
+		Demand:    16,
+		Algorithm: core.MM,
+		Scheduler: stream.SRS,
+		Layout:    chip.PCRLayout(),
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, want := range []string{
+		"## Chip execution",
+		"electrode actuations:",
+		"hottest electrode:",
+		"concurrent routing:",
+		"broadcast addressing:",
+		"contamination:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Options{Target: ratio.MustParse("1:1"), Demand: 0}); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := Generate(Options{Target: ratio.MustNew(8), Demand: 4}); err == nil {
+		t.Error("single-fluid target accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Package rma reconstructs the RMA mixing algorithm of Roy et al.
+// ("Layout-Aware Solution Preparation for Biochemical Analysis on a Digital
+// Microfluidic Biochip", VLSID 2011), used by the DAC 2014 droplet-streaming
+// paper as one of its three base mixing algorithms.
+//
+// The DAC 2014 paper uses RMA as a black box and characterises it only by the
+// property that matters for droplet streaming: "RMA constructs a base mixing
+// tree with a larger number of waste droplets compared to other mixing
+// algorithms (MM, RSM, MTCS)", which makes RMA-seeded mixing forests the
+// fastest streaming engines. This package reconstructs that behaviour with a
+// top-down ratio-partitioning builder:
+//
+//   - A node holding a sub-ratio with sum 2^k splits it into two halves of
+//     sum 2^(k-1) each (greedy largest-part-first; a single fluid's amount
+//     may be divided across the halves).
+//   - A half containing exactly one fluid becomes a pure input leaf,
+//     whatever its amount — a unit droplet at CF 100% carries it.
+//
+// The resulting trees are valid mixing trees for the same target and use at
+// least as many input droplets (and therefore produce at least as much
+// single-pass waste) as MM trees; the surplus grows with ratio skew. See
+// DESIGN.md §4 for the substitution rationale.
+package rma
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mixgraph"
+	"repro/internal/ratio"
+)
+
+// Name is the algorithm identifier used across the repository.
+const Name = "RMA"
+
+// part is one fluid's share within a sub-ratio during partitioning.
+type part struct {
+	fluid  int
+	amount int64
+}
+
+// Build constructs the RMA mixing tree for the target ratio.
+func Build(target ratio.Ratio) (*mixgraph.Graph, error) {
+	r := target.Normalized()
+	d := r.Depth()
+	if r.N() < 2 || d == 0 {
+		return nil, fmt.Errorf("rma: ratio %v needs no mixing", target)
+	}
+	b := mixgraph.NewBuilder(target)
+	parts := make([]part, 0, r.N())
+	for i := 0; i < r.N(); i++ {
+		parts = append(parts, part{fluid: i, amount: r.Part(i)})
+	}
+	root, err := build(b, parts, d)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(root, Name)
+}
+
+// build returns a droplet node realising the sub-ratio `parts` (sum 2^k).
+func build(b *mixgraph.Builder, parts []part, k int) (*mixgraph.Node, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("rma: internal error: empty sub-ratio")
+	}
+	if len(parts) == 1 {
+		// A single-fluid half is satisfied by one pure unit droplet.
+		return b.Leaf(parts[0].fluid), nil
+	}
+	if k == 0 {
+		return nil, fmt.Errorf("rma: internal error: %d fluids left at scale 1", len(parts))
+	}
+	left, right := halve(parts, int64(1)<<uint(k-1))
+	l, err := build(b, left, k-1)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := build(b, right, k-1)
+	if err != nil {
+		return nil, err
+	}
+	return b.Mix(l, rn), nil
+}
+
+// halve splits a sub-ratio into two halves of `half` units each, greedily
+// assigning the largest parts first and splitting one fluid across the
+// boundary if needed. Ordering is deterministic: amount descending, fluid
+// index ascending.
+func halve(parts []part, half int64) (left, right []part) {
+	sorted := append([]part(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].amount != sorted[j].amount {
+			return sorted[i].amount > sorted[j].amount
+		}
+		return sorted[i].fluid < sorted[j].fluid
+	})
+	room := half
+	for _, p := range sorted {
+		switch {
+		case room == 0:
+			right = append(right, p)
+		case p.amount <= room:
+			left = append(left, p)
+			room -= p.amount
+		default:
+			left = append(left, part{fluid: p.fluid, amount: room})
+			right = append(right, part{fluid: p.fluid, amount: p.amount - room})
+			room = 0
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,127 @@
+// Package route provides droplet routing on the electrode array: 4-connected
+// breadth-first shortest paths around module obstacles, the primitive behind
+// the chip-level transport-cost matrix and electrode-actuation accounting of
+// the DAC 2014 droplet-streaming paper (§5).
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chip"
+)
+
+// Routing errors.
+var (
+	ErrUnreachable = errors.New("route: no obstacle-free path")
+	ErrBlocked     = errors.New("route: endpoint on a blocked electrode")
+	ErrOutOfGrid   = errors.New("route: endpoint outside the array")
+)
+
+// ShortestPath returns a minimum-length 4-connected path from `from` to `to`
+// over free electrodes, endpoints included. The path cost in electrode
+// actuations is len(path)-1 (each move actuates the next electrode).
+func ShortestPath(width, height int, blocked func(chip.Point) bool, from, to chip.Point) ([]chip.Point, error) {
+	inGrid := func(p chip.Point) bool {
+		return p.X >= 0 && p.Y >= 0 && p.X < width && p.Y < height
+	}
+	for _, p := range []chip.Point{from, to} {
+		if !inGrid(p) {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrOutOfGrid, p.X, p.Y)
+		}
+		if blocked(p) {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrBlocked, p.X, p.Y)
+		}
+	}
+	if from == to {
+		return []chip.Point{from}, nil
+	}
+	prev := make(map[chip.Point]chip.Point, width*height)
+	seen := make(map[chip.Point]bool, width*height)
+	seen[from] = true
+	queue := []chip.Point{from}
+	dirs := [4]chip.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range dirs {
+			next := chip.Point{X: cur.X + d.X, Y: cur.Y + d.Y}
+			if !inGrid(next) || seen[next] || blocked(next) {
+				continue
+			}
+			seen[next] = true
+			prev[next] = cur
+			if next == to {
+				return reconstruct(prev, from, to), nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, fmt.Errorf("%w: (%d,%d) to (%d,%d)", ErrUnreachable, from.X, from.Y, to.X, to.Y)
+}
+
+func reconstruct(prev map[chip.Point]chip.Point, from, to chip.Point) []chip.Point {
+	var rev []chip.Point
+	for p := to; p != from; p = prev[p] {
+		rev = append(rev, p)
+	}
+	rev = append(rev, from)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Cost returns the actuation cost of the shortest path between two points.
+func Cost(width, height int, blocked func(chip.Point) bool, from, to chip.Point) (int, error) {
+	p, err := ShortestPath(width, height, blocked, from, to)
+	if err != nil {
+		return 0, err
+	}
+	return len(p) - 1, nil
+}
+
+// CostMatrix computes the inter-module transport-cost matrix of a layout
+// (the matrix of Fig. 5): actuations on the shortest port-to-port path for
+// every ordered module pair. The matrix is symmetric because paths are.
+// One BFS flood per module covers all of its targets.
+func CostMatrix(l *chip.Layout) (map[[2]string]int, error) {
+	blocked := l.Blocked()
+	out := make(map[[2]string]int, len(l.Modules)*len(l.Modules))
+	dist := make([]int, l.Width*l.Height)
+	queue := make([]chip.Point, 0, l.Width*l.Height)
+	for _, a := range l.Modules {
+		// Flood-fill distances from a's port.
+		for i := range dist {
+			dist[i] = -1
+		}
+		idx := func(p chip.Point) int { return p.Y*l.Width + p.X }
+		if blocked(a.Port) {
+			return nil, fmt.Errorf("route: port of %s blocked", a.Name)
+		}
+		dist[idx(a.Port)] = 0
+		queue = append(queue[:0], a.Port)
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			for _, d := range [4]chip.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
+				next := chip.Point{X: cur.X + d.X, Y: cur.Y + d.Y}
+				if next.X < 0 || next.Y < 0 || next.X >= l.Width || next.Y >= l.Height {
+					continue
+				}
+				if dist[idx(next)] >= 0 || blocked(next) {
+					continue
+				}
+				dist[idx(next)] = dist[idx(cur)] + 1
+				queue = append(queue, next)
+			}
+		}
+		for _, b := range l.Modules {
+			d := dist[idx(b.Port)]
+			if d < 0 {
+				return nil, fmt.Errorf("route: %s to %s: %w", a.Name, b.Name, ErrUnreachable)
+			}
+			out[[2]string{a.Name, b.Name}] = d
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func noObstacles(chip.Point) bool { return false }
+
+func TestStraightLine(t *testing.T) {
+	p, err := ShortestPath(10, 10, noObstacles, chip.Point{X: 0, Y: 0}, chip.Point{X: 5, Y: 0})
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if len(p) != 6 {
+		t.Errorf("path length = %d, want 6", len(p))
+	}
+	if c, _ := Cost(10, 10, noObstacles, chip.Point{X: 0, Y: 0}, chip.Point{X: 5, Y: 0}); c != 5 {
+		t.Errorf("cost = %d, want 5", c)
+	}
+}
+
+func TestManhattanWithoutObstacles(t *testing.T) {
+	c, err := Cost(20, 20, noObstacles, chip.Point{X: 2, Y: 3}, chip.Point{X: 10, Y: 9})
+	if err != nil {
+		t.Fatalf("Cost: %v", err)
+	}
+	if c != 8+6 {
+		t.Errorf("cost = %d, want 14 (Manhattan)", c)
+	}
+}
+
+func TestSamePoint(t *testing.T) {
+	p, err := ShortestPath(5, 5, noObstacles, chip.Point{X: 2, Y: 2}, chip.Point{X: 2, Y: 2})
+	if err != nil || len(p) != 1 {
+		t.Errorf("same-point path = %v, %v", p, err)
+	}
+}
+
+func TestDetourAroundWall(t *testing.T) {
+	// Vertical wall at x=2 with a gap at y=4.
+	wall := func(p chip.Point) bool { return p.X == 2 && p.Y != 4 }
+	c, err := Cost(6, 6, wall, chip.Point{X: 0, Y: 0}, chip.Point{X: 4, Y: 0})
+	if err != nil {
+		t.Fatalf("Cost: %v", err)
+	}
+	// Down to the gap (4), across (4), back up (4): 12.
+	if c != 12 {
+		t.Errorf("detour cost = %d, want 12", c)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	wall := func(p chip.Point) bool { return p.X == 2 }
+	if _, err := ShortestPath(6, 6, wall, chip.Point{X: 0, Y: 0}, chip.Point{X: 4, Y: 0}); err == nil {
+		t.Error("unreachable target routed")
+	}
+}
+
+func TestEndpointErrors(t *testing.T) {
+	if _, err := ShortestPath(5, 5, noObstacles, chip.Point{X: -1, Y: 0}, chip.Point{X: 1, Y: 1}); err == nil {
+		t.Error("out-of-grid start accepted")
+	}
+	blockedAt := func(p chip.Point) bool { return p == chip.Point{X: 1, Y: 1} }
+	if _, err := ShortestPath(5, 5, blockedAt, chip.Point{X: 0, Y: 0}, chip.Point{X: 1, Y: 1}); err == nil {
+		t.Error("blocked endpoint accepted")
+	}
+}
+
+func TestPathIsConnectedAndFree(t *testing.T) {
+	l := chip.PCRLayout()
+	blocked := l.Blocked()
+	from := l.Modules[0].Port
+	to := l.Modules[len(l.Modules)-1].Port
+	p, err := ShortestPath(l.Width, l.Height, blocked, from, to)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	for i, pt := range p {
+		if blocked(pt) {
+			t.Fatalf("path crosses obstacle at %v", pt)
+		}
+		if i > 0 {
+			dx, dy := pt.X-p[i-1].X, pt.Y-p[i-1].Y
+			if dx*dx+dy*dy != 1 {
+				t.Fatalf("path not 4-connected at step %d", i)
+			}
+		}
+	}
+}
+
+func TestCostMatrixPCR(t *testing.T) {
+	l := chip.PCRLayout()
+	m, err := CostMatrix(l)
+	if err != nil {
+		t.Fatalf("CostMatrix: %v", err)
+	}
+	for _, a := range l.Modules {
+		if m[[2]string{a.Name, a.Name}] != 0 {
+			t.Errorf("self-cost of %s nonzero", a.Name)
+		}
+		for _, b := range l.Modules {
+			if m[[2]string{a.Name, b.Name}] != m[[2]string{b.Name, a.Name}] {
+				t.Errorf("cost matrix asymmetric for %s/%s", a.Name, b.Name)
+			}
+			if a.Name != b.Name && m[[2]string{a.Name, b.Name}] <= 0 {
+				t.Errorf("cost %s->%s = %d, want positive", a.Name, b.Name, m[[2]string{a.Name, b.Name}])
+			}
+		}
+	}
+	// Triangle inequality through free routing.
+	for _, a := range l.Modules {
+		for _, b := range l.Modules {
+			for _, c := range l.Modules {
+				ab := m[[2]string{a.Name, b.Name}]
+				bc := m[[2]string{b.Name, c.Name}]
+				ac := m[[2]string{a.Name, c.Name}]
+				// Paths may need to reach b's port, so allow the detour via
+				// the port: strict triangle inequality need not hold, but a
+				// gross violation signals a routing bug.
+				if ac > ab+bc+4 {
+					t.Errorf("wild triangle violation %s-%s-%s: %d > %d+%d",
+						a.Name, b.Name, c.Name, ac, ab, bc)
+				}
+			}
+		}
+	}
+}

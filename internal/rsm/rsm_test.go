@@ -1,0 +1,145 @@
+package rsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/rma"
+)
+
+func TestBuildValidates(t *testing.T) {
+	for _, s := range []string{
+		"2:1:1:1:1:1:9",
+		"26:21:2:2:3:3:199",
+		"128:123:5",
+		"25:5:5:5:5:13:13:25:1:159",
+		"9:17:26:9:195",
+		"57:28:6:6:6:3:150",
+		"1:3",
+		"1:1",
+		"3:3:1:1",
+	} {
+		g, err := Build(ratio.MustParse(s))
+		if err != nil {
+			t.Fatalf("Build(%s): %v", s, err)
+		}
+		st := g.Stats()
+		if st.InputTotal != st.Waste+2 {
+			t.Errorf("%s: conservation violated: I=%d W=%d", s, st.InputTotal, st.Waste)
+		}
+	}
+}
+
+func TestNeverWorseThanRMA(t *testing.T) {
+	// The RMA greedy split is always in the beam, so RSM's input usage is
+	// bounded by RMA's.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		parts := make([]int64, n)
+		for i := range parts {
+			parts[i] = 1
+		}
+		for rest := 32 - n; rest > 0; rest-- {
+			parts[rng.Intn(n)]++
+		}
+		r, err := ratio.New(parts...)
+		if err != nil {
+			return false
+		}
+		g, err := Build(r)
+		if err != nil {
+			return false
+		}
+		rg, err := rma.Build(r)
+		if err != nil {
+			return false
+		}
+		return g.Stats().InputTotal <= rg.Stats().InputTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompetitiveWithMMOnPaperRatios(t *testing.T) {
+	// Reagent saving is the algorithm's purpose: on the paper's example
+	// ratios RSM should use no more inputs than MM.
+	for _, s := range []string{
+		"26:21:2:2:3:3:199",
+		"128:123:5",
+		"25:5:5:5:5:13:13:25:1:159",
+		"9:17:26:9:195",
+		"57:28:6:6:6:3:150",
+	} {
+		r := ratio.MustParse(s)
+		g, err := Build(r)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", s, err)
+		}
+		if got, mm := g.Stats().InputTotal, minmix.InputCount(r); got > mm {
+			t.Errorf("%s: RSM I=%d > MM I=%d", s, got, mm)
+		}
+	}
+}
+
+func TestDilutionMinimal(t *testing.T) {
+	// 1:3 needs 3 inputs (two mixes); RSM must find it.
+	g, err := Build(ratio.MustNew(1, 3))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if s := g.Stats(); s.InputTotal != 3 {
+		t.Errorf("I = %d, want 3", s.InputTotal)
+	}
+}
+
+func TestForestOverRSM(t *testing.T) {
+	g, err := Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	f, err := forest.Build(g, 32)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("forest invalid over RSM base: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Build(ratio.MustNew(8)); err == nil {
+		t.Error("single-fluid ratio accepted")
+	}
+}
+
+func TestMergeCombinesDuplicates(t *testing.T) {
+	out := merge([]part{{0, 2}, {1, 3}, {0, 5}})
+	if len(out) != 2 {
+		t.Fatalf("merge kept %d parts", len(out))
+	}
+	if out[0].fluid != 0 || out[0].amount != 7 {
+		t.Errorf("merge[0] = %+v", out[0])
+	}
+}
+
+func TestCandidateSplitsBalanced(t *testing.T) {
+	parts := []part{{0, 5}, {1, 4}, {2, 4}, {3, 3}}
+	for _, cand := range candidateSplits(parts, 8) {
+		var ls, rs int64
+		for _, p := range cand[0] {
+			ls += p.amount
+		}
+		for _, p := range cand[1] {
+			rs += p.amount
+		}
+		if ls != 8 || rs != 8 {
+			t.Errorf("candidate sums %d/%d, want 8/8", ls, rs)
+		}
+	}
+}

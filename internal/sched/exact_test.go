@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+)
+
+func TestExactMatchesBruteForceHelper(t *testing.T) {
+	// The package-level Exact and the test helper exactMakespan must agree.
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for i := 0; i < 200 && checked < 40; i++ {
+		n := 2 + rng.Intn(5)
+		parts := make([]int64, n)
+		for j := range parts {
+			parts[j] = 1
+		}
+		for rest := 16 - n; rest > 0; rest-- {
+			parts[rng.Intn(n)]++
+		}
+		r, err := ratio.New(parts...)
+		if err != nil {
+			continue
+		}
+		g, err := minmix.Build(r)
+		if err != nil {
+			continue
+		}
+		f, err := forest.Build(g, 2+2*rng.Intn(3))
+		if err != nil || len(f.Tasks) > 14 {
+			continue
+		}
+		mc := 1 + rng.Intn(3)
+		s, err := Exact(f, mc)
+		if err != nil {
+			t.Fatalf("Exact: %v", err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Exact schedule invalid: %v", err)
+		}
+		if want := exactMakespan(f, mc); s.Cycles != want {
+			t.Errorf("Exact Tc=%d, brute force %d", s.Cycles, want)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+func TestExactNeverWorseThanMMS(t *testing.T) {
+	g, _ := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	f, _ := forest.Build(g, 8) // 11 tasks
+	for mc := 1; mc <= 4; mc++ {
+		ex, err := Exact(f, mc)
+		if err != nil {
+			t.Fatalf("Exact(mc=%d): %v", mc, err)
+		}
+		mms, err := MMS(f, mc)
+		if err != nil {
+			t.Fatalf("MMS: %v", err)
+		}
+		if ex.Cycles > mms.Cycles {
+			t.Errorf("mc=%d: Exact Tc=%d worse than MMS %d", mc, ex.Cycles, mms.Cycles)
+		}
+		if ex.Cycles < LowerBound(f, mc) {
+			t.Errorf("mc=%d: Exact below lower bound", mc)
+		}
+	}
+}
+
+func TestExactRejectsLargeForests(t *testing.T) {
+	g, _ := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	f, _ := forest.Build(g, 32)
+	if _, err := Exact(f, 3); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("want ErrTooLarge, got %v", err)
+	}
+	small, _ := forest.Build(g, 2)
+	if _, err := Exact(small, 0); err == nil {
+		t.Error("0 mixers accepted")
+	}
+}
+
+func TestMMSOptimalityGapSmall(t *testing.T) {
+	// On small PCR forests MMS stays within one cycle of optimal.
+	g, _ := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	for _, demand := range []int{2, 4, 6, 8} {
+		f, _ := forest.Build(g, demand)
+		if len(f.Tasks) > MaxExactTasks {
+			continue
+		}
+		for mc := 1; mc <= 3; mc++ {
+			ex, err := Exact(f, mc)
+			if err != nil {
+				t.Fatalf("Exact: %v", err)
+			}
+			mms, _ := MMS(f, mc)
+			if gap := mms.Cycles - ex.Cycles; gap > 1 {
+				t.Errorf("D=%d mc=%d: MMS gap %d cycles", demand, mc, gap)
+			}
+		}
+	}
+}

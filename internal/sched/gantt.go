@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the schedule as the paper's modified Gantt chart (Fig. 4):
+// one row per mixer, one column per time-cycle, each cell holding the
+// m_{i,j} label of the task running there, followed by the storage-occupancy
+// profile and the target-droplet emission sequence.
+func Gantt(s *Schedule) string {
+	labels := s.Forest.Labels()
+	grid := make([][]string, s.Mixers+1)
+	for m := range grid {
+		grid[m] = make([]string, s.Cycles+1)
+	}
+	for _, t := range s.Forest.Tasks {
+		a := s.Slots[t.ID]
+		grid[a.Mixer][a.Cycle] = labels[t]
+	}
+
+	width := 6
+	for _, row := range grid {
+		for _, cell := range row {
+			if len(cell)+1 > width {
+				width = len(cell) + 1
+			}
+		}
+	}
+	pad := func(v string) string { return fmt.Sprintf("%*s", width, v) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s schedule: Mc=%d, Tc=%d, q=%d\n", s.Algorithm, s.Mixers, s.Cycles, StorageUnits(s))
+	b.WriteString(pad("t"))
+	for t := 1; t <= s.Cycles; t++ {
+		b.WriteString(pad(fmt.Sprintf("%d", t)))
+	}
+	b.WriteByte('\n')
+	for m := 1; m <= s.Mixers; m++ {
+		b.WriteString(pad(fmt.Sprintf("M%d", m)))
+		for t := 1; t <= s.Cycles; t++ {
+			cell := grid[m][t]
+			if cell == "" {
+				cell = "."
+			}
+			b.WriteString(pad(cell))
+		}
+		b.WriteByte('\n')
+	}
+	profile := StorageProfile(s)
+	b.WriteString(pad("store"))
+	for t := 1; t <= s.Cycles; t++ {
+		b.WriteString(pad(fmt.Sprintf("%d", profile[t])))
+	}
+	b.WriteByte('\n')
+
+	// Emission sequence: component-tree roots emit two target droplets each.
+	b.WriteString("targets:")
+	for t := 1; t <= s.Cycles; t++ {
+		for _, tree := range s.Forest.Trees {
+			if s.Slots[tree.Root.ID].Cycle == t {
+				fmt.Fprintf(&b, " t=%d:2x%s", t, labels[tree.Root])
+			}
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

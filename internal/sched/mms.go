@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/forest"
+	"repro/internal/mixgraph"
+)
+
+// MMS schedules a mixing forest on mc mixers with M_Mixers_Schedule
+// (Algorithm 1 of the paper): a cycle-stepped list scheduler whose ready
+// queue is FIFO with each cycle's newly schedulable tasks enqueued in
+// ascending level order ("ordered from level l upwards"). Ascending level is
+// Hu's longest-remaining-path priority, so MMS is the latency-oriented
+// scheme.
+//
+// The paper's pseudo-code stops enqueuing new tasks once the level counter
+// passes d; read literally that strands tasks that only become ready during
+// the drain phase (cross-tree dependences), so — clearly the intent — newly
+// ready tasks keep being enqueued every cycle until the forest is complete.
+func MMS(f *forest.Forest, mc int) (*Schedule, error) {
+	return run(f, mc, "MMS", &fifoQueue{}, 0)
+}
+
+// MMSFrom schedules only the tasks with ID >= firstTask, treating earlier
+// tasks as completed before cycle 1 — the incremental window of a
+// pool-persistent demand-driven engine (droplets pooled by earlier windows
+// are available immediately and occupy storage until consumed).
+func MMSFrom(f *forest.Forest, mc, firstTask int) (*Schedule, error) {
+	return run(f, mc, "MMS", &fifoQueue{}, firstTask)
+}
+
+// SRSFrom is the SRS counterpart of MMSFrom.
+func SRSFrom(f *forest.Forest, mc, firstTask int) (*Schedule, error) {
+	return run(f, mc, "SRS", newSRSQueue(), firstTask)
+}
+
+// OMS schedules a single base mixing graph on mc mixers following Luo and
+// Akella's optimal mix scheduling. For unit-time tasks on an in-tree,
+// highest-level-first list scheduling (Hu's algorithm) attains the optimal
+// makespan, and a base mixing tree is exactly such an in-tree; package tests
+// certify optimality against exhaustive search. The graph is scheduled as a
+// demand-2 forest (one pass, two target droplets).
+func OMS(base *mixgraph.Graph, mc int) (*Schedule, error) {
+	f, err := forest.Build(base, 2)
+	if err != nil {
+		return nil, err
+	}
+	return run(f, mc, "OMS", newHuQueue(), 0)
+}
+
+// Mlb returns the minimum number of mixers that lets the base graph complete
+// in its critical-path time (the paper's mixer count for "fastest
+// completion", e.g. 3 for the PCR MM tree). The search increases the mixer
+// count until OMS reaches the critical path; the maximum positional-level
+// width always suffices (scheduling every mix at its positional level is
+// feasible), so the loop terminates there.
+func Mlb(base *mixgraph.Graph) int {
+	cp := base.Root.Level
+	upper := 1
+	for _, w := range base.LevelWidths() {
+		if w > upper {
+			upper = w
+		}
+	}
+	for mc := 1; mc < upper; mc++ {
+		if s, err := OMS(base, mc); err == nil && s.Cycles == cp {
+			return mc
+		}
+	}
+	return upper
+}
+
+// queue abstracts the ready-task policy of a cycle-stepped list scheduler.
+type queue interface {
+	// add offers tasks that became schedulable this cycle.
+	add(tasks []*forest.Task)
+	// pick removes and returns up to mc tasks to run this cycle.
+	pick(mc int) []*forest.Task
+	// len reports how many tasks are waiting.
+	len() int
+}
+
+// fifoQueue is the MMS policy: FIFO overall, each batch pre-sorted by
+// ascending level (then task ID for determinism).
+type fifoQueue struct {
+	items []*forest.Task
+}
+
+func (q *fifoQueue) add(tasks []*forest.Task) {
+	batch := append([]*forest.Task(nil), tasks...)
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].Level != batch[j].Level {
+			return batch[i].Level < batch[j].Level
+		}
+		return batch[i].ID < batch[j].ID
+	})
+	q.items = append(q.items, batch...)
+}
+
+func (q *fifoQueue) pick(mc int) []*forest.Task {
+	n := mc
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := q.items[:n]
+	q.items = q.items[n:]
+	return out
+}
+
+func (q *fifoQueue) len() int { return len(q.items) }
+
+// run is the shared cycle-stepped engine: at every cycle it releases tasks
+// whose producers have all finished, lets the policy pick up to mc of them,
+// and assigns mixers in increasing index order (as Algorithms 1 and 2 do).
+// Tasks with ID < firstTask are treated as completed before cycle 1: their
+// output droplets are available immediately and they receive no assignment.
+func run(f *forest.Forest, mc int, name string, q queue, firstTask int) (*Schedule, error) {
+	if mc < 1 {
+		return nil, ErrNoMixers
+	}
+	if firstTask < 0 || firstTask > len(f.Tasks) {
+		return nil, fmt.Errorf("sched: first task %d outside [0, %d]", firstTask, len(f.Tasks))
+	}
+	s := &Schedule{
+		Forest:    f,
+		Mixers:    mc,
+		Algorithm: name,
+		Slots:     make([]Assignment, len(f.Tasks)),
+		FirstTask: firstTask,
+	}
+	pendingPreds := make([]int, len(f.Tasks))
+	var initial []*forest.Task
+	for _, t := range f.Tasks {
+		if t.ID < firstTask {
+			continue
+		}
+		for _, src := range t.In {
+			if src.Kind == forest.FromTask && src.Task.ID >= firstTask {
+				pendingPreds[t.ID]++
+			}
+		}
+		if pendingPreds[t.ID] == 0 {
+			initial = append(initial, t)
+		}
+	}
+	q.add(initial)
+
+	remaining := len(f.Tasks) - firstTask
+	var releasedNext []*forest.Task
+	for t := 1; remaining > 0; t++ {
+		batch := q.pick(mc)
+		if len(batch) == 0 {
+			return nil, ErrDeadlock
+		}
+		for i, task := range batch {
+			s.Slots[task.ID] = Assignment{Cycle: t, Mixer: i + 1}
+			remaining--
+			for _, c := range task.Consumers() {
+				if c.ID < firstTask {
+					continue // consumed in an earlier window
+				}
+				pendingPreds[c.ID]--
+				if pendingPreds[c.ID] == 0 {
+					releasedNext = append(releasedNext, c)
+				}
+			}
+		}
+		s.Cycles = t
+		q.add(releasedNext)
+		releasedNext = releasedNext[:0]
+	}
+	return s, nil
+}

@@ -1,0 +1,140 @@
+// Package sched implements the scheduling layer of the DAC 2014
+// droplet-streaming paper: the optimal single-tree scheduler OMS (Luo-Akella,
+// realised as Hu's level algorithm, provably optimal for unit-time in-trees),
+// the forest schedulers MMS (Algorithm 1) and SRS (Algorithm 2), the storage
+// accounting of Algorithm 3, and Gantt-chart rendering (Fig. 4).
+//
+// A schedule assigns every mix-split task of a mixing forest a time-cycle
+// (1-based) and an on-chip mixer (1..Mc). All (1:1) mix-split operations are
+// identical and take one time-cycle (paper §2.2); a droplet produced in
+// cycle t is usable from cycle t+1 on.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/forest"
+)
+
+// Assignment places one task on a mixer at a time-cycle.
+type Assignment struct {
+	// Cycle is the 1-based time-cycle the mix-split executes in.
+	Cycle int
+	// Mixer is the 1-based on-chip mixer index (M1, M2, ... in the paper).
+	Mixer int
+}
+
+// Schedule is a complete mixer/time assignment for a mixing forest.
+type Schedule struct {
+	// Forest is the scheduled task graph.
+	Forest *forest.Forest
+	// Mixers is the number of on-chip mixers Mc the schedule uses.
+	Mixers int
+	// Algorithm names the scheduling scheme ("MMS", "SRS", "OMS").
+	Algorithm string
+	// Slots maps task ID to its assignment.
+	Slots []Assignment
+	// Cycles is the time of completion Tc (the largest assigned cycle).
+	Cycles int
+	// FirstTask is the ID of the first task this schedule covers. Tasks
+	// with smaller IDs belong to earlier scheduling windows of a persistent
+	// demand-driven engine: they are treated as completed before cycle 1
+	// and keep the zero assignment. Plain schedules have FirstTask 0.
+	FirstTask int
+}
+
+// At returns the assignment of task t.
+func (s *Schedule) At(t *forest.Task) Assignment { return s.Slots[t.ID] }
+
+// Scheduling errors.
+var (
+	ErrNoMixers = errors.New("sched: need at least one mixer")
+	ErrDeadlock = errors.New("sched: scheduler made no progress (cyclic forest?)")
+)
+
+// Validate checks the schedule against the physical constraints of the chip:
+// every task scheduled exactly once; a droplet never consumed before the
+// cycle after it was produced; at most Mc concurrent mix-splits; no mixer
+// running two mixes in one cycle; and Tc consistent with the assignments.
+func (s *Schedule) Validate() error {
+	if len(s.Slots) != len(s.Forest.Tasks) {
+		return fmt.Errorf("sched: %d slots for %d tasks", len(s.Slots), len(s.Forest.Tasks))
+	}
+	maxCycle := 0
+	busy := make(map[[2]int]int) // (cycle, mixer) -> task ID
+	perCycle := make(map[int]int)
+	for _, t := range s.Forest.Tasks {
+		a := s.Slots[t.ID]
+		if t.ID < s.FirstTask {
+			// Completed in an earlier window; must stay unassigned here.
+			if a != (Assignment{}) {
+				return fmt.Errorf("sched: pre-window task %d carries an assignment", t.ID)
+			}
+			continue
+		}
+		if a.Cycle < 1 {
+			return fmt.Errorf("sched: task %d unscheduled or at invalid cycle %d", t.ID, a.Cycle)
+		}
+		if a.Mixer < 1 || a.Mixer > s.Mixers {
+			return fmt.Errorf("sched: task %d on invalid mixer %d (Mc=%d)", t.ID, a.Mixer, s.Mixers)
+		}
+		if prev, ok := busy[[2]int{a.Cycle, a.Mixer}]; ok {
+			return fmt.Errorf("sched: mixer %d double-booked at cycle %d (tasks %d and %d)",
+				a.Mixer, a.Cycle, prev, t.ID)
+		}
+		busy[[2]int{a.Cycle, a.Mixer}] = t.ID
+		perCycle[a.Cycle]++
+		if perCycle[a.Cycle] > s.Mixers {
+			return fmt.Errorf("sched: more than %d mixes at cycle %d", s.Mixers, a.Cycle)
+		}
+		for _, src := range t.In {
+			if src.Kind == forest.FromTask {
+				p := s.Slots[src.Task.ID]
+				if p.Cycle >= a.Cycle {
+					return fmt.Errorf("sched: task %d at cycle %d consumes task %d finishing at cycle %d",
+						t.ID, a.Cycle, src.Task.ID, p.Cycle)
+				}
+			}
+		}
+		if a.Cycle > maxCycle {
+			maxCycle = a.Cycle
+		}
+	}
+	if s.Cycles != maxCycle {
+		return fmt.Errorf("sched: Tc=%d but max assigned cycle is %d", s.Cycles, maxCycle)
+	}
+	return nil
+}
+
+// CriticalPathBound returns the precedence lower bound on Tc: the length of
+// the longest dependency chain in the forest.
+func CriticalPathBound(f *forest.Forest) int {
+	depth := make([]int, len(f.Tasks))
+	best := 0
+	for _, t := range f.Tasks {
+		d := 1
+		for _, src := range t.In {
+			if src.Kind == forest.FromTask {
+				if v := depth[src.Task.ID] + 1; v > d {
+					d = v
+				}
+			}
+		}
+		depth[t.ID] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// LowerBound returns max(critical path, ⌈Tms/Mc⌉), the classic makespan
+// lower bound for unit tasks on Mc identical mixers.
+func LowerBound(f *forest.Forest, mc int) int {
+	lb := CriticalPathBound(f)
+	if work := (len(f.Tasks) + mc - 1) / mc; work > lb {
+		lb = work
+	}
+	return lb
+}

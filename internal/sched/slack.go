@@ -1,0 +1,63 @@
+package sched
+
+import "repro/internal/forest"
+
+// Mobility is the scheduling freedom of one task under a completion-time
+// target: the window of cycles [ASAP, ALAP] it can occupy without violating
+// precedence or extending the horizon. Zero-slack tasks form the critical
+// path; high-slack tasks are where SRS finds room to delay leaf-leaf mixes.
+type Mobility struct {
+	// ASAP is the earliest cycle precedence alone allows.
+	ASAP int
+	// ALAP is the latest cycle that still meets the horizon.
+	ALAP int
+}
+
+// Slack returns ALAP - ASAP.
+func (m Mobility) Slack() int { return m.ALAP - m.ASAP }
+
+// Mobilities computes, for every task of the forest, its ASAP and ALAP
+// cycles against the given horizon (use a schedule's Cycles, or
+// CriticalPathBound for the tightest feasible horizon). Resource limits are
+// deliberately ignored — mobility measures precedence freedom.
+func Mobilities(f *forest.Forest, horizon int) []Mobility {
+	n := len(f.Tasks)
+	out := make([]Mobility, n)
+	// ASAP: forward sweep over the topological order.
+	for _, t := range f.Tasks {
+		asap := 1
+		for _, src := range t.In {
+			if src.Kind == forest.FromTask {
+				if v := out[src.Task.ID].ASAP + 1; v > asap {
+					asap = v
+				}
+			}
+		}
+		out[t.ID].ASAP = asap
+	}
+	// ALAP: backward sweep.
+	for i := n - 1; i >= 0; i-- {
+		t := f.Tasks[i]
+		alap := horizon
+		for _, c := range t.Consumers() {
+			if v := out[c.ID].ALAP - 1; v < alap {
+				alap = v
+			}
+		}
+		out[t.ID].ALAP = alap
+	}
+	return out
+}
+
+// CriticalTasks returns the tasks with zero slack at the critical-path
+// horizon — the chain that bounds Tc no matter how many mixers exist.
+func CriticalTasks(f *forest.Forest) []*forest.Task {
+	ms := Mobilities(f, CriticalPathBound(f))
+	var out []*forest.Task
+	for _, t := range f.Tasks {
+		if ms[t.ID].Slack() == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

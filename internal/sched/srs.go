@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"container/heap"
+
+	"repro/internal/forest"
+)
+
+// SRS schedules a mixing forest on mc mixers with Storage_Reduced_Scheduling
+// (Algorithm 2 of the paper). Schedulable tasks are kept in two priority
+// queues:
+//
+//   - Qint holds Type-A and Type-B tasks (at least one input droplet comes
+//     from another mix — stalling them keeps droplets in storage), ordered
+//     by descending level: finishing high tasks early shortens the forest.
+//   - Qleaf holds Type-C tasks (both inputs fresh from reservoirs — stalling
+//     them costs no storage), ordered by ascending level.
+//
+// Each cycle drains Qint first and only gives leftover mixers to Qleaf,
+// using the paper's counting rule: Qleaf supplies at most
+// max(0, Mc - |Qint before dequeue|) tasks. Compared with MMS this can
+// lengthen Tc slightly but needs fewer on-chip storage units.
+func SRS(f *forest.Forest, mc int) (*Schedule, error) {
+	return run(f, mc, "SRS", newSRSQueue(), 0)
+}
+
+// taskHeap is a priority queue of tasks; less is configurable.
+type taskHeap struct {
+	items []*forest.Task
+	less  func(a, b *forest.Task) bool
+}
+
+func (h *taskHeap) Len() int           { return len(h.items) }
+func (h *taskHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h *taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *taskHeap) Push(x interface{}) { h.items = append(h.items, x.(*forest.Task)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// huQueue is the OMS policy: a single priority queue re-ranked every cycle
+// by ascending level, i.e. Hu's highest-level-first rule (a task's distance
+// to its root is depth minus level). Unlike MMS's FIFO, a critical task that
+// becomes ready late still preempts earlier-queued shallow tasks.
+type huQueue struct {
+	h *taskHeap
+}
+
+func newHuQueue() *huQueue {
+	return &huQueue{h: &taskHeap{less: func(a, b *forest.Task) bool {
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.ID < b.ID
+	}}}
+}
+
+func (q *huQueue) add(tasks []*forest.Task) {
+	for _, t := range tasks {
+		heap.Push(q.h, t)
+	}
+}
+
+func (q *huQueue) pick(mc int) []*forest.Task {
+	var out []*forest.Task
+	for len(out) < mc && q.h.Len() > 0 {
+		out = append(out, heap.Pop(q.h).(*forest.Task))
+	}
+	return out
+}
+
+func (q *huQueue) len() int { return q.h.Len() }
+
+// srsQueue implements Algorithm 2's two-queue policy.
+type srsQueue struct {
+	qint  *taskHeap
+	qleaf *taskHeap
+}
+
+func newSRSQueue() *srsQueue {
+	return &srsQueue{
+		qint: &taskHeap{less: func(a, b *forest.Task) bool {
+			// Higher level first; more internal children (Type-A over
+			// Type-B) next — a stalled Type-A costs two storage cells per
+			// cycle, a Type-B one; creation order breaks remaining ties.
+			if a.Level != b.Level {
+				return a.Level > b.Level
+			}
+			if ai, bi := a.InternalInputs(), b.InternalInputs(); ai != bi {
+				return ai > bi
+			}
+			return a.ID < b.ID
+		}},
+		qleaf: &taskHeap{less: func(a, b *forest.Task) bool {
+			// Lower level first: a deep leaf-leaf mix feeds a longer chain.
+			if a.Level != b.Level {
+				return a.Level < b.Level
+			}
+			return a.ID < b.ID
+		}},
+	}
+}
+
+func (q *srsQueue) add(tasks []*forest.Task) {
+	for _, t := range tasks {
+		if t.InternalInputs() > 0 {
+			heap.Push(q.qint, t)
+		} else {
+			heap.Push(q.qleaf, t)
+		}
+	}
+}
+
+func (q *srsQueue) pick(mc int) []*forest.Task {
+	intNodes := q.qint.Len() // |Qint| before dequeuing, as in Algorithm 2
+	var out []*forest.Task
+	for len(out) < mc && q.qint.Len() > 0 {
+		out = append(out, heap.Pop(q.qint).(*forest.Task))
+	}
+	leafBudget := mc - intNodes
+	for leafBudget > 0 && q.qleaf.Len() > 0 {
+		out = append(out, heap.Pop(q.qleaf).(*forest.Task))
+		leafBudget--
+	}
+	return out
+}
+
+func (q *srsQueue) len() int { return q.qint.Len() + q.qleaf.Len() }

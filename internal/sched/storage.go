@@ -1,0 +1,81 @@
+package sched
+
+import "repro/internal/forest"
+
+// StorageProfile implements Counting_Storage_Units (Algorithm 3 of the
+// paper) on droplet lifetimes: a droplet produced by a task finishing at
+// cycle t_n and consumed by a task running at cycle t_c sits in an on-chip
+// storage cell during cycles t_n+1 .. t_c-1. Target droplets are emitted and
+// discarded wastes are routed to the waste reservoir immediately, so neither
+// occupies storage. The returned slice is indexed by cycle (1..Tc); index 0
+// is unused and zero.
+func StorageProfile(s *Schedule) []int {
+	profile := make([]int, s.Cycles+1)
+	for _, t := range s.Forest.Tasks {
+		produced := s.Slots[t.ID].Cycle
+		for _, c := range t.Consumers() {
+			consumed := s.Slots[c.ID].Cycle
+			for i := produced + 1; i < consumed; i++ {
+				profile[i]++
+			}
+		}
+	}
+	return profile
+}
+
+// StorageUnits returns q, the number of on-chip storage units the schedule
+// needs: the peak of the storage profile.
+func StorageUnits(s *Schedule) int {
+	max := 0
+	for _, v := range StorageProfile(s) {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// BaselineStorage returns the paper's closed-form estimate for the storage
+// units a repeated-baseline pass needs when a depth-d base tree is scheduled
+// with mc mixers: q_r = d - (floor(log2 mc) + 1), clamped at zero.
+func BaselineStorage(d, mc int) int {
+	log := 0
+	for v := mc; v > 1; v >>= 1 {
+		log++
+	}
+	q := d - (log + 1)
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// StoredDroplet describes one storage-cell occupation interval, for layout
+// binding and transport accounting.
+type StoredDroplet struct {
+	// Producer is the task whose output droplet is stored.
+	Producer *forest.Task
+	// Consumer is the task that finally picks the droplet up.
+	Consumer *forest.Task
+	// From is the first cycle the droplet sits in storage (producer cycle
+	// + 1); To is the last (consumer cycle - 1). From > To means the droplet
+	// went straight from mixer to mixer and never touched storage.
+	From, To int
+}
+
+// StoredDroplets lists every producer-consumer droplet hand-off with its
+// storage interval, in producer-cycle order.
+func StoredDroplets(s *Schedule) []StoredDroplet {
+	var out []StoredDroplet
+	for _, t := range s.Forest.Tasks {
+		for _, c := range t.Consumers() {
+			out = append(out, StoredDroplet{
+				Producer: t,
+				Consumer: c,
+				From:     s.Slots[t.ID].Cycle + 1,
+				To:       s.Slots[c.ID].Cycle - 1,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+// Package stream implements the storage-constrained droplet-streaming engine
+// of Roy et al. (DAC 2014) §6: when the chip offers only q' on-chip storage
+// units, a demand D may not be satisfiable in one mixing-forest pass. The
+// engine finds D', the largest single-pass demand whose schedule stays
+// within q' storage units, and repeats passes (⌈D/D'⌉ of them, the last one
+// possibly smaller) until the demand is met — the procedure behind Table 4.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/forest"
+	"repro/internal/mixgraph"
+	"repro/internal/sched"
+)
+
+// Scheduler selects the forest scheduling scheme.
+type Scheduler int
+
+const (
+	// MMS is M_Mixers_Schedule (Algorithm 1), the latency-oriented scheme.
+	MMS Scheduler = iota
+	// SRS is Storage_Reduced_Scheduling (Algorithm 2), the storage-frugal
+	// scheme the paper pairs with multi-pass streaming.
+	SRS
+)
+
+// String returns the paper's name for the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case MMS:
+		return "MMS"
+	case SRS:
+		return "SRS"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// Schedule runs the selected scheme.
+func (s Scheduler) Schedule(f *forest.Forest, mc int) (*sched.Schedule, error) {
+	switch s {
+	case MMS:
+		return sched.MMS(f, mc)
+	case SRS:
+		return sched.SRS(f, mc)
+	default:
+		return nil, fmt.Errorf("stream: unknown scheduler %d", int(s))
+	}
+}
+
+// Config describes the chip resources available to the engine.
+type Config struct {
+	// Base is the base mixing graph (MM, RMA or MTCS) of the target.
+	Base *mixgraph.Graph
+	// Mixers is the number of on-chip mixers Mc.
+	Mixers int
+	// Storage is the number of on-chip storage units q'. Zero or negative
+	// means unlimited (single-pass operation).
+	Storage int
+	// Scheduler is the forest scheduling scheme (default MMS).
+	Scheduler Scheduler
+}
+
+// Pass is one mixing-forest execution.
+type Pass struct {
+	// Demand is the number of target droplets this pass emits.
+	Demand int
+	// Schedule is the pass's mixer/time assignment.
+	Schedule *sched.Schedule
+	// Storage is the number of storage units the pass occupies at its peak.
+	Storage int
+	// Waste and Inputs are the pass's droplet costs.
+	Waste  int64
+	Inputs int64
+	// StartCycle is the absolute cycle the pass begins at (1-based); the
+	// pass occupies StartCycle .. StartCycle+Schedule.Cycles-1.
+	StartCycle int
+}
+
+// Result is the full multi-pass plan for one demand.
+type Result struct {
+	// Config echoes the engine configuration.
+	Config Config
+	// Demand is the requested number of droplets D.
+	Demand int
+	// PerPassDemand is D', the single-pass demand cap the storage limit
+	// allows (equals Demand when storage is unlimited or sufficient).
+	PerPassDemand int
+	// Passes are the planned passes in execution order.
+	Passes []Pass
+	// TotalCycles, TotalWaste and TotalInputs aggregate over the passes
+	// (the quantities reported in Table 4).
+	TotalCycles int
+	TotalWaste  int64
+	TotalInputs int64
+	// Emitted is the number of target droplets actually produced; it is
+	// Demand rounded up to even per pass, so Emitted >= Demand.
+	Emitted int
+}
+
+// ErrStorage reports that even a minimal two-droplet pass exceeds the
+// available storage units.
+var ErrStorage = errors.New("stream: base tree needs more storage units than available")
+
+// MaxSinglePassDemand returns D', the largest demand not exceeding limit
+// whose one-pass schedule fits in the configured storage, or 0 if even a
+// demand of 2 does not fit. Storage use is not monotone in demand, so the
+// scan inspects every even demand up to limit and keeps the largest fit.
+func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
+	if limit < 2 {
+		limit = 2
+	}
+	best := 0
+	for d := 2; d <= limit; d += 2 {
+		f, err := forest.Build(cfg.Base, d)
+		if err != nil {
+			return 0, err
+		}
+		s, err := cfg.Scheduler.Schedule(f, cfg.Mixers)
+		if err != nil {
+			return 0, err
+		}
+		if sched.StorageUnits(s) <= cfg.Storage {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Run plans the emission of `demand` target droplets under the configured
+// resource constraints.
+func Run(cfg Config, demand int) (*Result, error) {
+	if demand <= 0 {
+		return nil, fmt.Errorf("stream: %w: %d", forest.ErrBadDemand, demand)
+	}
+	if cfg.Mixers < 1 {
+		return nil, sched.ErrNoMixers
+	}
+	perPass := demand
+	if cfg.Storage > 0 {
+		dmax, err := MaxSinglePassDemand(cfg, demand)
+		if err != nil {
+			return nil, err
+		}
+		if dmax == 0 {
+			return nil, fmt.Errorf("%w (q'=%d)", ErrStorage, cfg.Storage)
+		}
+		perPass = dmax
+	}
+
+	res := &Result{Config: cfg, Demand: demand, PerPassDemand: perPass}
+	start := 1
+	for remaining := demand; remaining > 0; {
+		d := perPass
+		if remaining < d {
+			d = remaining
+		}
+		f, err := forest.Build(cfg.Base, d)
+		if err != nil {
+			return nil, err
+		}
+		s, err := cfg.Scheduler.Schedule(f, cfg.Mixers)
+		if err != nil {
+			return nil, err
+		}
+		st := f.Stats()
+		p := Pass{
+			Demand:     st.Targets,
+			Schedule:   s,
+			Storage:    sched.StorageUnits(s),
+			Waste:      st.Waste,
+			Inputs:     st.InputTotal,
+			StartCycle: start,
+		}
+		res.Passes = append(res.Passes, p)
+		res.TotalCycles += s.Cycles
+		res.TotalWaste += st.Waste
+		res.TotalInputs += st.InputTotal
+		res.Emitted += st.Targets
+		start += s.Cycles
+		remaining -= st.Targets
+	}
+	return res, nil
+}
+
+// Emissions lists (absolute cycle, droplet count) events across all passes,
+// in time order: every component-tree root emits two target droplets in the
+// cycle it executes.
+func (r *Result) Emissions() []Emission {
+	var out []Emission
+	for _, p := range r.Passes {
+		byCycle := map[int]int{}
+		for _, tree := range p.Schedule.Forest.Trees {
+			c := p.StartCycle + p.Schedule.At(tree.Root).Cycle - 1
+			byCycle[c] += 2
+		}
+		for c, n := range byCycle {
+			out = append(out, Emission{Cycle: c, Count: n})
+		}
+	}
+	sortEmissions(out)
+	return out
+}
+
+// FirstEmission returns the absolute cycle the first target droplets leave
+// the chip — the stream's responsiveness (time to first droplet). The
+// mixing forest emits its first pair after d cycles regardless of the total
+// demand, where the repeated baseline would also take d but then starves
+// between passes.
+func (r *Result) FirstEmission() int {
+	first := 0
+	for _, p := range r.Passes {
+		for _, tree := range p.Schedule.Forest.Trees {
+			c := p.StartCycle + p.Schedule.At(tree.Root).Cycle - 1
+			if first == 0 || c < first {
+				first = c
+			}
+		}
+	}
+	return first
+}
+
+// Emission is a droplet-output event.
+type Emission struct {
+	// Cycle is the absolute time-cycle of the emission.
+	Cycle int
+	// Count is the number of target droplets emitted in that cycle.
+	Count int
+}
+
+func sortEmissions(es []Emission) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Cycle < es[j-1].Cycle; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}

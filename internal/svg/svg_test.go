@@ -1,0 +1,134 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+	"repro/internal/fluidsim"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+)
+
+// wellFormed checks the document parses as XML.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, doc[:min(len(doc), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fixtures(t *testing.T) (*sched.Schedule, *chip.Layout, *fluidsim.Result) {
+	t.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("minmix.Build: %v", err)
+	}
+	f, err := forest.Build(g, 20)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		t.Fatalf("SRS: %v", err)
+	}
+	l := chip.PCRLayout()
+	plan, err := exec.Execute(s, l)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wear, err := fluidsim.Replay(plan, l)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return s, l, wear
+}
+
+func TestGanttSVG(t *testing.T) {
+	s, _, _ := fixtures(t)
+	doc := Gantt(s)
+	wellFormed(t, doc)
+	// One filled cell per task plus the grid.
+	if got := strings.Count(doc, "<rect"); got < len(s.Forest.Tasks) {
+		t.Errorf("only %d rects for %d tasks", got, len(s.Forest.Tasks))
+	}
+	for _, want := range []string{"SRS schedule", "m1,1", "store"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Gantt SVG missing %q", want)
+		}
+	}
+}
+
+func TestLayoutSVG(t *testing.T) {
+	_, l, _ := fixtures(t)
+	doc := Layout(l)
+	wellFormed(t, doc)
+	for _, m := range l.Modules {
+		if !strings.Contains(doc, ">"+m.Name+"<") {
+			t.Errorf("layout SVG missing module %s", m.Name)
+		}
+	}
+	// Three mixer exits drawn as diamonds.
+	if got := strings.Count(doc, "rotate(45"); got != 3 {
+		t.Errorf("%d exit markers, want 3", got)
+	}
+}
+
+func TestWearSVG(t *testing.T) {
+	_, l, wear := fixtures(t)
+	doc := Wear(wear, l)
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "#dddddd") {
+		t.Error("wear SVG missing module cells")
+	}
+	// The hottest electrode's count appears as text.
+	if !strings.Contains(doc, ">"+itoa(wear.MaxActuations)+"<") {
+		t.Errorf("wear SVG missing hottest count %d", wear.MaxActuations)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestForestrySVG(t *testing.T) {
+	doc := Forestry([]int{7, 1, 2, 1, 4, 1, 2, 1})
+	wellFormed(t, doc)
+	if !strings.Contains(doc, ">T8<") || !strings.Contains(doc, ">7<") {
+		t.Error("forestry SVG missing bars/labels")
+	}
+	empty := Forestry(nil)
+	wellFormed(t, empty)
+}
+
+func TestEscaping(t *testing.T) {
+	if esc(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Error("esc mismatch")
+	}
+}

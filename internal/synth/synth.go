@@ -1,0 +1,111 @@
+// Package synth generates the synthetic target-ratio benchmark of the DAC
+// 2014 droplet-streaming paper (§6): target ratios of N different fluids,
+// 2 <= N <= 12, with ratio-sum L = 32. The paper evaluates on 6058 such
+// ratios without specifying their generation; this package enumerates the
+// complete population deterministically — every integer partition of L into
+// N parts — so results are exactly reproducible (see DESIGN.md §4). Fluid
+// order within a ratio does not affect any of the algorithms' costs, so
+// partitions (descending parts) represent all ratios without duplication.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/ratio"
+)
+
+// Dataset enumerates every integer partition of sum L into n parts for each
+// n in [minN, maxN], as ratios with descending parts. L must be a power of
+// two for the results to be valid mix-split targets.
+func Dataset(L int64, minN, maxN int) ([]ratio.Ratio, error) {
+	if L < 1 || L&(L-1) != 0 {
+		return nil, fmt.Errorf("synth: L=%d is not a power of two", L)
+	}
+	if minN < 1 || maxN < minN {
+		return nil, fmt.Errorf("synth: invalid fluid-count range [%d, %d]", minN, maxN)
+	}
+	var out []ratio.Ratio
+	parts := make([]int64, 0, maxN)
+	var rec func(remaining int64, slots int, maxPart int64) error
+	rec = func(remaining int64, slots int, maxPart int64) error {
+		if slots == 0 {
+			if remaining != 0 {
+				return nil
+			}
+			r, err := ratio.New(parts...)
+			if err != nil {
+				return err
+			}
+			out = append(out, r)
+			return nil
+		}
+		// Each of the `slots` remaining parts is at least 1; the next part
+		// is at most maxPart (descending order) and must leave at least
+		// slots-1 units for the rest.
+		hi := maxPart
+		if remaining-int64(slots-1) < hi {
+			hi = remaining - int64(slots-1)
+		}
+		for p := hi; p >= 1; p-- {
+			// Feasibility: the remaining slots-1 parts are each <= p.
+			if remaining-p > p*int64(slots-1) {
+				continue
+			}
+			parts = append(parts, p)
+			if err := rec(remaining-p, slots-1, p); err != nil {
+				return err
+			}
+			parts = parts[:len(parts)-1]
+		}
+		return nil
+	}
+	for n := minN; n <= maxN; n++ {
+		if int64(n) > L {
+			break
+		}
+		if err := rec(L, n, L-int64(n)+1); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PaperDataset returns the paper's benchmark population: all ratios with
+// L = 32 and 2 <= N <= 12.
+func PaperDataset() []ratio.Ratio {
+	ds, err := Dataset(32, 2, 12)
+	if err != nil {
+		panic(err) // parameters are constants; cannot fail
+	}
+	return ds
+}
+
+// Count returns the number of partitions Dataset(L, minN, maxN) yields
+// without materialising them (dynamic programming over partition counts).
+func Count(L int64, minN, maxN int) int64 {
+	if L < 1 || minN < 1 || maxN < minN {
+		return 0
+	}
+	// p[k][s] = partitions of s into exactly k parts.
+	p := make([][]int64, maxN+1)
+	for k := range p {
+		p[k] = make([]int64, L+1)
+	}
+	p[0][0] = 1
+	for k := 1; k <= maxN; k++ {
+		for s := int64(1); s <= L; s++ {
+			// Recurrence: partitions of s into k parts = partitions of s-1
+			// into k-1 parts (a part equal to 1) + partitions of s-k into k
+			// parts (subtract 1 from every part).
+			p[k][s] = p[k-1][s-1]
+			if s >= int64(k) {
+				p[k][s] += p[k][s-int64(k)]
+			}
+		}
+	}
+	var total int64
+	for k := minN; k <= maxN; k++ {
+		total += p[k][L]
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/ratio"
+)
+
+func TestPaperDatasetSize(t *testing.T) {
+	ds := PaperDataset()
+	// The complete population of target ratios with L=32 and 2<=N<=12 is
+	// 6289 partitions; the paper evaluates on 6058 of them (selection
+	// unspecified). See DESIGN.md §4 and EXPERIMENTS.md.
+	if len(ds) != 6289 {
+		t.Errorf("dataset size = %d, want 6289", len(ds))
+	}
+}
+
+func TestCountMatchesEnumeration(t *testing.T) {
+	for _, c := range []struct {
+		L          int64
+		minN, maxN int
+	}{
+		{16, 2, 5},
+		{32, 2, 12},
+		{8, 1, 8},
+		{4, 2, 2},
+	} {
+		ds, err := Dataset(c.L, c.minN, c.maxN)
+		if err != nil {
+			t.Fatalf("Dataset(%d,%d,%d): %v", c.L, c.minN, c.maxN, err)
+		}
+		if got := Count(c.L, c.minN, c.maxN); got != int64(len(ds)) {
+			t.Errorf("Count(%d,%d,%d) = %d, enumeration = %d", c.L, c.minN, c.maxN, got, len(ds))
+		}
+	}
+}
+
+func TestDatasetEntriesValid(t *testing.T) {
+	ds, err := Dataset(16, 2, 6)
+	if err != nil {
+		t.Fatalf("Dataset: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, r := range ds {
+		if r.Sum() != 16 {
+			t.Fatalf("ratio %v has sum %d", r, r.Sum())
+		}
+		if n := r.N(); n < 2 || n > 6 {
+			t.Fatalf("ratio %v has %d parts", r, n)
+		}
+		// Parts descending (canonical partition form).
+		for i := 1; i < r.N(); i++ {
+			if r.Part(i) > r.Part(i-1) {
+				t.Fatalf("ratio %v not in descending order", r)
+			}
+		}
+		if seen[r.String()] {
+			t.Fatalf("duplicate ratio %v", r)
+		}
+		seen[r.String()] = true
+	}
+}
+
+func TestSmallCases(t *testing.T) {
+	// Partitions of 4 into 2 parts: 3+1, 2+2.
+	ds, err := Dataset(4, 2, 2)
+	if err != nil {
+		t.Fatalf("Dataset: %v", err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("partitions of 4 into 2 parts = %d, want 2", len(ds))
+	}
+	want := map[string]bool{"3:1": true, "2:2": true}
+	for _, r := range ds {
+		if !want[r.String()] {
+			t.Errorf("unexpected partition %v", r)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Dataset(30, 2, 5); err == nil {
+		t.Error("non-power-of-two L accepted")
+	}
+	if _, err := Dataset(16, 0, 5); err == nil {
+		t.Error("minN=0 accepted")
+	}
+	if _, err := Dataset(16, 5, 2); err == nil {
+		t.Error("maxN < minN accepted")
+	}
+	if Count(30, 5, 2) != 0 {
+		t.Error("Count with bad range should be 0")
+	}
+}
+
+func TestNBiggerThanL(t *testing.T) {
+	ds, err := Dataset(4, 2, 12)
+	if err != nil {
+		t.Fatalf("Dataset: %v", err)
+	}
+	// Partitions of 4 into 2..4 parts: {3:1, 2:2}, {2:1:1}, {1:1:1:1}.
+	if len(ds) != 4 {
+		t.Errorf("got %d partitions, want 4", len(ds))
+	}
+	_ = ratio.MustNew // keep the import honest if the test shrinks
+}

@@ -1,0 +1,112 @@
+// Package textplot renders small ASCII line charts for the paper's figure
+// reproductions (Figs. 6 and 7) without any graphics dependency: one marker
+// per series on a character grid, with y-axis ticks and a legend.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve; Y[i] pairs with the chart's X[i].
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers cycles through distinguishable series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the series over the common x values on a width x height
+// character grid. X and every series' Y must have equal lengths.
+func Chart(title, xLabel, yLabel string, x []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(x) == 0 || len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	minX, maxX := x[0], x[0]
+	for _, v := range x {
+		minX, maxX = math.Min(minX, v), math.Max(maxX, v)
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			minY, maxY = math.Min(minY, v), math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(v float64) int {
+		c := int(math.Round((v - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(v float64) int {
+		r := int(math.Round((maxY - v) / (maxY - minY) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Y {
+			if i >= len(x) {
+				break
+			}
+			grid[row(v)][col(x[i])] = m
+		}
+	}
+
+	yTick := func(r int) float64 {
+		return maxY - (maxY-minY)*float64(r)/float64(height-1)
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%10.2f |%s\n", yTick(r), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "x: %s, y: %s\n", xLabel, yLabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Ints converts integer samples for Chart.
+func Ints(vs []int) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	out := Chart("title", "xs", "ys", x, []Series{
+		{Name: "up", Y: []float64{1, 2, 3, 4}},
+		{Name: "down", Y: []float64{4, 3, 2, 1}},
+	}, 40, 10)
+	for _, want := range []string{"title", "x: xs, y: ys", "* up", "o down", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+2+1+2 {
+		t.Errorf("chart has %d lines", len(lines))
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := Chart("t", "x", "y", nil, nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := Chart("t", "x", "y", []float64{1, 2}, []Series{{Name: "flat", Y: []float64{5, 5}}}, 20, 6)
+	if !strings.Contains(out, "flat") {
+		t.Error("constant series dropped")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart("t", "x", "y", []float64{3}, []Series{{Name: "dot", Y: []float64{7}}}, 20, 6)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := Chart("t", "x", "y", []float64{1, 2}, []Series{{Name: "s", Y: []float64{1, 2}}}, 1, 1)
+	if len(out) == 0 {
+		t.Error("tiny chart empty")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int{1, 2, 3})
+	if len(got) != 3 || got[2] != 3.0 {
+		t.Errorf("Ints = %v", got)
+	}
+}
+
+func TestMarkerPlacementMonotone(t *testing.T) {
+	// An increasing series must place later markers on higher rows
+	// (smaller row index) — spot-check first vs last.
+	x := []float64{0, 10}
+	out := Chart("t", "x", "y", x, []Series{{Name: "s", Y: []float64{0, 100}}}, 30, 8)
+	lines := strings.Split(out, "\n")
+	var firstRow, lastRow int = -1, -1
+	for i, line := range lines {
+		if idx := strings.IndexByte(line, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("markers not found on distinct rows:\n%s", out)
+	}
+}
