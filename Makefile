@@ -1,0 +1,38 @@
+# Standard-library-only Go module; every target is pure `go` tooling.
+
+GO ?= go
+
+# Packages with new concurrency (worker pool, plan cache, parallel sweeps,
+# streaming planner) — raced explicitly by `make race`.
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth
+
+.PHONY: build test race vet fmt-check bench-smoke check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(CONCURRENT_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One fast iteration of every benchmark — verifies the harness wiring without
+# waiting on real measurement runs.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+check: build vet fmt-check test race
+
+clean:
+	$(GO) clean
+	rm -f *.test

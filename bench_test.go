@@ -15,16 +15,31 @@ import (
 	"repro/internal/forest"
 	"repro/internal/minmix"
 	"repro/internal/mtcs"
+	"repro/internal/plancache"
 	"repro/internal/ratio"
 	"repro/internal/rma"
 	"repro/internal/route"
 	"repro/internal/sched"
+	"repro/internal/stream"
 	"repro/internal/synth"
 )
+
+// purgePlans resets the process-wide plan cache so a benchmark iteration
+// measures from-scratch planning rather than cache lookups.
+func purgePlans() { plancache.Default().Purge() }
+
+// sequentially forces the single-threaded reference path for the duration of
+// the benchmark (the parallel fan-out is the default).
+func sequentially(b *testing.B) {
+	prev := experiments.Sequential
+	experiments.Sequential = true
+	b.Cleanup(func() { experiments.Sequential = prev })
+}
 
 // BenchmarkTable2 regenerates Table 2: five protocols x nine schemes, D=32.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		purgePlans()
 		rows, err := experiments.Table2(32)
 		if err != nil {
 			b.Fatal(err)
@@ -44,18 +59,35 @@ func BenchmarkTable3(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		purgePlans()
 		if _, err := experiments.Table3Compute(ds, 32); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkTable3Full runs the paper's full configuration: 6289 ratios of
-// L=32, D=32, three algorithms, baseline + MMS + SRS each.
+// BenchmarkTable3Full runs the paper's full configuration on the sequential
+// reference path with a cold plan cache: 6289 ratios of L=32, D=32, three
+// algorithms, baseline + MMS + SRS each. Compare BenchmarkTable3FullParallel.
 func BenchmarkTable3Full(b *testing.B) {
+	sequentially(b)
 	ds := synth.PaperDataset()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		purgePlans()
+		if _, err := experiments.Table3Compute(ds, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3FullParallel is BenchmarkTable3Full on the default
+// GOMAXPROCS-wide fan-out (identical output, see the golden equality tests).
+func BenchmarkTable3FullParallel(b *testing.B) {
+	ds := synth.PaperDataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		purgePlans()
 		if _, err := experiments.Table3Compute(ds, 32); err != nil {
 			b.Fatal(err)
 		}
@@ -66,8 +98,50 @@ func BenchmarkTable3Full(b *testing.B) {
 func BenchmarkTable4(b *testing.B) {
 	cfg := experiments.DefaultTable4Config()
 	for i := 0; i < b.N; i++ {
+		purgePlans()
 		if _, err := experiments.Table4(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamSweep measures the storage-budget sweep that dominated the
+// seed's Table 4 cost: stream.Run for q' = 1..8 at D = 32. Each Run scans
+// candidate demands with one incremental forest builder and plans the
+// repeated full-size pass once; the cache is purged per iteration so this
+// measures the incremental planner itself, not cache hits.
+func BenchmarkStreamSweep(b *testing.B) {
+	base, err := minmix.Build(pcrRatio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		purgePlans()
+		for q := 1; q <= 8; q++ {
+			cfg := stream.Config{Base: base, Mixers: 3, Storage: q, Scheduler: stream.SRS}
+			if _, err := stream.Run(cfg, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStreamSweepCached is BenchmarkStreamSweep against a warm plan
+// cache: after the first iteration every Run is pure cache lookups.
+func BenchmarkStreamSweepCached(b *testing.B) {
+	base, err := minmix.Build(pcrRatio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	purgePlans()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := 1; q <= 8; q++ {
+			cfg := stream.Config{Base: base, Mixers: 3, Storage: q, Scheduler: stream.SRS}
+			if _, err := stream.Run(cfg, 32); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -94,6 +168,7 @@ func BenchmarkFig6(b *testing.B) {
 	demands := []int{1, 2, 4, 8, 16, 32}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		purgePlans()
 		if _, err := experiments.Fig6Compute(ds, demands); err != nil {
 			b.Fatal(err)
 		}
@@ -104,6 +179,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	mixers := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 	for i := 0; i < b.N; i++ {
+		purgePlans()
 		if _, err := experiments.Fig7Compute(mixers, 32); err != nil {
 			b.Fatal(err)
 		}
@@ -205,8 +281,26 @@ func BenchmarkCostMatrix(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineRequest measures the end-to-end demand-driven path.
+// BenchmarkEngineRequest measures the end-to-end demand-driven path with a
+// cold plan cache (the seed's uncached semantics).
 func BenchmarkEngineRequest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		purgePlans()
+		e, err := NewEngine(Config{Target: pcrRatio, Scheduler: SRS, Storage: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Request(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRequestCached measures the same path against a warm plan
+// cache: re-planning an identical demand is a lookup, not a rebuild.
+func BenchmarkEngineRequestCached(b *testing.B) {
+	purgePlans()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e, err := NewEngine(Config{Target: pcrRatio, Scheduler: SRS, Storage: 5})
 		if err != nil {

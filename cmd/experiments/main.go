@@ -9,6 +9,8 @@
 //	experiments -table2 -table4     # selected artefacts
 //	experiments -quick              # smaller synthetic population
 //	experiments -csvdir results     # also write CSVs
+//	experiments -sequential         # single-threaded reference path
+//	experiments -cachestats         # report plan-cache hit rates
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/errormodel"
 	"repro/internal/experiments"
+	"repro/internal/plancache"
 	"repro/internal/protocols"
 	"repro/internal/ratio"
 	"repro/internal/synth"
@@ -26,21 +29,27 @@ import (
 
 func main() {
 	var (
-		t2     = flag.Bool("table2", false, "Table 2: five protocols, nine schemes")
-		t3     = flag.Bool("table3", false, "Table 3: average improvements over the synthetic population")
-		t4     = flag.Bool("table4", false, "Table 4: storage-constrained PCR streaming")
-		f5     = flag.Bool("fig5", false, "Fig. 5: chip layout and electrode actuations")
-		f6     = flag.Bool("fig6", false, "Fig. 6: average Tc and I vs demand")
-		f7     = flag.Bool("fig7", false, "Fig. 7: Tc and q vs mixer count")
-		ext    = flag.Bool("ext", false, "extension experiments E1-E4 (RSM roster, persistence, routing, robustness)")
-		quick  = flag.Bool("quick", false, "use the L=16 population for Table 3 / Fig. 6 (fast)")
-		csvdir = flag.String("csvdir", "", "directory to write CSV files into")
+		t2         = flag.Bool("table2", false, "Table 2: five protocols, nine schemes")
+		t3         = flag.Bool("table3", false, "Table 3: average improvements over the synthetic population")
+		t4         = flag.Bool("table4", false, "Table 4: storage-constrained PCR streaming")
+		f5         = flag.Bool("fig5", false, "Fig. 5: chip layout and electrode actuations")
+		f6         = flag.Bool("fig6", false, "Fig. 6: average Tc and I vs demand")
+		f7         = flag.Bool("fig7", false, "Fig. 7: Tc and q vs mixer count")
+		ext        = flag.Bool("ext", false, "extension experiments E1-E4 (RSM roster, persistence, routing, robustness)")
+		quick      = flag.Bool("quick", false, "use the L=16 population for Table 3 / Fig. 6 (fast)")
+		csvdir     = flag.String("csvdir", "", "directory to write CSV files into")
+		sequential = flag.Bool("sequential", false, "disable the parallel sweep fan-out (single-threaded reference path)")
+		cachestats = flag.Bool("cachestats", false, "print plan-cache hit/miss statistics after the run")
 	)
 	flag.Parse()
+	experiments.Sequential = *sequential
 	all := !(*t2 || *t3 || *t4 || *f5 || *f6 || *f7 || *ext)
 	if err := run(all || *t2, all || *t3, all || *t4, all || *f5, all || *f6, all || *f7, all || *ext, *quick, *csvdir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *cachestats {
+		fmt.Println("plan cache:", plancache.Default().Stats())
 	}
 }
 

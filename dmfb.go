@@ -45,6 +45,7 @@ import (
 	"repro/internal/mixgraph"
 	"repro/internal/motion"
 	"repro/internal/pins"
+	"repro/internal/plancache"
 	"repro/internal/protocols"
 	"repro/internal/ratio"
 	"repro/internal/route"
@@ -162,6 +163,18 @@ var Stream = stream.Run
 
 // Baseline plans the repeated-baseline engine (RMM / RRMA / RMTCS).
 var Baseline = core.Baseline
+
+// PlanCacheStats reports the hit/miss/eviction counters of the process-wide
+// plan cache that Stream, NewEngine Requests and the experiment sweeps share
+// (see internal/plancache).
+func PlanCacheStats() plancache.Stats { return plancache.Default().Stats() }
+
+// PurgePlanCache empties the process-wide plan cache and resets its counters;
+// useful for benchmarking uncached planning paths.
+func PurgePlanCache() {
+	plancache.Default().Purge()
+	plancache.Default().ResetStats()
+}
 
 // BaselineResult is a repeated-baseline plan.
 type BaselineResult = core.BaselineResult

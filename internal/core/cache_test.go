@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/plancache"
+	"repro/internal/stream"
+)
+
+// TestRequestCacheHitSkipsRebuild asserts the plan-cache wiring through the
+// engine: a second identical Request (even from a fresh Engine) re-plans
+// without a single from-scratch forest build.
+func TestRequestCacheHitSkipsRebuild(t *testing.T) {
+	cfg := Config{Target: pcr, Algorithm: MM, Scheduler: stream.SRS, Mixers: 3, Storage: 5}
+	plancache.Default().Purge()
+	e1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e1.Request(32)
+	if err != nil {
+		t.Fatalf("first Request: %v", err)
+	}
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := forest.BuildCount()
+	second, err := e2.Request(32)
+	if err != nil {
+		t.Fatalf("second Request: %v", err)
+	}
+	if builds := forest.BuildCount() - before; builds != 0 {
+		t.Errorf("identical Request performed %d forest builds, want 0 (cache hit)", builds)
+	}
+	if first.Result.TotalCycles != second.Result.TotalCycles ||
+		first.Result.TotalWaste != second.Result.TotalWaste ||
+		first.Result.Emitted != second.Result.Emitted {
+		t.Errorf("cached Request differs: %+v vs %+v", first.Result, second.Result)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/ratio"
 	"repro/internal/stream"
 	"repro/internal/textplot"
@@ -30,8 +31,17 @@ type Fig6 struct {
 	AvgI  map[string][]float64
 }
 
+// fig6Delta is one ratio's (Tc, I) matrix, flattened [scheme][demand].
+type fig6Delta struct {
+	tc, i []float64
+}
+
 // Fig6Compute sweeps the demands over the dataset. The paper uses demands
 // 1..10 for Tc and 2..32 for I over its synthetic population.
+//
+// The sweep fans out per ratio over a GOMAXPROCS-sized worker pool (see
+// Sequential) and merges the per-ratio sums in dataset order, so the
+// floating-point averages match the sequential path bit-for-bit.
 func Fig6Compute(dataset []ratio.Ratio, demands []int) (*Fig6, error) {
 	if len(dataset) == 0 || len(demands) == 0 {
 		return nil, fmt.Errorf("experiments: fig6 needs a dataset and demands")
@@ -46,19 +56,37 @@ func Fig6Compute(dataset []ratio.Ratio, demands []int) (*Fig6, error) {
 		out.AvgTc[s.Name] = make([]float64, len(demands))
 		out.AvgI[s.Name] = make([]float64, len(demands))
 	}
-	for _, r := range dataset {
+	deltas, err := parallel.MapN(workers(len(dataset)), dataset, func(_ int, r ratio.Ratio) (fig6Delta, error) {
+		d := fig6Delta{
+			tc: make([]float64, len(schemes)*len(demands)),
+			i:  make([]float64, len(schemes)*len(demands)),
+		}
 		mc, err := PaperMixers(r)
 		if err != nil {
-			return nil, err
+			return fig6Delta{}, err
 		}
-		for _, s := range schemes {
-			for di, d := range demands {
-				res, err := RunScheme(s, r, mc, d)
+		for si, s := range schemes {
+			for di, demand := range demands {
+				// nil cache: every (ratio, scheme, demand) is unique within
+				// the sweep — memoising cannot hit (see runScheme).
+				res, err := runScheme(s, r, mc, demand, nil)
 				if err != nil {
-					return nil, err
+					return fig6Delta{}, err
 				}
-				out.AvgTc[s.Name][di] += float64(res.Tc)
-				out.AvgI[s.Name][di] += float64(res.I)
+				d.tc[si*len(demands)+di] = float64(res.Tc)
+				d.i[si*len(demands)+di] = float64(res.I)
+			}
+		}
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range deltas { // dataset order: deterministic FP accumulation
+		for si, s := range schemes {
+			for di := range demands {
+				out.AvgTc[s.Name][di] += d.tc[si*len(demands)+di]
+				out.AvgI[s.Name][di] += d.i[si*len(demands)+di]
 			}
 		}
 	}

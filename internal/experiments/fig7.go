@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/forest"
+	"repro/internal/parallel"
 	"repro/internal/protocols"
 	"repro/internal/sched"
 	"repro/internal/stream"
@@ -22,7 +23,10 @@ type Fig7 struct {
 	QSRS   []int
 }
 
-// Fig7Compute sweeps the mixer count (the paper uses 1..15).
+// Fig7Compute sweeps the mixer count (the paper uses 1..15). The forest is
+// built once and shared read-only; each mixer count is scheduled by its own
+// worker (GOMAXPROCS-bounded, see Sequential), with results assembled in
+// mixer order.
 func Fig7Compute(mixers []int, demand int) (*Fig7, error) {
 	base, err := core.RMA.Build(protocols.PCR16().Ratio)
 	if err != nil {
@@ -32,22 +36,34 @@ func Fig7Compute(mixers []int, demand int) (*Fig7, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig7{Mixers: mixers}
-	for _, mc := range mixers {
+	type cell struct {
+		tcMMS, qMMS, tcSRS, qSRS int
+	}
+	cells, err := parallel.MapN(workers(len(mixers)), mixers, func(_ int, mc int) (cell, error) {
+		var c cell
 		for _, scheduler := range []stream.Scheduler{stream.MMS, stream.SRS} {
 			s, err := scheduler.Schedule(f, mc)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig7 M=%d: %w", mc, err)
+				return cell{}, fmt.Errorf("experiments: fig7 M=%d: %w", mc, err)
 			}
 			q := sched.StorageUnits(s)
 			if scheduler == stream.MMS {
-				out.TcMMS = append(out.TcMMS, s.Cycles)
-				out.QMMS = append(out.QMMS, q)
+				c.tcMMS, c.qMMS = s.Cycles, q
 			} else {
-				out.TcSRS = append(out.TcSRS, s.Cycles)
-				out.QSRS = append(out.QSRS, q)
+				c.tcSRS, c.qSRS = s.Cycles, q
 			}
 		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7{Mixers: mixers}
+	for _, c := range cells {
+		out.TcMMS = append(out.TcMMS, c.tcMMS)
+		out.QMMS = append(out.QMMS, c.qMMS)
+		out.TcSRS = append(out.TcSRS, c.tcSRS)
+		out.QSRS = append(out.QSRS, c.qSRS)
 	}
 	return out, nil
 }

@@ -1,0 +1,24 @@
+package experiments
+
+import "repro/internal/parallel"
+
+// Sequential forces every population sweep in this package (Table2,
+// Table3Compute, Table4, Fig6Compute, Fig7Compute) onto the plain
+// single-goroutine path. The parallel path produces byte-identical output —
+// per-item results are merged in input order, reproducing the sequential
+// floating-point accumulation exactly (see TestParallelMatchesSequential) —
+// so this flag exists as an escape hatch for debugging, profiling and A/B
+// benchmarking, not for correctness.
+//
+// The flag is read once at the start of each sweep; toggle it between
+// sweeps, not during one.
+var Sequential bool
+
+// workers returns the fan-out width for a sweep over n items: 1 when
+// Sequential is set, otherwise GOMAXPROCS capped by n (parallel.Workers).
+func workers(n int) int {
+	if Sequential {
+		return 1
+	}
+	return parallel.Workers(n)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/protocols"
 	"repro/internal/ratio"
 )
@@ -20,25 +21,28 @@ type Table2Row struct {
 }
 
 // Table2 evaluates the paper's five example protocols (L=256) at the given
-// demand (the paper uses D=32) under all nine schemes.
+// demand (the paper uses D=32) under all nine schemes. Protocols are
+// evaluated in parallel (one worker per protocol, bounded by GOMAXPROCS;
+// see Sequential); rows come back in the protocols' canonical order.
 func Table2(demand int) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, p := range protocols.Table2() {
+	ps := protocols.Table2()
+	return parallel.MapN(workers(len(ps)), ps, func(_ int, p protocols.Protocol) (Table2Row, error) {
 		mc, err := PaperMixers(p.Ratio)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", p.Key, err)
+			return Table2Row{}, fmt.Errorf("experiments: %s: %w", p.Key, err)
 		}
 		row := Table2Row{Key: p.Key, Ratio: p.Ratio, Mixers: mc, Results: map[string]Result{}}
 		for _, s := range Schemes() {
-			res, err := RunScheme(s, p.Ratio, mc, demand)
+			// nil cache: each (protocol, scheme) plan is single-use and the
+			// L=256 forests are large; see runScheme.
+			res, err := runScheme(s, p.Ratio, mc, demand, nil)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", p.Key, s.Name, err)
+				return Table2Row{}, fmt.Errorf("experiments: %s/%s: %w", p.Key, s.Name, err)
 			}
 			row.Results[s.Name] = res
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // FormatTable2 renders the rows in the paper's layout: one block per metric

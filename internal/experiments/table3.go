@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/ratio"
 	"repro/internal/stream"
 )
@@ -26,8 +28,65 @@ type Table3 struct {
 	TcSRSOverMMS      map[string]float64 // SRS||MMS on Tc (negative = SRS slower)
 }
 
+// ErrNoSamples reports that an algorithm's accumulator finished a population
+// sweep with zero samples; averaging would silently divide by zero.
+var ErrNoSamples = errors.New("experiments: no samples accumulated for algorithm")
+
+// table3Delta is one ratio's contribution to the per-algorithm averages,
+// indexed like core.Algorithms().
+type table3Delta struct {
+	tcMMS, tcSRS, i, q, tcRel float64
+}
+
+// table3Ratio evaluates all three schemes of all three algorithms on one
+// ratio — the fan-out unit of the Table 3 sweep. Plans are deliberately not
+// memoised (nil cache): each (ratio, scheme) is visited exactly once across
+// the whole sweep, so caching cannot hit and only adds GC mark pressure.
+func table3Ratio(r ratio.Ratio, demand int) ([]table3Delta, error) {
+	algs := core.Algorithms()
+	mc, err := PaperMixers(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]table3Delta, len(algs))
+	for ai, alg := range algs {
+		baseline, err := runScheme(Scheme{Algorithm: alg, Repeated: true}, r, mc, demand, nil)
+		if err != nil {
+			return nil, err
+		}
+		mms, err := runScheme(Scheme{Algorithm: alg, Scheduler: stream.MMS}, r, mc, demand, nil)
+		if err != nil {
+			return nil, err
+		}
+		srs, err := runScheme(Scheme{Algorithm: alg, Scheduler: stream.SRS}, r, mc, demand, nil)
+		if err != nil {
+			return nil, err
+		}
+		d := &out[ai]
+		if baseline.Tc > 0 {
+			d.tcMMS = pct(baseline.Tc-mms.Tc, baseline.Tc)
+			d.tcSRS = pct(baseline.Tc-srs.Tc, baseline.Tc)
+		}
+		if baseline.I > 0 {
+			d.i = pct64(baseline.I-mms.I, baseline.I)
+		}
+		if mms.Q > 0 {
+			d.q = pct(mms.Q-srs.Q, mms.Q)
+		}
+		if mms.Tc > 0 {
+			d.tcRel = pct(mms.Tc-srs.Tc, mms.Tc)
+		}
+	}
+	return out, nil
+}
+
 // Table3Compute evaluates the population at the given demand. Pass
 // synth.PaperDataset() for the paper's configuration.
+//
+// The sweep fans out per ratio over a GOMAXPROCS-sized worker pool (see
+// Sequential for the escape hatch) and merges the per-ratio deltas in
+// dataset order with the algorithms in core.Algorithms() order, reproducing
+// the sequential floating-point accumulation bit-for-bit.
 func Table3Compute(dataset []ratio.Ratio, demand int) (*Table3, error) {
 	t := &Table3{
 		Ratios:            len(dataset),
@@ -41,51 +100,36 @@ func Table3Compute(dataset []ratio.Ratio, demand int) (*Table3, error) {
 	if len(dataset) == 0 {
 		return nil, fmt.Errorf("experiments: empty dataset")
 	}
+	deltas, err := parallel.MapN(workers(len(dataset)), dataset, func(_ int, r ratio.Ratio) ([]table3Delta, error) {
+		return table3Ratio(r, demand)
+	})
+	if err != nil {
+		return nil, err
+	}
 	type acc struct {
 		tcMMS, tcSRS, i, q, tcRel float64
 		n                         int
 	}
-	accs := map[string]*acc{}
-	for _, alg := range core.Algorithms() {
-		accs[alg.String()] = &acc{}
-	}
-	for _, r := range dataset {
-		mc, err := PaperMixers(r)
-		if err != nil {
-			return nil, err
-		}
-		for _, alg := range core.Algorithms() {
-			baseline, err := RunScheme(Scheme{Algorithm: alg, Repeated: true}, r, mc, demand)
-			if err != nil {
-				return nil, err
-			}
-			mms, err := RunScheme(Scheme{Algorithm: alg, Scheduler: stream.MMS}, r, mc, demand)
-			if err != nil {
-				return nil, err
-			}
-			srs, err := RunScheme(Scheme{Algorithm: alg, Scheduler: stream.SRS}, r, mc, demand)
-			if err != nil {
-				return nil, err
-			}
-			a := accs[alg.String()]
+	algs := core.Algorithms()
+	accs := make([]acc, len(algs))
+	for _, ds := range deltas { // dataset order: deterministic FP accumulation
+		for ai := range algs {
+			a := &accs[ai]
 			a.n++
-			if baseline.Tc > 0 {
-				a.tcMMS += pct(baseline.Tc-mms.Tc, baseline.Tc)
-				a.tcSRS += pct(baseline.Tc-srs.Tc, baseline.Tc)
-			}
-			if baseline.I > 0 {
-				a.i += pct64(baseline.I-mms.I, baseline.I)
-			}
-			if mms.Q > 0 {
-				a.q += pct(mms.Q-srs.Q, mms.Q)
-			}
-			if mms.Tc > 0 {
-				a.tcRel += pct(mms.Tc-srs.Tc, mms.Tc)
-			}
+			a.tcMMS += ds[ai].tcMMS
+			a.tcSRS += ds[ai].tcSRS
+			a.i += ds[ai].i
+			a.q += ds[ai].q
+			a.tcRel += ds[ai].tcRel
 		}
 	}
-	for name, a := range accs {
+	for ai, alg := range algs {
+		a := accs[ai]
+		if a.n == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoSamples, alg)
+		}
 		n := float64(a.n)
+		name := alg.String()
 		t.TcMMSOverRepeated[name] = a.tcMMS / n
 		t.TcSRSOverRepeated[name] = a.tcSRS / n
 		t.IOverRepeated[name] = a.i / n
@@ -122,12 +166,25 @@ func (t *Table3) HeadlineTcSRS() float64 {
 	return avg3(t.TcSRSOverMMS)
 }
 
+// avg3 averages the per-algorithm entries actually present in m. A fully
+// populated Table3 always carries all three; the guard keeps a partially
+// populated (hand-constructed) table from skewing the average with phantom
+// zeros or dividing by zero on an empty map.
 func avg3(m map[string]float64) float64 {
 	var sum float64
+	n := 0
 	for _, alg := range core.Algorithms() {
-		sum += m[alg.String()]
+		v, ok := m[alg.String()]
+		if !ok {
+			continue
+		}
+		sum += v
+		n++
 	}
-	return sum / float64(len(core.Algorithms()))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // FormatTable3 renders the table in the paper's layout.

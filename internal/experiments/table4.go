@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mixgraph"
+	"repro/internal/parallel"
 	"repro/internal/protocols"
 	"repro/internal/stream"
 )
@@ -39,9 +41,16 @@ func DefaultTable4Config() Table4Config {
 	}
 }
 
-// Table4 runs the storage-constrained PCR streaming sweep.
+// Table4 runs the storage-constrained PCR streaming sweep. The (depth,
+// storage, demand) grid is flattened and evaluated cell-by-cell on a
+// GOMAXPROCS-sized worker pool (see Sequential); cells come back in the
+// paper's nesting order (depth, then storage, then demand).
 func Table4(cfg Table4Config) ([]Table4Cell, error) {
-	var out []Table4Cell
+	type job struct {
+		depth, storage, demand int
+		base                   *mixgraph.Graph
+	}
+	var jobs []job
 	for _, d := range cfg.Depths {
 		p, err := protocols.PCRAtDepth(d)
 		if err != nil {
@@ -53,27 +62,29 @@ func Table4(cfg Table4Config) ([]Table4Cell, error) {
 		}
 		for _, q := range cfg.Storages {
 			for _, demand := range cfg.Demands {
-				res, err := stream.Run(stream.Config{
-					Base:      base,
-					Mixers:    cfg.Mixers,
-					Storage:   q,
-					Scheduler: stream.SRS,
-				}, demand)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: table4 d=%d q=%d D=%d: %w", d, q, demand, err)
-				}
-				out = append(out, Table4Cell{
-					Depth:   d,
-					Storage: q,
-					Demand:  demand,
-					Passes:  len(res.Passes),
-					Cycles:  res.TotalCycles,
-					Waste:   res.TotalWaste,
-				})
+				jobs = append(jobs, job{depth: d, storage: q, demand: demand, base: base})
 			}
 		}
 	}
-	return out, nil
+	return parallel.MapN(workers(len(jobs)), jobs, func(_ int, j job) (Table4Cell, error) {
+		res, err := stream.Run(stream.Config{
+			Base:      j.base,
+			Mixers:    cfg.Mixers,
+			Storage:   j.storage,
+			Scheduler: stream.SRS,
+		}, j.demand)
+		if err != nil {
+			return Table4Cell{}, fmt.Errorf("experiments: table4 d=%d q=%d D=%d: %w", j.depth, j.storage, j.demand, err)
+		}
+		return Table4Cell{
+			Depth:   j.depth,
+			Storage: j.storage,
+			Demand:  j.demand,
+			Passes:  len(res.Passes),
+			Cycles:  res.TotalCycles,
+			Waste:   res.TotalWaste,
+		}, nil
+	})
 }
 
 // FormatTable4 renders the sweep in the paper's layout: demands as rows,

@@ -24,6 +24,7 @@ package forest
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mixgraph"
 	"repro/internal/ratio"
@@ -226,6 +227,16 @@ func (b *Builder) Forest() *Forest {
 // ErrBadDemand reports a non-positive droplet demand.
 var ErrBadDemand = errors.New("forest: demand must be positive")
 
+// buildCount counts full from-scratch Build invocations since process start.
+var buildCount atomic.Int64
+
+// BuildCount returns the number of full from-scratch Build calls performed
+// so far in this process. It exists so performance tests can assert that hot
+// paths (the storage-demand scan in internal/stream, the plan cache in
+// internal/plancache) reuse incremental builders and cached plans instead of
+// rebuilding forests; compare deltas, not absolutes.
+func BuildCount() int64 { return buildCount.Load() }
+
 // Build constructs the mixing forest meeting demand D: ⌈D/2⌉ component
 // trees. For odd D the last tree still emits two droplets; Stats reports the
 // surplus.
@@ -233,6 +244,7 @@ func Build(base *mixgraph.Graph, demand int) (*Forest, error) {
 	if demand <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadDemand, demand)
 	}
+	buildCount.Add(1)
 	b := NewBuilder(base)
 	trees := (demand + 1) / 2
 	for i := 0; i < trees; i++ {

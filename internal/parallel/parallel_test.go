@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	withProcs(t, 8)
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(items, func(i, v int) (int, error) { return v * v, nil })
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	withProcs(t, 8)
+	items := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	fn := func(i int, s string) (string, error) { return fmt.Sprintf("%d:%s", i, s), nil }
+	seq, err := MapN(1, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 100} {
+		par, err := MapN(w, items, fn)
+		if err != nil {
+			t.Fatalf("MapN(%d): %v", w, err)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", w, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	out, err := Map(nil, func(i int, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %v", out, err)
+	}
+	out, err = Map([]int{7}, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil || len(out) != 1 || out[0] != 8 {
+		t.Fatalf("single input: %v, %v", out, err)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	withProcs(t, 8)
+	items := make([]int, 64)
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	// Index 3 fails slowly, index 40 fails fast: the returned error must
+	// still be the lowest-indexed failure among those that ran.
+	_, err := MapN(8, items, func(i, _ int) (int, error) {
+		switch i {
+		case 3:
+			time.Sleep(5 * time.Millisecond)
+			return 0, errLow
+		case 40:
+			return 0, errHigh
+		default:
+			time.Sleep(time.Millisecond)
+			return 0, nil
+		}
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want %v (lowest failing index)", err, errLow)
+	}
+}
+
+func TestMapCancelsOnFirstError(t *testing.T) {
+	withProcs(t, 4)
+	items := make([]int, 10_000)
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := MapN(4, items, func(i, _ int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := calls.Load(); n == int64(len(items)) {
+		t.Errorf("all %d items ran despite early error; cancellation ineffective", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	withProcs(t, 8)
+	var sum atomic.Int64
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i + 1
+	}
+	if err := ForEach(items, func(_, v int) error {
+		sum.Add(int64(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 5050 {
+		t.Errorf("sum = %d, want 5050", sum.Load())
+	}
+	boom := errors.New("boom")
+	if err := ForEachN(4, items, func(i, _ int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Errorf("ForEachN error = %v, want boom", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	withProcs(t, 4)
+	if w := Workers(100); w != 4 {
+		t.Errorf("Workers(100) = %d, want 4", w)
+	}
+	if w := Workers(2); w != 2 {
+		t.Errorf("Workers(2) = %d, want 2", w)
+	}
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d, want 1", w)
+	}
+}

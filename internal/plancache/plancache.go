@@ -1,0 +1,285 @@
+// Package plancache memoises fully-built mixing plans — a mixing forest, its
+// schedule, its aggregate stats and its storage footprint — behind a
+// concurrency-safe bounded LRU cache.
+//
+// A plan is a pure function of (base graph, demand, mixer count, scheduling
+// scheme): the forest construction and both schedulers are deterministic and
+// read-only over their inputs, so a cached plan is exactly the plan a fresh
+// build would produce. Keys therefore combine the base algorithm label, the
+// target ratio and a structural fingerprint of the base graph with the
+// demand, mixer count and scheduler name; the fingerprint makes the key
+// sound even for hand-built graphs whose (algorithm, ratio) pair is not
+// unique.
+//
+// Cached plans are shared: callers must treat every reachable object —
+// forest, tasks, schedule slots, stats slices — as immutable.
+package plancache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/forest"
+	"repro/internal/mixgraph"
+	"repro/internal/sched"
+)
+
+// Key identifies one cached plan.
+type Key struct {
+	// Algo is the base algorithm label ("MM", "RMA", ...; may be empty for
+	// hand-built graphs — Graph disambiguates).
+	Algo string
+	// Ratio is the target ratio in colon form.
+	Ratio string
+	// Graph is the structural fingerprint of the base mixing graph.
+	Graph uint64
+	// Demand is the droplet demand D the plan serves.
+	Demand int
+	// Mixers is the on-chip mixer count Mc.
+	Mixers int
+	// Scheduler names the scheduling scheme ("MMS", "SRS").
+	Scheduler string
+}
+
+// KeyFor builds the cache key for planning `demand` droplets of g's target
+// on `mixers` mixers under the named scheduler.
+func KeyFor(g *mixgraph.Graph, demand, mixers int, scheduler string) Key {
+	return Key{
+		Algo:      g.Algorithm,
+		Ratio:     g.Target.String(),
+		Graph:     Fingerprint(g),
+		Demand:    demand,
+		Mixers:    mixers,
+		Scheduler: scheduler,
+	}
+}
+
+// Fingerprint returns a structural FNV-1a hash of a base mixing graph: node
+// kinds, fluids and child wiring, in topological order. Graphs built by the
+// deterministic algorithms (MM, RMA, MTCS, RSM) over the same ratio always
+// collide intentionally; structurally different graphs virtually never do.
+func Fingerprint(g *mixgraph.Graph) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		if n.IsLeaf() {
+			mix(1)
+			mix(uint64(n.Fluid))
+			continue
+		}
+		mix(2)
+		mix(uint64(n.Children[0].ID))
+		mix(uint64(n.Children[1].ID))
+	}
+	return h
+}
+
+// Plan is one cached planning artefact: the forest grown for the demand, the
+// mixer/time assignment, and the two derived quantities every consumer needs
+// (forest stats and peak storage units).
+type Plan struct {
+	Forest   *forest.Forest
+	Schedule *sched.Schedule
+	Stats    forest.Stats
+	Storage  int
+}
+
+// NewPlan derives the cached quantities from a built forest and schedule.
+func NewPlan(f *forest.Forest, s *sched.Schedule) *Plan {
+	return &Plan{Forest: f, Schedule: s, Stats: f.Stats(), Storage: sched.StorageUnits(s)}
+}
+
+// Stats is an expvar-style snapshot of a cache's counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Puts counts insertions and
+	// Evictions counts LRU displacements.
+	Hits, Misses, Puts, Evictions int64
+	// Size is the current entry count; Capacity the configured bound.
+	Size, Capacity int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the snapshot in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("plancache: %d/%d entries, %d hits, %d misses (%.1f%% hit rate), %d evictions",
+		s.Size, s.Capacity, s.Hits, s.Misses, s.HitRate()*100, s.Evictions)
+}
+
+// Cache is a concurrency-safe bounded LRU plan cache. The zero value is not
+// usable; construct with New. A nil *Cache is valid and behaves as an
+// always-miss cache, so call sites can disable caching by passing nil.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+
+	hits, misses, puts, evictions atomic.Int64
+}
+
+type entry struct {
+	key  Key
+	plan *Plan
+}
+
+// DefaultCapacity bounds the process-wide default cache. Its clients — the
+// demand-driven engine, stream.Run and interactive RunScheme calls — see a
+// small working set of repeated (ratio, demand, mixers, scheduler) tuples;
+// the population sweeps bypass the cache entirely (their plans are
+// single-use), so a modest bound comfortably covers every real hit pattern
+// while keeping worst-case retention, at a few kilobytes per plan, in the
+// low megabytes.
+const DefaultCapacity = 1024
+
+// New returns an empty cache bounded to capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element, capacity),
+	}
+}
+
+var std = New(DefaultCapacity)
+
+// Default returns the process-wide cache shared by the streaming engine
+// (stream.Run, core.Engine.Request) and the experiment sweeps
+// (experiments.RunScheme).
+func Default() *Cache { return std }
+
+// Get returns the cached plan for k and marks it most recently used.
+func (c *Cache) Get(k Key) (*Plan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[k]
+	var p *Plan
+	if ok {
+		c.ll.MoveToFront(el)
+		// Capture the plan while still holding the lock: Put's refresh path
+		// rewrites entry.plan in place, so reading it after unlock races.
+		p = el.Value.(*entry).plan
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return p, true
+}
+
+// Put inserts (or refreshes) a plan, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(k Key, p *Plan) {
+	if c == nil || p == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).plan = p
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, plan: p})
+	var evicted bool
+	if c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		evicted = true
+	}
+	c.mu.Unlock()
+	c.puts.Add(1)
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// GetOrBuild returns the cached plan for k, or invokes build, caches its
+// result and returns it. Concurrent callers missing on the same key may both
+// invoke build (plans are deterministic, so either result is correct; the
+// duplicate work is bounded by the number of workers).
+func (c *Cache) GetOrBuild(k Key, build func() (*Plan, error)) (*Plan, error) {
+	if p, ok := c.Get(k); ok {
+		return p, nil
+	}
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.Put(k, p)
+	return p, nil
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every entry. Counters are not reset; see ResetStats.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ll.Init()
+	clear(c.items)
+	c.mu.Unlock()
+}
+
+// ResetStats zeroes the hit/miss/put/eviction counters.
+func (c *Cache) ResetStats() {
+	if c == nil {
+		return
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.puts.Store(0)
+	c.evictions.Store(0)
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+		Capacity:  c.cap,
+	}
+}

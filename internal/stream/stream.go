@@ -9,9 +9,11 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
+	"repro/internal/plancache"
 	"repro/internal/sched"
 )
 
@@ -104,21 +106,54 @@ type Result struct {
 // available storage units.
 var ErrStorage = errors.New("stream: base tree needs more storage units than available")
 
+// plan builds (or retrieves from the process-wide plan cache) the complete
+// single-pass plan for demand d: forest, schedule, stats and peak storage.
+// Plans are pure functions of (base graph, d, mixers, scheduler), so cached
+// plans are exactly what a fresh build would produce; see internal/plancache.
+func plan(cfg Config, d int) (*plancache.Plan, error) {
+	key := plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String())
+	return plancache.Default().GetOrBuild(key, func() (*plancache.Plan, error) {
+		f, err := forest.Build(cfg.Base, d)
+		if err != nil {
+			return nil, err
+		}
+		s, err := cfg.Scheduler.Schedule(f, cfg.Mixers)
+		if err != nil {
+			return nil, err
+		}
+		return plancache.NewPlan(f, s), nil
+	})
+}
+
 // MaxSinglePassDemand returns D', the largest demand not exceeding limit
 // whose one-pass schedule fits in the configured storage, or 0 if even a
 // demand of 2 does not fit. Storage use is not monotone in demand, so the
 // scan inspects every even demand up to limit and keeps the largest fit.
+//
+// The scan grows ONE incremental forest.Builder across all candidate
+// demands — appending one component tree per step reproduces forest.Build's
+// structure exactly (Build is itself a loop of AddTree calls) — instead of
+// rebuilding the forest from scratch for every even demand, turning the
+// forest-construction cost of the scan from O(D²) tasks into O(D). Cached
+// plans short-circuit the per-candidate scheduling as well. Schedules
+// computed against the growing builder are used immediately and never
+// cached: they alias the live forest, which keeps growing.
 func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
 	if limit < 2 {
 		limit = 2
 	}
+	cache := plancache.Default()
+	b := forest.NewBuilder(cfg.Base)
 	best := 0
 	for d := 2; d <= limit; d += 2 {
-		f, err := forest.Build(cfg.Base, d)
-		if err != nil {
-			return 0, err
+		b.AddTree()
+		if p, ok := cache.Get(plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String())); ok {
+			if p.Storage <= cfg.Storage {
+				best = d
+			}
+			continue
 		}
-		s, err := cfg.Scheduler.Schedule(f, cfg.Mixers)
+		s, err := cfg.Scheduler.Schedule(b.Forest(), cfg.Mixers)
 		if err != nil {
 			return 0, err
 		}
@@ -130,7 +165,10 @@ func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
 }
 
 // Run plans the emission of `demand` target droplets under the configured
-// resource constraints.
+// resource constraints. The repeated full-size pass is planned once and
+// reused for all ⌈D/D'⌉ occurrences (every full pass is the same forest and
+// schedule — only StartCycle differs); only a final short pass, when the
+// demand is not a multiple of D', is planned separately.
 func Run(cfg Config, demand int) (*Result, error) {
 	if demand <= 0 {
 		return nil, fmt.Errorf("stream: %w: %d", forest.ErrBadDemand, demand)
@@ -152,34 +190,39 @@ func Run(cfg Config, demand int) (*Result, error) {
 
 	res := &Result{Config: cfg, Demand: demand, PerPassDemand: perPass}
 	start := 1
+	var full *plancache.Plan // the reused full-size pass plan
 	for remaining := demand; remaining > 0; {
 		d := perPass
 		if remaining < d {
 			d = remaining
 		}
-		f, err := forest.Build(cfg.Base, d)
+		var p *plancache.Plan
+		var err error
+		if d == perPass {
+			if full == nil {
+				full, err = plan(cfg, d)
+			}
+			p = full
+		} else {
+			p, err = plan(cfg, d)
+		}
 		if err != nil {
 			return nil, err
 		}
-		s, err := cfg.Scheduler.Schedule(f, cfg.Mixers)
-		if err != nil {
-			return nil, err
-		}
-		st := f.Stats()
-		p := Pass{
+		st := p.Stats
+		res.Passes = append(res.Passes, Pass{
 			Demand:     st.Targets,
-			Schedule:   s,
-			Storage:    sched.StorageUnits(s),
+			Schedule:   p.Schedule,
+			Storage:    p.Storage,
 			Waste:      st.Waste,
 			Inputs:     st.InputTotal,
 			StartCycle: start,
-		}
-		res.Passes = append(res.Passes, p)
-		res.TotalCycles += s.Cycles
+		})
+		res.TotalCycles += p.Schedule.Cycles
 		res.TotalWaste += st.Waste
 		res.TotalInputs += st.InputTotal
 		res.Emitted += st.Targets
-		start += s.Cycles
+		start += p.Schedule.Cycles
 		remaining -= st.Targets
 	}
 	return res, nil
@@ -231,9 +274,5 @@ type Emission struct {
 }
 
 func sortEmissions(es []Emission) {
-	for i := 1; i < len(es); i++ {
-		for j := i; j > 0 && es[j].Cycle < es[j-1].Cycle; j-- {
-			es[j], es[j-1] = es[j-1], es[j]
-		}
-	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Cycle < es[j].Cycle })
 }

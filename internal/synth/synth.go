@@ -11,21 +11,16 @@ package synth
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/ratio"
 )
 
-// Dataset enumerates every integer partition of sum L into n parts for each
-// n in [minN, maxN], as ratios with descending parts. L must be a power of
-// two for the results to be valid mix-split targets.
-func Dataset(L int64, minN, maxN int) ([]ratio.Ratio, error) {
-	if L < 1 || L&(L-1) != 0 {
-		return nil, fmt.Errorf("synth: L=%d is not a power of two", L)
-	}
-	if minN < 1 || maxN < minN {
-		return nil, fmt.Errorf("synth: invalid fluid-count range [%d, %d]", minN, maxN)
-	}
+// partitionsInto enumerates every integer partition of L into exactly n
+// parts (descending), in the same order the historical sequential
+// enumeration produced.
+func partitionsInto(L int64, n int) ([]ratio.Ratio, error) {
 	var out []ratio.Ratio
-	parts := make([]int64, 0, maxN)
+	parts := make([]int64, 0, n)
 	var rec func(remaining int64, slots int, maxPart int64) error
 	rec = func(remaining int64, slots int, maxPart int64) error {
 		if slots == 0 {
@@ -59,13 +54,40 @@ func Dataset(L int64, minN, maxN int) ([]ratio.Ratio, error) {
 		}
 		return nil
 	}
-	for n := minN; n <= maxN; n++ {
-		if int64(n) > L {
-			break
-		}
-		if err := rec(L, n, L-int64(n)+1); err != nil {
-			return nil, err
-		}
+	if err := rec(L, n, L-int64(n)+1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Dataset enumerates every integer partition of sum L into n parts for each
+// n in [minN, maxN], as ratios with descending parts. L must be a power of
+// two for the results to be valid mix-split targets.
+//
+// Each fluid count n is enumerated independently, so the generation fans
+// out per n over a GOMAXPROCS-sized worker pool; the per-n chunks are
+// concatenated in ascending-n order, keeping the population sequence
+// identical to the historical sequential enumeration.
+func Dataset(L int64, minN, maxN int) ([]ratio.Ratio, error) {
+	if L < 1 || L&(L-1) != 0 {
+		return nil, fmt.Errorf("synth: L=%d is not a power of two", L)
+	}
+	if minN < 1 || maxN < minN {
+		return nil, fmt.Errorf("synth: invalid fluid-count range [%d, %d]", minN, maxN)
+	}
+	var ns []int
+	for n := minN; n <= maxN && int64(n) <= L; n++ {
+		ns = append(ns, n)
+	}
+	chunks, err := parallel.Map(ns, func(_ int, n int) ([]ratio.Ratio, error) {
+		return partitionsInto(L, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ratio.Ratio
+	for _, c := range chunks {
+		out = append(out, c...)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/ratio"
@@ -91,6 +92,31 @@ func TestErrors(t *testing.T) {
 	}
 	if Count(30, 5, 2) != 0 {
 		t.Error("Count with bad range should be 0")
+	}
+}
+
+// TestDatasetParallelOrderStable asserts the fan-out per fluid count keeps
+// the population sequence identical to the sequential enumeration, regardless
+// of GOMAXPROCS.
+func TestDatasetParallelOrderStable(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	seq, err := Dataset(32, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(8)
+	par, err := Dataset(32, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel dataset has %d ratios, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i].String() != par[i].String() {
+			t.Fatalf("dataset[%d]: parallel %v, sequential %v", i, par[i], seq[i])
+		}
 	}
 }
 
