@@ -3,10 +3,11 @@
 GO ?= go
 
 # Packages with new concurrency (worker pool, plan cache, parallel sweeps,
-# streaming planner) — raced explicitly by `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth
+# streaming planner, fault injector, cyberphysical runtime) — raced
+# explicitly by `make race`.
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime
 
-.PHONY: build test race vet fmt-check bench-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke fuzz-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -31,7 +32,13 @@ fmt-check:
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
-check: build vet fmt-check test race
+# Short fuzzing passes over the parser and the forest builder — enough to
+# replay the corpora and explore a little, not a soak run.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseRatio -fuzztime=10s ./internal/ratio
+	$(GO) test -fuzz=FuzzBuildForest -fuzztime=10s ./internal/forest
+
+check: build vet fmt-check test race fuzz-smoke
 
 clean:
 	$(GO) clean

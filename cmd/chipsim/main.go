@@ -7,12 +7,16 @@
 //
 //	chipsim -demand 20 -sched SRS
 //	chipsim -demand 32 -optimize -moves
+//	chipsim -demand 20 -faults 0.05 -seed 7
+//	chipsim -demand 20 -deadmixer M3:2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	dmfb "repro"
 	"repro/internal/contam"
@@ -31,15 +35,48 @@ func main() {
 		pinsFlag   = flag.Bool("pins", false, "derive a broadcast pin assignment from the routed plan")
 		contamFlag = flag.Bool("contam", false, "report cross-contamination exposure of the routed plan")
 		trace      = flag.Int("trace", 0, "animate the first N moves step by step")
+		faultRate  = flag.Float64("faults", 0, "execute cyberphysically with this per-event fault rate (0 disables)")
+		seed       = flag.Int64("seed", 1, "fault-injection seed")
+		deadMixer  = flag.String("deadmixer", "", "script a mixer death as NAME:CYCLE (e.g. M3:2); implies cyberphysical execution")
+		budget     = flag.Int("budget", 0, "per-run recovery budget in extra cycles (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*demand, *schedStr, *optimize, *moves, *heatmap, *routing, *pinsFlag, *contamFlag, *trace); err != nil {
+	if err := run(*demand, *schedStr, *optimize, *moves, *heatmap, *routing, *pinsFlag, *contamFlag, *trace,
+		*faultRate, *seed, *deadMixer, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "chipsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(demand int, schedStr string, optimize, moves, heatmap, routing, pinsFlag, contamFlag bool, trace int) error {
+// runFaults executes the schedule cycle-by-cycle under fault injection and
+// prints the recovery report (the -faults / -deadmixer mode).
+func runFaults(schedule *dmfb.Schedule, layout *dmfb.Layout, rate float64, seed int64, deadMixer string, budget int) error {
+	params := dmfb.FaultRate(seed, rate)
+	if deadMixer != "" {
+		name, cycleStr, ok := strings.Cut(deadMixer, ":")
+		if !ok {
+			return fmt.Errorf("bad -deadmixer %q (want NAME:CYCLE)", deadMixer)
+		}
+		cycle, err := strconv.Atoi(cycleStr)
+		if err != nil {
+			return fmt.Errorf("bad -deadmixer cycle %q: %v", cycleStr, err)
+		}
+		params.DeadMixers = map[string]int{name: cycle}
+	}
+	inj, err := dmfb.NewFaultInjector(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncyberphysical execution: fault rate %g, seed %d\n", rate, seed)
+	rep, err := dmfb.RunWithFaults(schedule, layout, inj, dmfb.RecoveryPolicy{RecoveryBudget: budget})
+	if rep != nil {
+		fmt.Println(rep)
+	}
+	return err
+}
+
+func run(demand int, schedStr string, optimize, moves, heatmap, routing, pinsFlag, contamFlag bool, trace int,
+	faultRate float64, seed int64, deadMixer string, budget int) error {
 	var scheduler dmfb.Scheduler
 	switch schedStr {
 	case "MMS", "mms":
@@ -79,6 +116,12 @@ func run(demand int, schedStr string, optimize, moves, heatmap, routing, pinsFla
 	fmt.Println(layout.Render())
 	fmt.Printf("electrode actuations: %d over %d droplet moves, %d storage cells used\n",
 		plan.TotalCost, len(plan.Moves), plan.StorageCellsUsed())
+
+	if faultRate > 0 || deadMixer != "" {
+		if err := runFaults(schedule, layout, faultRate, seed, deadMixer, budget); err != nil {
+			return err
+		}
+	}
 
 	if optimize {
 		opt, cost, err := dmfb.OptimizePlacement(layout, plan.Flow, dmfb.CostMatrix, 800, 1)

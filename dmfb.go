@@ -40,6 +40,7 @@ import (
 	"repro/internal/errormodel"
 	"repro/internal/exec"
 	"repro/internal/export"
+	"repro/internal/faults"
 	"repro/internal/fluidsim"
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/protocols"
 	"repro/internal/ratio"
 	"repro/internal/route"
+	"repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/stream"
 	"repro/internal/svg"
@@ -202,6 +204,40 @@ var (
 	ExecuteOptimized = exec.ExecuteOptimized
 	// OptimizePlacement improves a floorplan for a traffic matrix.
 	OptimizePlacement = chip.OptimizePlacement
+)
+
+// Cyberphysical execution under fault injection (see internal/faults and
+// internal/runtime): replay a plan cycle-by-cycle against a deterministic
+// seeded fault injector, sense errors at checkpoints, and recover through
+// bounded retries, minimal subtree replays and graceful degradation.
+type (
+	// FaultParams configures the deterministic fault injector.
+	FaultParams = faults.Params
+	// FaultInjector injects seeded faults and logs every one it fires.
+	FaultInjector = faults.Injector
+	// FaultEvent is one injected fault.
+	FaultEvent = faults.Event
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = faults.Kind
+	// RecoveryPolicy bounds the runtime's sensing and recovery behaviour.
+	RecoveryPolicy = runtime.Policy
+	// RecoveryReport is the structured outcome of one closed-loop run.
+	RecoveryReport = runtime.Report
+)
+
+var (
+	// NewFaultInjector validates FaultParams and builds an injector.
+	NewFaultInjector = faults.New
+	// FaultRate builds FaultParams applying one uniform per-event rate to
+	// every probabilistic fault class.
+	FaultRate = faults.Rate
+	// RunWithFaults executes one schedule on a layout under fault injection.
+	RunWithFaults = runtime.Run
+	// RunStreamWithFaults executes every pass of a multi-pass stream plan.
+	RunStreamWithFaults = runtime.RunStream
+	// ErrUnrecoverable is wrapped by every recovery dead-end the runtime
+	// returns; match with errors.Is.
+	ErrUnrecoverable = runtime.ErrUnrecoverable
 )
 
 // Replay walks a transport plan electrode by electrode, producing

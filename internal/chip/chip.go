@@ -97,6 +97,10 @@ type Layout struct {
 	Width, Height int
 	// Modules are the placed resources.
 	Modules []Module
+	// Stuck lists electrodes disabled at runtime (stuck-at faults observed
+	// by the cyberphysical executor). A stuck electrode is an obstacle for
+	// droplet routing exactly like a module cell; fresh layouts have none.
+	Stuck []Point
 }
 
 // Layout validation errors.
@@ -142,13 +146,24 @@ func (l *Layout) Validate() error {
 }
 
 // Blocked returns the obstacle predicate for droplet routing: electrodes
-// inside any module block droplet transport.
+// inside any module — and any electrode marked Stuck — block droplet
+// transport.
 func (l *Layout) Blocked() func(Point) bool {
 	rects := make([]Rect, len(l.Modules))
 	for i, m := range l.Modules {
 		rects[i] = m.Rect
 	}
+	var stuck map[Point]bool
+	if len(l.Stuck) > 0 {
+		stuck = make(map[Point]bool, len(l.Stuck))
+		for _, p := range l.Stuck {
+			stuck[p] = true
+		}
+	}
 	return func(p Point) bool {
+		if stuck[p] {
+			return true
+		}
 		for _, r := range rects {
 			if r.Contains(p) {
 				return true
@@ -156,6 +171,22 @@ func (l *Layout) Blocked() func(Point) bool {
 		}
 		return false
 	}
+}
+
+// Degrade returns a copy of the layout with the named modules removed from
+// the roster and the given electrodes marked stuck — the floorplan the
+// runtime replans against after dropping a dead mixer or observing stuck-at
+// cells. The receiver is not modified.
+func (l *Layout) Degrade(drop map[string]bool, stuck []Point) *Layout {
+	out := &Layout{Width: l.Width, Height: l.Height}
+	for _, m := range l.Modules {
+		if drop[m.Name] {
+			continue
+		}
+		out.Modules = append(out.Modules, m)
+	}
+	out.Stuck = append(append([]Point{}, l.Stuck...), stuck...)
+	return out
 }
 
 // Module returns the module with the given name.

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/chip"
+	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/minmix"
 	"repro/internal/mixgraph"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/ratio"
 	"repro/internal/rma"
 	"repro/internal/rsm"
+	"repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/stream"
 )
@@ -111,6 +114,10 @@ type Config struct {
 	// The pooled droplets occupy storage between batches; with a Storage
 	// budget set, a Request that cannot fit fails with ErrPersistStorage.
 	PersistPool bool
+	// RecoveryBudget bounds the extra cycles the cyberphysical runtime may
+	// spend recovering from faults in any single pass of a batch executed
+	// with ExecuteBatch; 0 means unbounded. Planning ignores it.
+	RecoveryBudget int
 }
 
 // Engine is a demand-driven droplet-streaming engine. Each Request plans the
@@ -139,10 +146,23 @@ type Batch struct {
 // ErrNoTarget reports a Config without a target ratio.
 var ErrNoTarget = errors.New("core: config has no target ratio")
 
+// ErrBadConfig reports an engine configuration with out-of-range resources
+// (negative mixer or storage counts, or a recovery budget below zero).
+var ErrBadConfig = errors.New("core: invalid engine configuration")
+
 // New builds an engine for the given configuration.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Target.N() == 0 {
 		return nil, ErrNoTarget
+	}
+	if cfg.Mixers < 0 {
+		return nil, fmt.Errorf("%w: negative mixer count %d", ErrBadConfig, cfg.Mixers)
+	}
+	if cfg.Storage < 0 {
+		return nil, fmt.Errorf("%w: negative storage count %d", ErrBadConfig, cfg.Storage)
+	}
+	if cfg.RecoveryBudget < 0 {
+		return nil, fmt.Errorf("%w: negative recovery budget %d", ErrBadConfig, cfg.RecoveryBudget)
 	}
 	base, err := cfg.Algorithm.Build(cfg.Target)
 	if err != nil {
@@ -181,14 +201,18 @@ func (e *Engine) Batches() []*Batch { return e.batches }
 // Request plans the emission of n further target droplets and appends the
 // batch to the engine timeline.
 func (e *Engine) Request(n int) (*Batch, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: %w: %d", forest.ErrBadDemand, n)
+	}
 	if e.cfg.PersistPool {
 		return e.requestPersistent(n)
 	}
 	res, err := stream.Run(stream.Config{
-		Base:      e.base,
-		Mixers:    e.mixers,
-		Storage:   e.cfg.Storage,
-		Scheduler: e.cfg.Scheduler,
+		Base:           e.base,
+		Mixers:         e.mixers,
+		Storage:        e.cfg.Storage,
+		Scheduler:      e.cfg.Scheduler,
+		RecoveryBudget: e.cfg.RecoveryBudget,
 	}, n)
 	if err != nil {
 		return nil, err
@@ -198,6 +222,26 @@ func (e *Engine) Request(n int) (*Batch, error) {
 	e.elapsed += res.TotalCycles
 	e.emitted += res.Emitted
 	return b, nil
+}
+
+// ExecuteBatch executes a planned batch cycle-by-cycle on the chip layout
+// under fault injection, closing the loop with checkpoint sensors and the
+// three-level recovery policy of internal/runtime. A nil injector runs the
+// zero-fault path, whose move log is byte-identical to the exec plan. The
+// per-pass recovery budget comes from the policy, falling back to the
+// engine's Config.RecoveryBudget.
+//
+// Persistent-pool engines are not executable this way: their batches are
+// scheduled as increments of one shared growing forest, which the
+// cyberphysical replay cannot isolate.
+func (e *Engine) ExecuteBatch(b *Batch, l *chip.Layout, inj *faults.Injector, pol runtime.Policy) (*runtime.Report, error) {
+	if e.cfg.PersistPool {
+		return nil, fmt.Errorf("%w: persistent-pool batches cannot be executed cyberphysically", ErrBadConfig)
+	}
+	if b == nil || b.Result == nil {
+		return nil, fmt.Errorf("%w: nil batch", ErrBadConfig)
+	}
+	return runtime.RunStream(b.Result, l, inj, pol)
 }
 
 // Emissions returns all emission events planned so far, on the engine's

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/faults"
+	"repro/internal/forest"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+)
+
+func TestConfigValidationTyped(t *testing.T) {
+	cases := []Config{
+		{Target: pcr, Mixers: -1},
+		{Target: pcr, Storage: -2},
+		{Target: pcr, RecoveryBudget: -5},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("New(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+	if _, err := New(Config{}); !errors.Is(err, ErrNoTarget) {
+		t.Error("empty config did not return ErrNoTarget")
+	}
+}
+
+func TestRequestRejectsBadDemand(t *testing.T) {
+	for _, persist := range []bool{false, true} {
+		e, err := New(Config{Target: pcr, PersistPool: persist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{0, -3} {
+			if _, err := e.Request(n); !errors.Is(err, forest.ErrBadDemand) {
+				t.Errorf("persist=%v Request(%d) err = %v, want ErrBadDemand", persist, n, err)
+			}
+		}
+	}
+}
+
+func TestExecuteBatchZeroFault(t *testing.T) {
+	e, err := New(Config{Target: pcr, Scheduler: stream.SRS, Mixers: 3, Storage: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Request(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.ExecuteBatch(b, chip.PCRLayout(), nil, runtime.Policy{})
+	if err != nil {
+		t.Fatalf("ExecuteBatch: %v", err)
+	}
+	if rep.Emitted < 20 {
+		t.Errorf("emitted %d of 20", rep.Emitted)
+	}
+	if rep.ExtraCycles != 0 || rep.ExtraActuations != 0 || rep.Injected != 0 {
+		t.Errorf("zero-fault overhead: %s", rep)
+	}
+	if len(rep.Passes) != len(b.Result.Passes) {
+		t.Errorf("pass reports %d, want %d", len(rep.Passes), len(b.Result.Passes))
+	}
+}
+
+func TestExecuteBatchWithFaults(t *testing.T) {
+	e, err := New(Config{Target: pcr, Scheduler: stream.SRS, Mixers: 3, Storage: 5, RecoveryBudget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Request(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Rate(11, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.ExecuteBatch(b, chip.PCRLayout(), inj, runtime.Policy{})
+	if err != nil {
+		if !errors.Is(err, runtime.ErrUnrecoverable) {
+			t.Fatalf("untyped failure: %v", err)
+		}
+		return
+	}
+	if rep.Emitted < 20 {
+		t.Errorf("emitted %d of 20", rep.Emitted)
+	}
+	if got := rep.MaxCFError(); got > 1.0/64 {
+		t.Errorf("CF error %g beyond tolerance", got)
+	}
+}
+
+func TestExecuteBatchRejectsPersistAndNil(t *testing.T) {
+	e, err := New(Config{Target: pcr, PersistPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Request(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecuteBatch(b, chip.PCRLayout(), nil, runtime.Policy{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("persistent batch executed: %v", err)
+	}
+	e2, err := New(Config{Target: pcr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.ExecuteBatch(nil, chip.PCRLayout(), nil, runtime.Policy{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil batch executed: %v", err)
+	}
+}

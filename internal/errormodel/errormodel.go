@@ -54,10 +54,53 @@ var (
 	ErrBadParams = errors.New("errormodel: error magnitudes must be in [0, 0.5) and trials positive")
 )
 
-// droplet is one physical droplet in flight.
-type droplet struct {
-	volume float64
-	cf     []float64 // concentration per fluid, sums to 1
+// Droplet is one physical droplet in flight: its volume (unit droplets are
+// 1.0) and its concentration-factor vector (one entry per fluid, summing to
+// 1). The type and its Mix/Split primitives are shared with the closed-loop
+// runtime (internal/runtime), whose checkpoint sensors propagate exactly
+// this model through the live execution.
+type Droplet struct {
+	Volume float64
+	CF     []float64
+}
+
+// Fresh returns a unit droplet of pure fluid i over n fluids, with the given
+// relative volume error applied.
+func Fresh(fluid, n int, volErr float64) Droplet {
+	cf := make([]float64, n)
+	cf[fluid] = 1
+	return Droplet{Volume: 1 + volErr, CF: cf}
+}
+
+// Mix merges two droplets: volumes add, concentrations blend in proportion
+// to the actual volumes.
+func Mix(a, b Droplet) Droplet {
+	v := a.Volume + b.Volume
+	cf := make([]float64, len(a.CF))
+	for i := range cf {
+		cf[i] = (a.Volume*a.CF[i] + b.Volume*b.CF[i]) / v
+	}
+	return Droplet{Volume: v, CF: cf}
+}
+
+// Split performs a (1:1) split with relative imbalance eps: the halves get
+// volumes v/2·(1+eps) and v/2·(1−eps). Splitting preserves concentration;
+// the halves share the parent's CF vector.
+func Split(d Droplet, eps float64) (Droplet, Droplet) {
+	return Droplet{Volume: d.Volume / 2 * (1 + eps), CF: d.CF},
+		Droplet{Volume: d.Volume / 2 * (1 - eps), CF: d.CF}
+}
+
+// LinfError returns the L∞ deviation of the droplet's CF vector from the
+// wanted concentrations — the quantity a checkpoint sensor thresholds.
+func (d Droplet) LinfError(want []float64) float64 {
+	worst := 0.0
+	for i := range want {
+		if e := abs(d.CF[i] - want[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst
 }
 
 // Simulate propagates volumetric errors through the forest.
@@ -93,12 +136,10 @@ func Simulate(f *forest.Forest, p Params) (*Report, error) {
 	for trial := 0; trial < p.Trials; trial++ {
 		// outputs[taskID] holds the task's two droplets; handed to
 		// consumers in order, leftovers are targets/waste.
-		outputs := make([][]droplet, len(f.Tasks))
-		take := func(src forest.Source) droplet {
+		outputs := make([][]Droplet, len(f.Tasks))
+		take := func(src forest.Source) Droplet {
 			if src.Kind == forest.Input {
-				cf := make([]float64, n)
-				cf[src.Fluid] = 1
-				return droplet{volume: 1 + uniform(p.DispenseError), cf: cf}
+				return Fresh(src.Fluid, n, uniform(p.DispenseError))
 			}
 			outs := outputs[src.Task.ID]
 			d := outs[0]
@@ -106,34 +147,20 @@ func Simulate(f *forest.Forest, p Params) (*Report, error) {
 			return d
 		}
 		for _, t := range f.Tasks {
-			a, b := take(t.In[0]), take(t.In[1])
-			v := a.volume + b.volume
-			cf := make([]float64, n)
-			for i := 0; i < n; i++ {
-				cf[i] = (a.volume*a.cf[i] + b.volume*b.cf[i]) / v
-			}
-			eps := uniform(p.SplitImbalance)
-			outputs[t.ID] = []droplet{
-				{volume: v / 2 * (1 + eps), cf: cf},
-				{volume: v / 2 * (1 - eps), cf: cf},
-			}
+			merged := Mix(take(t.In[0]), take(t.In[1]))
+			hi, lo := Split(merged, uniform(p.SplitImbalance))
+			outputs[t.ID] = []Droplet{hi, lo}
 		}
 		// Collect target droplets: the unconsumed outputs of tree roots.
 		for _, tree := range f.Trees {
 			want := ideal[tree.Index]
 			for _, d := range outputs[tree.Root.ID] {
-				worst := 0.0
-				for i := 0; i < n; i++ {
-					if e := abs(d.cf[i] - want[i]); e > worst {
-						worst = e
-					}
+				errs = append(errs, d.LinfError(want))
+				if d.Volume < rep.MinVolume {
+					rep.MinVolume = d.Volume
 				}
-				errs = append(errs, worst)
-				if d.volume < rep.MinVolume {
-					rep.MinVolume = d.volume
-				}
-				if d.volume > rep.MaxVolume {
-					rep.MaxVolume = d.volume
+				if d.Volume > rep.MaxVolume {
+					rep.MaxVolume = d.Volume
 				}
 				if trial == 0 {
 					rep.Targets++

@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/route"
+)
+
+// TestWalledOffMixerErrors surrounds a mixer's port with stuck electrodes:
+// binding the schedule must fail with the typed routing error, not panic and
+// not silently produce a plan through the wall.
+func TestWalledOffMixerErrors(t *testing.T) {
+	s := pcrSchedule(t, 8, 3)
+	l := chip.PCRLayout()
+	m1, ok := l.Module("M1")
+	if !ok {
+		t.Fatal("PCR layout has no M1")
+	}
+	p := m1.Port
+	// Wall off the port's free neighbours (the module block covers the rest).
+	walled := l.Degrade(nil, []chip.Point{
+		{X: p.X - 1, Y: p.Y}, {X: p.X + 1, Y: p.Y},
+		{X: p.X, Y: p.Y - 1}, {X: p.X, Y: p.Y + 1},
+	})
+	if _, err := Execute(s, walled); !errors.Is(err, route.ErrUnreachable) {
+		t.Errorf("Execute on walled-off mixer: err = %v, want route.ErrUnreachable", err)
+	}
+}
+
+// TestStuckPortErrors sticks the electrode under a module port itself.
+func TestStuckPortErrors(t *testing.T) {
+	s := pcrSchedule(t, 8, 3)
+	l := chip.PCRLayout()
+	out, ok := l.Module("OUT")
+	if !ok {
+		t.Fatal("PCR layout has no OUT")
+	}
+	stuck := l.Degrade(nil, []chip.Point{out.Port})
+	if _, err := Execute(s, stuck); err == nil {
+		t.Error("Execute with a stuck output port succeeded")
+	}
+}
+
+// TestOverlappingModulesRejected pins the layout validator's typed error.
+func TestOverlappingModulesRejected(t *testing.T) {
+	l := &chip.Layout{Width: 10, Height: 10, Modules: []chip.Module{
+		{Kind: chip.Mixer, Name: "M1", Fluid: -1,
+			Rect: chip.Rect{X: 1, Y: 1, W: 2, H: 2}, Port: chip.Point{X: 0, Y: 1}},
+		{Kind: chip.Mixer, Name: "M2", Fluid: -1,
+			Rect: chip.Rect{X: 2, Y: 2, W: 2, H: 2}, Port: chip.Point{X: 4, Y: 2}},
+	}}
+	if err := l.Validate(); !errors.Is(err, chip.ErrOverlap) {
+		t.Errorf("Validate on overlapping modules: err = %v, want chip.ErrOverlap", err)
+	}
+}
+
+// TestStorageExhaustedTyped re-pins ErrStorageOverflow through the streaming
+// demand that needs every PCR storage cell.
+func TestStorageExhaustedTyped(t *testing.T) {
+	s := pcrSchedule(t, 20, 3) // needs q=5
+	for n := 0; n < 5; n++ {
+		l, err := chip.PCRLayoutWithStorage(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Execute(s, l); !errors.Is(err, ErrStorageOverflow) {
+			t.Errorf("storage=%d: err = %v, want ErrStorageOverflow", n, err)
+		}
+	}
+}

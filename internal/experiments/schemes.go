@@ -114,7 +114,7 @@ func runScheme(s Scheme, r ratio.Ratio, mc, demand int, cache *plancache.Cache) 
 		// L=256 base graphs make KeyFor measurable at sweep scale.
 		p, err = build()
 	} else {
-		p, err = cache.GetOrBuild(plancache.KeyFor(base, demand, mc, s.Scheduler.String()), build)
+		p, err = cache.GetOrBuild(plancache.KeyFor(base, demand, mc, s.Scheduler.String(), plancache.PristinePolicy), build)
 	}
 	if err != nil {
 		return Result{}, err

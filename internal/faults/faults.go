@@ -1,0 +1,347 @@
+// Package faults is a deterministic, seeded fault injector for the
+// cyberphysical DMF runtime (internal/runtime). It models the physical
+// failure modes catalogued for digital microfluidic biochips — stuck-at
+// electrodes, dead mixer modules, dispensing failures, droplet loss in
+// transit, and (1:1) split imbalance beyond the checkpoint-sensor threshold
+// (cf. Poddar et al.'s analysis of how unbalanced splits corrupt target
+// concentrations) — without any hidden global state.
+//
+// Determinism is per-event, not per-run: every fault decision is a pure
+// function of (seed, kind, cycle, site, attempt) via a splitmix64 hash, so
+// replaying the same plan with the same seed injects the same faults no
+// matter in which order the runtime happens to query the injector, and a
+// bounded retry (attempt+1) re-rolls independently. A nil *Injector is
+// valid and injects nothing — the zero-fault path.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/chip"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int8
+
+const (
+	// StuckElectrode is a routing electrode permanently stuck (open or
+	// shorted): droplets must be rerouted around it.
+	StuckElectrode Kind = iota
+	// DeadMixer is a mixer module that stops actuating at a given cycle.
+	DeadMixer
+	// DispenseFail is a reservoir dispense that produces no droplet.
+	DispenseFail
+	// DropletLoss is a droplet vanishing in transit (evaporation, pinning).
+	DropletLoss
+	// SplitImbalance is a (1:1) split whose volume imbalance exceeds the
+	// checkpoint sensor threshold.
+	SplitImbalance
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StuckElectrode:
+		return "stuck-electrode"
+	case DeadMixer:
+		return "dead-mixer"
+	case DispenseFail:
+		return "dispense-fail"
+	case DropletLoss:
+		return "droplet-loss"
+	case SplitImbalance:
+		return "split-imbalance"
+	default:
+		return fmt.Sprintf("Kind(%d)", int8(k))
+	}
+}
+
+// Kinds lists every fault class, for report iteration.
+func Kinds() []Kind {
+	return []Kind{StuckElectrode, DeadMixer, DispenseFail, DropletLoss, SplitImbalance}
+}
+
+// Params configures an injector. All rates are per-event probabilities in
+// [0, 1); scripted faults (DeadMixers, StuckCells) fire unconditionally.
+type Params struct {
+	// Seed fixes the per-event hash; identical seeds inject identical
+	// faults for identical plans.
+	Seed int64
+	// DispenseFailRate is the probability a dispense produces no droplet.
+	DispenseFailRate float64
+	// DropletLossRate is the probability a transported droplet is lost.
+	DropletLossRate float64
+	// SplitFailRate is the probability a mix-split's imbalance exceeds the
+	// sensor threshold.
+	SplitFailRate float64
+	// ImbalanceScale sizes a faulty split's |eps| as a multiple of the
+	// sensor threshold (default 2.0; must be > 1 so the sensor sees it).
+	ImbalanceScale float64
+	// DeadMixers maps mixer module names to the cycle they die at
+	// (inclusive): the mixer refuses every mix from that cycle on.
+	DeadMixers map[string]int
+	// StuckCells lists electrodes stuck from cycle 1.
+	StuckCells []chip.Point
+}
+
+// Rate applies one uniform per-event rate to the three probabilistic fault
+// classes — the "p% fault rate" knob of the experiments.
+func Rate(seed int64, rate float64) Params {
+	return Params{
+		Seed:             seed,
+		DispenseFailRate: rate,
+		DropletLossRate:  rate,
+		SplitFailRate:    rate,
+	}
+}
+
+// Event records one injected fault.
+type Event struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Cycle is the schedule cycle the fault manifested in.
+	Cycle int
+	// Site names the afflicted resource (module name, "from->to" hop, or
+	// "(x,y)" electrode).
+	Site string
+	// Attempt is the retry ordinal the fault hit (0 = first try).
+	Attempt int
+	// Value carries fault-specific magnitude (split imbalance eps).
+	Value float64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("cycle %d: %s at %s (attempt %d)", e.Cycle, e.Kind, e.Site, e.Attempt)
+}
+
+// ErrBadParams reports rates outside [0, 1) or a non-amplifying
+// ImbalanceScale.
+var ErrBadParams = errors.New("faults: rates must be in [0, 1) and ImbalanceScale > 1")
+
+// Injector injects deterministic faults and logs every one it fires.
+// Methods are safe for concurrent use; a nil *Injector injects nothing.
+type Injector struct {
+	p  Params
+	mu sync.Mutex
+	ev []Event
+}
+
+// New validates the parameters and builds an injector.
+func New(p Params) (*Injector, error) {
+	for _, r := range []float64{p.DispenseFailRate, p.DropletLossRate, p.SplitFailRate} {
+		if r < 0 || r >= 1 {
+			return nil, fmt.Errorf("%w: rate %v", ErrBadParams, r)
+		}
+	}
+	if p.ImbalanceScale == 0 {
+		p.ImbalanceScale = 2.0
+	}
+	if p.ImbalanceScale <= 1 {
+		return nil, fmt.Errorf("%w: scale %v", ErrBadParams, p.ImbalanceScale)
+	}
+	return &Injector{p: p}, nil
+}
+
+// Params returns the injector's configuration (zero value when nil).
+func (in *Injector) Params() Params {
+	if in == nil {
+		return Params{}
+	}
+	return in.p
+}
+
+// Stuck returns the scripted stuck-at electrodes.
+func (in *Injector) Stuck() []chip.Point {
+	if in == nil {
+		return nil
+	}
+	return in.p.StuckCells
+}
+
+// MixerDeadAt returns the cycle the named mixer dies at, if scripted.
+func (in *Injector) MixerDeadAt(mixer string) (int, bool) {
+	if in == nil {
+		return 0, false
+	}
+	c, ok := in.p.DeadMixers[mixer]
+	return c, ok
+}
+
+// splitmix64 finalizer: avalanche a 64-bit state into a well-mixed word.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// u returns the event's deterministic uniform draw in [0, 1).
+func (in *Injector) u(k Kind, cycle int, site string, attempt int) float64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	step := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	step(uint64(in.p.Seed))
+	step(uint64(k))
+	step(uint64(cycle))
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= prime64
+	}
+	step(uint64(attempt))
+	return float64(mix64(h)>>11) / float64(1<<53)
+}
+
+func (in *Injector) record(e Event) {
+	in.mu.Lock()
+	in.ev = append(in.ev, e)
+	in.mu.Unlock()
+}
+
+// DispenseFails reports whether the dispense from the named reservoir at
+// the given cycle/attempt fails, logging the fault if so.
+func (in *Injector) DispenseFails(cycle int, reservoir string, attempt int) bool {
+	if in == nil || in.p.DispenseFailRate == 0 {
+		return false
+	}
+	if in.u(DispenseFail, cycle, reservoir, attempt) < in.p.DispenseFailRate {
+		in.record(Event{Kind: DispenseFail, Cycle: cycle, Site: reservoir, Attempt: attempt})
+		return true
+	}
+	return false
+}
+
+// DropletLost reports whether the droplet moving from->to at the given
+// cycle/attempt is lost in transit, logging the fault if so.
+func (in *Injector) DropletLost(cycle int, from, to string, attempt int) bool {
+	if in == nil || in.p.DropletLossRate == 0 {
+		return false
+	}
+	site := from + "->" + to
+	if in.u(DropletLoss, cycle, site, attempt) < in.p.DropletLossRate {
+		in.record(Event{Kind: DropletLoss, Cycle: cycle, Site: site, Attempt: attempt})
+		return true
+	}
+	return false
+}
+
+// SplitEpsilon returns the relative volume imbalance of the mix-split
+// running on the named mixer at the given cycle/attempt. Non-faulty splits
+// return 0; faulty splits return ±threshold·ImbalanceScale (sign from the
+// hash) and are logged.
+func (in *Injector) SplitEpsilon(cycle int, mixer string, attempt int, threshold float64) float64 {
+	if in == nil || in.p.SplitFailRate == 0 {
+		return 0
+	}
+	u := in.u(SplitImbalance, cycle, mixer, attempt)
+	if u >= in.p.SplitFailRate {
+		return 0
+	}
+	eps := threshold * in.p.ImbalanceScale
+	if u < in.p.SplitFailRate/2 {
+		eps = -eps
+	}
+	in.record(Event{Kind: SplitImbalance, Cycle: cycle, Site: mixer, Attempt: attempt, Value: eps})
+	return eps
+}
+
+// RecordMixerDeath logs the (scripted) death of a mixer when the runtime
+// first observes it.
+func (in *Injector) RecordMixerDeath(cycle int, mixer string) {
+	if in == nil {
+		return
+	}
+	in.record(Event{Kind: DeadMixer, Cycle: cycle, Site: mixer})
+}
+
+// RecordStuck logs a stuck electrode when the runtime first routes around it.
+func (in *Injector) RecordStuck(cycle int, p chip.Point) {
+	if in == nil {
+		return
+	}
+	in.record(Event{Kind: StuckElectrode, Cycle: cycle, Site: fmt.Sprintf("(%d,%d)", p.X, p.Y)})
+}
+
+// Log returns a copy of every injected fault, in injection order.
+func (in *Injector) Log() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event{}, in.ev...)
+}
+
+// Count returns the number of injected faults, optionally restricted to one
+// kind (pass a negative kind for all).
+func (in *Injector) Count(k Kind) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if k < 0 {
+		return len(in.ev)
+	}
+	n := 0
+	for _, e := range in.ev {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// ByKind returns injected-fault counts keyed by kind, sorted iteration via
+// Kinds().
+func (in *Injector) ByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, e := range in.ev {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Reset clears the fault log (parameters are kept), so one injector can
+// serve several runs while attributing faults per run.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.ev = nil
+	in.mu.Unlock()
+}
+
+// Summary renders the log as "kind xN" terms in a stable order.
+func (in *Injector) Summary() string {
+	by := in.ByKind()
+	var parts []string
+	for _, k := range Kinds() {
+		if by[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s x%d", k, by[k]))
+		}
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "no faults"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += ", " + p
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.DispenseFails(1, "R1", 0) || in.DropletLost(1, "a", "b", 0) {
+		t.Error("nil injector fired a fault")
+	}
+	if eps := in.SplitEpsilon(1, "M1", 0, 0.05); eps != 0 {
+		t.Errorf("nil injector eps = %v", eps)
+	}
+	if in.Stuck() != nil || len(in.Log()) != 0 || in.Count(-1) != 0 {
+		t.Error("nil injector carries state")
+	}
+	if _, ok := in.MixerDeadAt("M1"); ok {
+		t.Error("nil injector scripted a mixer death")
+	}
+	in.RecordMixerDeath(1, "M1") // must not panic
+	in.RecordStuck(1, chip.Point{})
+	in.Reset()
+	if in.Summary() != "no faults" {
+		t.Errorf("nil summary = %q", in.Summary())
+	}
+}
+
+func TestNewValidatesParams(t *testing.T) {
+	bad := []Params{
+		{DispenseFailRate: -0.1},
+		{DropletLossRate: 1.0},
+		{SplitFailRate: 2},
+		{ImbalanceScale: 0.5},
+		{ImbalanceScale: 1.0},
+	}
+	for _, p := range bad {
+		if _, err := New(p); !errors.Is(err, ErrBadParams) {
+			t.Errorf("New(%+v) err = %v, want ErrBadParams", p, err)
+		}
+	}
+	in, err := New(Params{Seed: 1, SplitFailRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Params().ImbalanceScale != 2.0 {
+		t.Errorf("default ImbalanceScale = %v, want 2", in.Params().ImbalanceScale)
+	}
+}
+
+func TestPerEventDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		in, err := New(Rate(42, 0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	// Query b in a different order than a: per-event hashing must agree.
+	type probe struct {
+		cycle   int
+		site    string
+		attempt int
+	}
+	probes := []probe{{1, "R1", 0}, {1, "R1", 1}, {2, "R2", 0}, {7, "R1", 0}, {7, "R3", 2}}
+	got := map[probe]bool{}
+	for _, p := range probes {
+		got[p] = a.DispenseFails(p.cycle, p.site, p.attempt)
+	}
+	for i := len(probes) - 1; i >= 0; i-- {
+		p := probes[i]
+		if b.DispenseFails(p.cycle, p.site, p.attempt) != got[p] {
+			t.Errorf("probe %+v order-dependent", p)
+		}
+	}
+	// Different seeds must (virtually always) disagree somewhere.
+	c, err := New(Rate(43, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for cyc := 1; cyc <= 50 && same; cyc++ {
+		if a.DispenseFails(cyc, "Rx", 0) != c.DispenseFails(cyc, "Rx", 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 injected identical dispense faults over 50 cycles")
+	}
+}
+
+func TestRatesAreApproximatelyHonoured(t *testing.T) {
+	const rate, n = 0.1, 20000
+	in, err := New(Rate(7, rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for i := 0; i < n; i++ {
+		if in.DropletLost(i, "a", "b", 0) {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if math.Abs(got-rate) > 0.02 {
+		t.Errorf("empirical loss rate %.3f, want ~%.2f", got, rate)
+	}
+	if in.Count(DropletLoss) != fails {
+		t.Errorf("Count(DropletLoss) = %d, want %d", in.Count(DropletLoss), fails)
+	}
+}
+
+func TestSplitEpsilonMagnitudeAndLog(t *testing.T) {
+	in, err := New(Params{Seed: 3, SplitFailRate: 0.5, ImbalanceScale: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const th = 0.05
+	seenPos, seenNeg := false, false
+	for cyc := 1; cyc <= 200; cyc++ {
+		eps := in.SplitEpsilon(cyc, "M1", 0, th)
+		switch {
+		case eps == 0:
+		case math.Abs(math.Abs(eps)-th*3) < 1e-12:
+			if eps > 0 {
+				seenPos = true
+			} else {
+				seenNeg = true
+			}
+		default:
+			t.Fatalf("cycle %d: eps = %v, want 0 or ±%v", cyc, eps, th*3)
+		}
+	}
+	if !seenPos || !seenNeg {
+		t.Error("split faults never covered both signs")
+	}
+	for _, e := range in.Log() {
+		if e.Kind != SplitImbalance || e.Value == 0 {
+			t.Errorf("bad split event %+v", e)
+		}
+	}
+}
+
+func TestScriptedFaultsAndSummary(t *testing.T) {
+	in, err := New(Params{
+		DeadMixers: map[string]int{"M2": 5},
+		StuckCells: []chip.Point{{X: 3, Y: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := in.MixerDeadAt("M2"); !ok || c != 5 {
+		t.Errorf("MixerDeadAt(M2) = %d,%v", c, ok)
+	}
+	if _, ok := in.MixerDeadAt("M1"); ok {
+		t.Error("M1 scripted dead unexpectedly")
+	}
+	if len(in.Stuck()) != 1 {
+		t.Errorf("Stuck() = %v", in.Stuck())
+	}
+	in.RecordMixerDeath(5, "M2")
+	in.RecordStuck(1, chip.Point{X: 3, Y: 4})
+	by := in.ByKind()
+	if by[DeadMixer] != 1 || by[StuckElectrode] != 1 {
+		t.Errorf("ByKind = %v", by)
+	}
+	s := in.Summary()
+	if !strings.Contains(s, "dead-mixer x1") || !strings.Contains(s, "stuck-electrode x1") {
+		t.Errorf("Summary = %q", s)
+	}
+	in.Reset()
+	if in.Count(-1) != 0 {
+		t.Error("Reset left events behind")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if s := Kind(99).String(); !strings.HasPrefix(s, "Kind(") {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}
+
+func TestConcurrentInjection(t *testing.T) {
+	in, err := New(Rate(9, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.DispenseFails(i, "R1", w)
+				in.DropletLost(i, "a", "b", w)
+				in.SplitEpsilon(i, "M1", w, 0.05)
+				in.Log()
+				in.Count(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Count(-1) != len(in.Log()) {
+		t.Error("Count and Log disagree after concurrent use")
+	}
+}

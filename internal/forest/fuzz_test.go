@@ -1,0 +1,97 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+)
+
+// FuzzBuildForest grows mixing forests over fuzzer-chosen (ratio, demand)
+// pairs and checks the structural invariants every consumer relies on: tree
+// count ⌈D/2⌉, topological task order, two-consumer output discipline, and
+// droplet conservation (inputs = targets + waste). Invalid ratios and
+// demands must be rejected cleanly, never panic. Seed corpus under
+// testdata/fuzz/FuzzBuildForest.
+func FuzzBuildForest(f *testing.F) {
+	seeds := []struct {
+		ratio  string
+		demand int
+	}{
+		{"2:1:1:1:1:1:9", 20},
+		{"1:1", 2},
+		{"1:3", 7},
+		{"5:3:4:4", 32},
+		{"1:1:2", 3},
+		{"3:13", 11},
+		{"1:1:1:1", 1},
+		{"2:1:1:1:1:1:9", 0},
+		{"2:1:1:1:1:1:9", -4},
+		{"7:9", 64},
+	}
+	for _, s := range seeds {
+		f.Add(s.ratio, s.demand)
+	}
+	f.Fuzz(func(t *testing.T, rs string, demand int) {
+		r, err := ratio.Parse(rs)
+		if err != nil {
+			return
+		}
+		// Bound the work: huge ratio-sums or demands grow forests the fuzzer
+		// has no business timing out on.
+		if r.Sum() > 1024 || demand > 256 {
+			return
+		}
+		g, err := minmix.Build(r)
+		if err != nil {
+			if r.N() < 2 {
+				return // single-fluid "mixtures" need no mixing; clean reject
+			}
+			t.Fatalf("minmix.Build(%q): %v", rs, err)
+		}
+		fr, err := Build(g, demand)
+		if demand <= 0 {
+			if err == nil {
+				t.Fatalf("Build accepted demand %d", demand)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Build(%q, %d): %v", rs, demand, err)
+		}
+		if want := (demand + 1) / 2; len(fr.Trees) != want {
+			t.Fatalf("trees = %d, want ⌈%d/2⌉ = %d", len(fr.Trees), demand, want)
+		}
+		// Tasks are in topological ID order and every task's droplet economy
+		// balances: two inputs in, at most two outputs out.
+		for i, tk := range fr.Tasks {
+			if tk.ID != i {
+				t.Fatalf("task %d carries ID %d", i, tk.ID)
+			}
+			if len(tk.In) != 2 {
+				t.Fatalf("task %d has %d inputs", i, len(tk.In))
+			}
+			for _, src := range tk.In {
+				if src.Kind == FromTask && src.Task.ID >= tk.ID {
+					t.Fatalf("task %d consumes task %d: not topological", tk.ID, src.Task.ID)
+				}
+			}
+			if tk.FreeOutputs() < 0 {
+				t.Fatalf("task %d emits more droplets than it produces", tk.ID)
+			}
+		}
+		// Droplet conservation over the whole forest (Lemma: every dispensed
+		// unit droplet ends as a target or as waste).
+		st := fr.Stats()
+		if st.Targets != 2*len(fr.Trees) {
+			t.Fatalf("targets = %d, want %d", st.Targets, 2*len(fr.Trees))
+		}
+		if st.InputTotal != int64(st.Targets)+st.Waste {
+			t.Fatalf("droplets not conserved: %d in, %d targets + %d waste",
+				st.InputTotal, st.Targets, st.Waste)
+		}
+		if st.Targets < demand {
+			t.Fatalf("forest emits %d of %d demanded", st.Targets, demand)
+		}
+	})
+}

@@ -41,11 +41,22 @@ type Key struct {
 	Mixers int
 	// Scheduler names the scheduling scheme ("MMS", "SRS").
 	Scheduler string
+	// Policy fingerprints the fault/recovery policy the plan was built
+	// under. Pristine-chip plans use PristinePolicy (""); plans produced by
+	// the cyberphysical runtime while recovering on a degraded chip carry a
+	// non-empty policy string, so a recovered-degraded plan is never served
+	// for a pristine-chip request (and vice versa).
+	Policy string
 }
 
+// PristinePolicy is the Policy value of plans built for a fault-free,
+// fully-provisioned chip.
+const PristinePolicy = ""
+
 // KeyFor builds the cache key for planning `demand` droplets of g's target
-// on `mixers` mixers under the named scheduler.
-func KeyFor(g *mixgraph.Graph, demand, mixers int, scheduler string) Key {
+// on `mixers` mixers under the named scheduler and fault/recovery policy
+// (PristinePolicy for the fault-free planning path).
+func KeyFor(g *mixgraph.Graph, demand, mixers int, scheduler, policy string) Key {
 	return Key{
 		Algo:      g.Algorithm,
 		Ratio:     g.Target.String(),
@@ -53,6 +64,7 @@ func KeyFor(g *mixgraph.Graph, demand, mixers int, scheduler string) Key {
 		Demand:    demand,
 		Mixers:    mixers,
 		Scheduler: scheduler,
+		Policy:    policy,
 	}
 }
 

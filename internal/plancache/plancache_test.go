@@ -151,7 +151,7 @@ func TestKeyForAndFingerprint(t *testing.T) {
 	if Fingerprint(mm1) != Fingerprint(mm2) {
 		t.Error("deterministic builder produced different fingerprints")
 	}
-	k := KeyFor(mm1, 32, 3, "SRS")
+	k := KeyFor(mm1, 32, 3, "SRS", PristinePolicy)
 	if k != (Key{Algo: "MM", Ratio: "2:1:1:1:1:1:9", Graph: Fingerprint(mm1), Demand: 32, Mixers: 3, Scheduler: "SRS"}) {
 		t.Errorf("KeyFor = %+v", k)
 	}
@@ -162,6 +162,33 @@ func TestKeyForAndFingerprint(t *testing.T) {
 	}
 	if Fingerprint(mt) == Fingerprint(mm1) {
 		t.Error("MTCS and MM graphs share a fingerprint")
+	}
+}
+
+// TestPolicyKeysAreDisjoint pins the fault/recovery policy dimension of the
+// cache key: a plan built while recovering on a degraded chip must never be
+// served for a pristine-chip request, and vice versa.
+func TestPolicyKeysAreDisjoint(t *testing.T) {
+	c := New(8)
+	r := ratio.MustParse("2:1:1:1:1:1:9")
+	g, err := minmix.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := KeyFor(g, 20, 2, "SRS", "recover:th=0.05,cf=0.015625,retries=3")
+	pristine := KeyFor(g, 20, 2, "SRS", PristinePolicy)
+	if degraded == pristine {
+		t.Fatal("degraded and pristine keys collide")
+	}
+	c.Put(degraded, testPlan(t))
+	if _, ok := c.Get(pristine); ok {
+		t.Error("recovered-degraded plan served for a pristine-chip request")
+	}
+	c.Put(pristine, testPlan(t))
+	dp, ok1 := c.Get(degraded)
+	pp, ok2 := c.Get(pristine)
+	if !ok1 || !ok2 || dp == pp {
+		t.Error("policy-keyed entries not independent")
 	}
 }
 

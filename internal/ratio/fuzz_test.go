@@ -1,0 +1,75 @@
+package ratio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRatio throws arbitrary strings at the colon-form parser. Accepted
+// inputs must satisfy every Ratio invariant and round-trip through String;
+// rejected inputs must fail cleanly (no panic). Seed corpus under
+// testdata/fuzz/FuzzParseRatio.
+func FuzzParseRatio(f *testing.F) {
+	for _, s := range []string{
+		"2:1:1:1:1:1:9",
+		"1:1",
+		"1:3",
+		"5:3:4:4",
+		"16",
+		"1:1:2",
+		"",
+		":",
+		"0:16",
+		"-1:17",
+		"1:1:1",
+		"999999999999999999999:1",
+		" 2 : 1 : 1 : 1 : 1 : 1 : 9 ",
+		"1:1:\x00",
+		"0x10",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return // rejected cleanly
+		}
+		n := r.N()
+		if n < 1 {
+			t.Fatalf("Parse(%q) accepted an empty ratio", s)
+		}
+		var sum int64
+		for i := 0; i < n; i++ {
+			p := r.Part(i)
+			if p <= 0 {
+				t.Fatalf("Parse(%q): non-positive part %d", s, p)
+			}
+			sum += p
+		}
+		if sum <= 0 || sum&(sum-1) != 0 {
+			t.Fatalf("Parse(%q): ratio-sum %d is not a power of two", s, sum)
+		}
+		// Round-trip: the canonical form must re-parse to an equal ratio.
+		canon := r.String()
+		r2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", s, canon, err)
+		}
+		if r2.N() != n {
+			t.Fatalf("round-trip changed arity: %d vs %d", r2.N(), n)
+		}
+		for i := 0; i < n; i++ {
+			if r2.Part(i) != r.Part(i) {
+				t.Fatalf("round-trip changed part %d: %d vs %d", i, r2.Part(i), r.Part(i))
+			}
+		}
+		// The CF vector view must agree with the parts.
+		v := r.Vector()
+		if v.N() != n {
+			t.Fatalf("Vector arity %d, want %d", v.N(), n)
+		}
+		if strings.TrimSpace(canon) != canon {
+			t.Fatalf("String() = %q carries whitespace", canon)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/faults"
+)
+
+// Policy bounds the closed-loop executor's sensing and recovery behaviour.
+// The zero value is usable: withDefaults fills in the paper-scale defaults.
+type Policy struct {
+	// SensorThreshold is the maximum relative split imbalance |eps| the
+	// checkpoint sensor accepts after a mix-split, and the volume tolerance
+	// applied to emitted droplets (default 0.05, i.e. ±5%).
+	SensorThreshold float64
+	// CFTolerance is the maximum L∞ concentration-factor deviation an
+	// emitted target droplet may carry (default 1/64).
+	CFTolerance float64
+	// MaxRetries bounds the per-operation retry loop: re-dispense after a
+	// failed dispense, re-split after an unbalanced split, re-delivery
+	// after a lost droplet (default 3).
+	MaxRetries int
+	// MaxReplays bounds the subtree replays (recovery level 2) in one run
+	// (default 64).
+	MaxReplays int
+	// RecoveryBudget bounds the extra cycles retries and replays may add in
+	// one pass; 0 means unbounded. Degradation replans are replans, not
+	// retries, and do not consume the budget.
+	RecoveryBudget int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.SensorThreshold == 0 {
+		p.SensorThreshold = 0.05
+	}
+	if p.CFTolerance == 0 {
+		p.CFTolerance = 1.0 / 64
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxReplays == 0 {
+		p.MaxReplays = 64
+	}
+	return p
+}
+
+// Fingerprint renders the policy as a stable string, used as the plan-cache
+// policy key for schedules replanned during recovery so a recovered-degraded
+// plan is never served for a pristine-chip request.
+func (p Policy) Fingerprint() string {
+	p = p.withDefaults()
+	return fmt.Sprintf("recover:th=%g,cf=%g,retries=%d", p.SensorThreshold, p.CFTolerance, p.MaxRetries)
+}
+
+// TargetReading is the checkpoint sensor's reading of one emitted target
+// droplet.
+type TargetReading struct {
+	// Cycle is the absolute cycle of the emission.
+	Cycle int
+	// Volume is the droplet volume (ideal 1.0).
+	Volume float64
+	// CFError is the L∞ deviation from the wanted concentration vector.
+	CFError float64
+}
+
+// Report is the structured outcome of one closed-loop run: what was
+// injected, what the sensors saw, how the run recovered, and what the
+// recovery cost relative to the fault-free plan.
+type Report struct {
+	// Injected counts the faults the injector fired during the run;
+	// ByKind breaks them down per fault class.
+	Injected int
+	ByKind   map[faults.Kind]int
+	// Detected counts the faults the checkpoint sensors (or the replanner)
+	// observed; Recovered counts the ones overcome. A run that returns a
+	// nil error recovered every detected fault.
+	Detected, Recovered int
+	// Retries, Replays and Degradations count the recovery actions taken at
+	// each escalation level: bounded per-operation retries, minimal-subtree
+	// replays, and roster-dropping replans.
+	Retries, Replays, Degradations int
+	// BaseCycles/BaseActuations/BaseDroplets describe the fault-free plan;
+	// Total* describe the run as executed; Extra* = Total − Base (the
+	// recovery overhead).
+	BaseCycles, TotalCycles, ExtraCycles             int
+	BaseActuations, TotalActuations, ExtraActuations int
+	BaseDroplets, TotalDroplets, ExtraDroplets       int
+	// Emitted is the number of target droplets delivered to the output
+	// port; Targets carries the sensor reading of each.
+	Emitted int
+	Targets []TargetReading
+	// Moves is the transport log as executed, including recovery moves.
+	// With zero faults it is byte-identical to the exec plan's move list.
+	Moves []exec.Move
+	// DeadMixers lists mixers dropped from the roster, in death order.
+	DeadMixers []string
+	// Events is the injector's fault log for this run.
+	Events []faults.Event
+	// Passes holds the per-pass reports when the run executed a multi-pass
+	// stream plan; nil for single-schedule runs.
+	Passes []*Report
+}
+
+// MaxCFError returns the worst emitted-droplet CF deviation.
+func (r *Report) MaxCFError() float64 {
+	worst := 0.0
+	for _, t := range r.Targets {
+		if t.CFError > worst {
+			worst = t.CFError
+		}
+	}
+	return worst
+}
+
+// String renders a one-paragraph summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime: %d faults injected, %d detected, %d recovered (%d retries, %d replays, %d degradations)\n",
+		r.Injected, r.Detected, r.Recovered, r.Retries, r.Replays, r.Degradations)
+	fmt.Fprintf(&b, "cycles %d (+%d), actuations %d (+%d), input droplets %d (+%d), emitted %d (max CF err %.4f)",
+		r.TotalCycles, r.ExtraCycles, r.TotalActuations, r.ExtraActuations,
+		r.TotalDroplets, r.ExtraDroplets, r.Emitted, r.MaxCFError())
+	if len(r.DeadMixers) > 0 {
+		fmt.Fprintf(&b, "\ndead mixers: %s", strings.Join(r.DeadMixers, ", "))
+	}
+	return b.String()
+}
+
+// Typed runtime errors. Every recovery dead-end wraps ErrUnrecoverable, so
+// callers can distinguish "the chip cannot finish this work" from plain
+// planning errors with errors.Is.
+var (
+	ErrUnrecoverable    = errors.New("runtime: unrecoverable fault")
+	ErrRetriesExhausted = fmt.Errorf("%w: bounded retries exhausted", ErrUnrecoverable)
+	ErrReplayLimit      = fmt.Errorf("%w: subtree-replay limit reached", ErrUnrecoverable)
+	ErrRecoveryBudget   = fmt.Errorf("%w: per-pass recovery budget exceeded", ErrUnrecoverable)
+	ErrNoMixersLeft     = fmt.Errorf("%w: no alive mixers left", ErrUnrecoverable)
+	ErrChipBlocked      = fmt.Errorf("%w: stuck electrodes cut off a required module", ErrUnrecoverable)
+	// ErrPlanMismatch reports an internal inconsistency between the exec
+	// plan and the runtime's semantic reconstruction of it; it indicates a
+	// bug, not a fault.
+	ErrPlanMismatch = errors.New("runtime: internal plan reconstruction mismatch")
+)

@@ -63,6 +63,11 @@ type Config struct {
 	Storage int
 	// Scheduler is the forest scheduling scheme (default MMS).
 	Scheduler Scheduler
+	// RecoveryBudget bounds the extra cycles the cyberphysical runtime
+	// (internal/runtime) may spend recovering from injected faults in any
+	// single pass of this plan; 0 means unbounded. Planning itself ignores
+	// it — the budget rides on Result.Config for the executor.
+	RecoveryBudget int
 }
 
 // Pass is one mixing-forest execution.
@@ -111,7 +116,7 @@ var ErrStorage = errors.New("stream: base tree needs more storage units than ava
 // Plans are pure functions of (base graph, d, mixers, scheduler), so cached
 // plans are exactly what a fresh build would produce; see internal/plancache.
 func plan(cfg Config, d int) (*plancache.Plan, error) {
-	key := plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String())
+	key := plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String(), plancache.PristinePolicy)
 	return plancache.Default().GetOrBuild(key, func() (*plancache.Plan, error) {
 		f, err := forest.Build(cfg.Base, d)
 		if err != nil {
@@ -147,7 +152,7 @@ func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
 	best := 0
 	for d := 2; d <= limit; d += 2 {
 		b.AddTree()
-		if p, ok := cache.Get(plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String())); ok {
+		if p, ok := cache.Get(plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String(), plancache.PristinePolicy)); ok {
 			if p.Storage <= cfg.Storage {
 				best = d
 			}
