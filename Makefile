@@ -3,11 +3,12 @@
 GO ?= go
 
 # Packages with new concurrency (worker pool, plan cache, parallel sweeps,
-# streaming planner, fault injector, cyberphysical runtime) — raced
-# explicitly by `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime
+# streaming planner, fault injector, cyberphysical runtime, the parallel
+# mixer-binding search and the transport-matrix cache) — raced explicitly by
+# `make race`.
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route
 
-.PHONY: build test race vet fmt-check bench-smoke fuzz-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing fuzz-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -32,13 +33,20 @@ fmt-check:
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
+# Routing-kernel old-vs-new measurement run: incremental vs full-recompute
+# placement annealing (bit-identity verified), cached vs cold matrices,
+# Router vs map-BFS replay. Writes results/bench_routing.json (EXPERIMENTS
+# §E7).
+bench-routing:
+	$(GO) run ./cmd/benchroute -out results/bench_routing.json
+
 # Short fuzzing passes over the parser and the forest builder — enough to
 # replay the corpora and explore a little, not a soak run.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseRatio -fuzztime=10s ./internal/ratio
 	$(GO) test -fuzz=FuzzBuildForest -fuzztime=10s ./internal/forest
 
-check: build vet fmt-check test race fuzz-smoke
+check: build vet fmt-check test race bench-smoke fuzz-smoke
 
 clean:
 	$(GO) clean

@@ -1,0 +1,207 @@
+// Command benchroute measures the dense routing kernel against the legacy
+// paths — incremental vs full-recompute placement annealing, cached vs cold
+// transport matrices, Router-kernel vs map-BFS wear replay — verifies the
+// incremental annealer is bit-identical to the legacy one, and writes the
+// numbers to a JSON record (results/bench_routing.json; see EXPERIMENTS.md
+// §E7).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+	"repro/internal/fluidsim"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/route"
+	"repro/internal/sched"
+)
+
+type measurement struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"iterations"`
+	MsPerOp     float64 `json:"ms_per_op"`
+}
+
+type record struct {
+	Generated  string                 `json:"generated"`
+	Iterations int                    `json:"anneal_iterations"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+	Speedups   map[string]float64     `json:"speedups"`
+	Identical  map[string]bool        `json:"identical"`
+}
+
+func measure(f func(b *testing.B)) measurement {
+	r := testing.Benchmark(f)
+	return measurement{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+	}
+}
+
+// legacyReplay reproduces the historical fluidsim hot loop: one map-based
+// ShortestPath BFS per move.
+func legacyReplay(plan *exec.Plan, layout *chip.Layout) error {
+	blocked := layout.Blocked()
+	ports := make(map[string]chip.Point, len(layout.Modules))
+	for _, m := range layout.Modules {
+		ports[m.Name] = m.Port
+	}
+	for _, mv := range plan.Moves {
+		if _, err := route.ShortestPath(layout.Width, layout.Height, blocked, ports[mv.From], ports[mv.To]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "results/bench_routing.json", "output JSON path")
+	iters := flag.Int("iters", 600, "annealing iterations (the Fig. 5 setting)")
+	flag.Parse()
+
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := forest.Build(g, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := chip.PCRLayout()
+	plan, err := exec.Execute(s, l)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec := record{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Iterations: *iters,
+		Benchmarks: map[string]measurement{},
+		Speedups:   map[string]float64{},
+		Identical:  map[string]bool{},
+	}
+
+	// Bit-identity check: the incremental annealer must reproduce the legacy
+	// full-recompute annealer exactly for the fixed seed.
+	fullL, fullC, err := chip.OptimizePlacementFull(l, plan.Flow, route.CostMatrix, *iters, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	incL, incC, err := chip.OptimizePlacement(l, plan.Flow, route.CostMatrix, *iters, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.Identical["optimize_placement"] = incC == fullC && reflect.DeepEqual(incL, fullL)
+	if !rec.Identical["optimize_placement"] {
+		log.Fatalf("incremental annealer diverged from legacy: cost %d vs %d", incC, fullC)
+	}
+
+	rec.Benchmarks["optimize_placement_incremental"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chip.OptimizePlacement(l, plan.Flow, route.CostMatrix, *iters, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["optimize_placement_full"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chip.OptimizePlacementFull(l, plan.Flow, route.CostMatrix, *iters, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["matrix_for_cached"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		if _, err := route.MatrixFor(l); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := route.MatrixFor(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["matrix_build_cold"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			route.PurgeMatrixCache()
+			if _, err := route.MatrixFor(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["execute_optimized"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.ExecuteOptimized(s, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["fluidsim_replay_router"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fluidsim.Replay(plan, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["fluidsim_replay_legacy"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := legacyReplay(plan, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	speedup := func(num, den string) float64 {
+		return float64(rec.Benchmarks[num].NsPerOp) / float64(rec.Benchmarks[den].NsPerOp)
+	}
+	rec.Speedups["optimize_placement"] = speedup("optimize_placement_full", "optimize_placement_incremental")
+	rec.Speedups["matrix_cache"] = speedup("matrix_build_cold", "matrix_for_cached")
+	rec.Speedups["fluidsim_replay"] = speedup("fluidsim_replay_legacy", "fluidsim_replay_router")
+
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement:  %7.2f ms full  -> %7.3f ms incremental  (%.1fx, bit-identical)\n",
+		rec.Benchmarks["optimize_placement_full"].MsPerOp,
+		rec.Benchmarks["optimize_placement_incremental"].MsPerOp,
+		rec.Speedups["optimize_placement"])
+	fmt.Printf("matrix:     %7.3f ms cold  -> %7.4f ms cached       (%.1fx)\n",
+		rec.Benchmarks["matrix_build_cold"].MsPerOp,
+		rec.Benchmarks["matrix_for_cached"].MsPerOp,
+		rec.Speedups["matrix_cache"])
+	fmt.Printf("replay:     %7.3f ms legacy-> %7.3f ms router       (%.1fx)\n",
+		rec.Benchmarks["fluidsim_replay_legacy"].MsPerOp,
+		rec.Benchmarks["fluidsim_replay_router"].MsPerOp,
+		rec.Speedups["fluidsim_replay"])
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -189,6 +189,9 @@ type (
 	// TransportPlan is a schedule bound to a layout: per-droplet moves and
 	// total electrode actuations.
 	TransportPlan = exec.Plan
+	// TransportMatrix is the dense index-addressed inter-module
+	// transport-cost matrix produced by the routing kernel.
+	TransportMatrix = route.Matrix
 )
 
 var (
@@ -196,14 +199,36 @@ var (
 	PCRLayout = chip.PCRLayout
 	// AutoLayout builds a lattice floorplan for any protocol census.
 	AutoLayout = chip.AutoLayout
-	// CostMatrix computes inter-module transport costs on a layout.
+	// CostMatrix computes inter-module transport costs on a layout as the
+	// historical map form (uncached; hot paths use TransportMatrixFor).
 	CostMatrix = route.CostMatrix
+	// TransportMatrixFor returns the dense transport-cost matrix of a
+	// layout, served from the process-wide layout-fingerprint cache.
+	TransportMatrixFor = route.MatrixFor
+	// TransportMatrixBuilds counts from-scratch matrix computations; compare
+	// deltas to verify hot paths flood each geometry exactly once.
+	TransportMatrixBuilds = route.MatrixBuildCount
+	// PurgeTransportMatrixCache drops every cached matrix (for cold-path
+	// benchmarking).
+	PurgeTransportMatrixCache = route.PurgeMatrixCache
+	// PrewarmLayout eagerly floods and caches a layout's transport matrix so
+	// the first Execute/ExecuteBatch on it is cache-hit fast.
+	PrewarmLayout = core.PrewarmLayout
+	// ErrUnknownModulePair is returned when a transport cost is requested
+	// for a module outside the bound layout; match with errors.Is.
+	ErrUnknownModulePair = route.ErrUnknownPair
 	// Execute binds a schedule to a layout and counts electrode actuations.
 	Execute = exec.Execute
-	// ExecuteOptimized additionally searches over mixer bindings.
+	// ExecuteOptimized additionally searches over mixer bindings
+	// (branch-and-bound with parallel first-level branches).
 	ExecuteOptimized = exec.ExecuteOptimized
-	// OptimizePlacement improves a floorplan for a traffic matrix.
+	// OptimizePlacement improves a floorplan for a traffic matrix by
+	// incremental simulated annealing (one matrix evaluation per search).
 	OptimizePlacement = chip.OptimizePlacement
+	// OptimizePlacementFull is the legacy full-recompute annealer; it
+	// accepts non-geometric matrix functions and serves as the reference
+	// implementation OptimizePlacement reproduces bit for bit.
+	OptimizePlacementFull = chip.OptimizePlacementFull
 )
 
 // Cyberphysical execution under fault injection (see internal/faults and

@@ -32,11 +32,137 @@ func PlacementCost(flow Flow, cost map[[2]string]int) int {
 // OptimizePlacement improves a layout for a given traffic matrix by
 // simulated annealing over position swaps of same-footprint modules,
 // mirroring the paper's "relative positions of reservoirs and mixers are
-// optimized considering the total droplet-transportation cost" (§5). The
-// cost of each candidate is evaluated with the provided matrix function
-// (typically route.CostMatrix). The search is deterministic for a fixed
-// seed. It returns the best layout found and its cost.
+// optimized considering the total droplet-transportation cost" (§5).
+//
+// The annealing is incremental: a same-footprint swap exchanges two module
+// rectangles in place, so the union of blocked electrodes — and therefore
+// every port-position-to-port-position routing distance — is invariant
+// across the whole search. The matrix function is evaluated exactly once,
+// on the input layout, to seed a dense position-indexed distance table;
+// each candidate swap is then delta-evaluated over only the flow edges
+// touching the two swapped modules, turning a step from O(M·W·H + F) into
+// O(F_touched). The matrix function must be geometric — the cost of a
+// module pair may depend only on the two port positions and the blocked
+// set (route.CostMatrix and Manhattan-style models qualify) — which is
+// exactly the invariant same-footprint swaps preserve.
+//
+// The search is deterministic for a fixed seed and reproduces
+// OptimizePlacementFull (the legacy full-recompute annealer) bit for bit:
+// identical candidate sequence, identical accept decisions, identical final
+// layout and cost. It returns the best layout found and its cost.
 func OptimizePlacement(l *Layout, flow Flow, matrix func(*Layout) (map[[2]string]int, error), iterations int, seed int64) (*Layout, int, error) {
+	cur := cloneLayout(l)
+	m, err := matrix(cur)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Dense position-indexed distance table: position p is "where module p
+	// sat in the input layout". D stays fixed; only the module->position
+	// assignment evolves.
+	nm := len(cur.Modules)
+	D := make([]int32, nm*nm)
+	for i, a := range cur.Modules {
+		for j, b := range cur.Modules {
+			D[i*nm+j] = int32(m[[2]string{a.Name, b.Name}])
+		}
+	}
+	pos := make([]int, nm) // module index -> current position index
+	for i := range pos {
+		pos[i] = i
+	}
+
+	// Flow edges indexed by module: edge (a,b,n) keeps the canonical name
+	// order of its Flow key so asymmetric matrices delta-evaluate exactly.
+	// Flows naming unknown modules contribute a constant 0 under any
+	// geometric matrix (the map lookup misses for every layout), matching
+	// the legacy accumulation, so they are dropped from the edge set.
+	nameIdx := make(map[string]int, nm)
+	for i, mod := range cur.Modules {
+		nameIdx[mod.Name] = i
+	}
+	type edge struct {
+		a, b int // module indices, in flow-key (name) order
+		n    int
+	}
+	var edges []edge
+	touching := make([][]int, nm) // module index -> indices into edges
+	for k, n := range flow {
+		ia, aok := nameIdx[k[0]]
+		ib, bok := nameIdx[k[1]]
+		if !aok || !bok || ia == ib {
+			continue // unknown or self edge: constant contribution
+		}
+		e := len(edges)
+		edges = append(edges, edge{a: ia, b: ib, n: n})
+		touching[ia] = append(touching[ia], e)
+		touching[ib] = append(touching[ib], e)
+	}
+	curCost := PlacementCost(flow, m)
+
+	best := cloneLayout(cur)
+	bestCost := curCost
+
+	rng := rand.New(rand.NewSource(seed))
+	temp := float64(curCost)/10 + 1
+	cooling := math.Pow(1.0/(temp+1), 1/float64(iterations+1))
+	for it := 0; it < iterations; it++ {
+		i, j := rng.Intn(len(cur.Modules)), rng.Intn(len(cur.Modules))
+		if i == j || !sameFootprint(cur.Modules[i], cur.Modules[j]) {
+			continue
+		}
+		// Delta over edges touching i or j (each counted once). The (i,j)
+		// edge itself only changes under an asymmetric matrix; the general
+		// new-minus-old evaluation below covers that too.
+		delta := 0
+		swapped := func(mi int) int {
+			switch mi {
+			case i:
+				return pos[j]
+			case j:
+				return pos[i]
+			default:
+				return pos[mi]
+			}
+		}
+		for _, ei := range touching[i] {
+			e := edges[ei]
+			delta += e.n * int(D[swapped(e.a)*nm+swapped(e.b)]-D[pos[e.a]*nm+pos[e.b]])
+		}
+		for _, ei := range touching[j] {
+			e := edges[ei]
+			if e.a == i || e.b == i {
+				continue // already counted via touching[i]
+			}
+			delta += e.n * int(D[swapped(e.a)*nm+swapped(e.b)]-D[pos[e.a]*nm+pos[e.b]])
+		}
+		cost := curCost + delta
+		accept := cost <= curCost ||
+			rng.Float64() < math.Exp(float64(curCost-cost)/temp)
+		if accept {
+			swapPlaces(cur, i, j)
+			pos[i], pos[j] = pos[j], pos[i]
+			curCost = cost
+			if cost < bestCost {
+				bestCost = cost
+				best = cloneLayout(cur)
+			}
+		}
+		temp *= cooling
+		if temp < 1e-3 {
+			temp = 1e-3
+		}
+	}
+	return best, bestCost, nil
+}
+
+// OptimizePlacementFull is the legacy full-recompute annealer: every
+// candidate swap re-evaluates the matrix function on the whole layout
+// (O(M·W·H + F) per step for route.CostMatrix). It remains the reference
+// implementation that the incremental OptimizePlacement must reproduce bit
+// for bit — the golden equivalence tests and the old-vs-new benchmarks run
+// both — and it also accepts non-geometric matrix functions.
+func OptimizePlacementFull(l *Layout, flow Flow, matrix func(*Layout) (map[[2]string]int, error), iterations int, seed int64) (*Layout, int, error) {
 	cur := cloneLayout(l)
 	curCost, err := layoutCost(cur, flow, matrix)
 	if err != nil {

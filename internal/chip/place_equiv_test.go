@@ -1,0 +1,112 @@
+package chip
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomFlow builds a deterministic pseudo-random traffic matrix over the
+// layout's modules, optionally including edges naming modules outside the
+// layout (which must contribute a constant and not perturb the search).
+func randomFlow(l *Layout, seed int64, withUnknown bool) Flow {
+	rng := rand.New(rand.NewSource(seed))
+	f := Flow{}
+	names := make([]string, len(l.Modules))
+	for i, m := range l.Modules {
+		names[i] = m.Name
+	}
+	for i := 0; i < 3*len(names); i++ {
+		a := names[rng.Intn(len(names))]
+		b := names[rng.Intn(len(names))]
+		f.Add(a, b, 1+rng.Intn(20))
+	}
+	if withUnknown {
+		f.Add(names[0], "phantom", 50)
+		f.Add("ghost", "wraith", 7)
+	}
+	return f
+}
+
+// TestOptimizePlacementMatchesFull is the determinism golden: for fixed
+// seeds, the incremental delta-evaluating annealer must reproduce the legacy
+// full-recompute annealer bit for bit — identical final cost AND identical
+// final layout — across layouts, flows, seeds and iteration counts.
+func TestOptimizePlacementMatchesFull(t *testing.T) {
+	layouts := map[string]*Layout{"pcr": PCRLayout()}
+	if auto, err := AutoLayout(10, 4, 6); err == nil {
+		layouts["auto"] = auto
+	} else {
+		t.Fatalf("AutoLayout: %v", err)
+	}
+	for name, l := range layouts {
+		for _, withUnknown := range []bool{false, true} {
+			for _, seed := range []int64{1, 7, 42} {
+				for _, iters := range []int{0, 25, 400} {
+					flow := randomFlow(l, seed*13+int64(iters), withUnknown)
+					wantL, wantC, err := OptimizePlacementFull(l, flow, manhattanMatrix, iters, seed)
+					if err != nil {
+						t.Fatalf("%s: Full: %v", name, err)
+					}
+					gotL, gotC, err := OptimizePlacement(l, flow, manhattanMatrix, iters, seed)
+					if err != nil {
+						t.Fatalf("%s: incremental: %v", name, err)
+					}
+					if gotC != wantC {
+						t.Errorf("%s seed=%d iters=%d unknown=%v: cost %d, legacy %d",
+							name, seed, iters, withUnknown, gotC, wantC)
+					}
+					if !reflect.DeepEqual(gotL, wantL) {
+						t.Errorf("%s seed=%d iters=%d unknown=%v: final layout differs from legacy annealer",
+							name, seed, iters, withUnknown)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizePlacementSingleMatrixEvaluation pins the tentpole invariant:
+// same-footprint swaps leave the blocked set and the set of port positions
+// unchanged, so the whole annealing run evaluates the matrix function
+// exactly once.
+func TestOptimizePlacementSingleMatrixEvaluation(t *testing.T) {
+	l := PCRLayout()
+	flow := randomFlow(l, 3, false)
+	calls := 0
+	counting := func(l *Layout) (map[[2]string]int, error) {
+		calls++
+		return manhattanMatrix(l)
+	}
+	if _, _, err := OptimizePlacement(l, flow, counting, 500, 9); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("matrix evaluated %d times over 500 iterations, want exactly 1", calls)
+	}
+}
+
+// TestOptimizePlacementFullStillImproves keeps the exported legacy annealer
+// honest as a reference implementation.
+func TestOptimizePlacementFullStillImproves(t *testing.T) {
+	l, err := NewLatticeLayout(3, 3, []Slot{
+		{0, 0, Mixer, "M1", -1},
+		{2, 2, Mixer, "M2", -1},
+		{1, 0, Mixer, "S1", -1},
+		{0, 1, Mixer, "S2", -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := Flow{}
+	flow.Add("M1", "M2", 100)
+	before, _ := manhattanMatrix(l)
+	start := PlacementCost(flow, before)
+	_, cost, err := OptimizePlacementFull(l, flow, manhattanMatrix, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost >= start {
+		t.Errorf("legacy annealer no improvement: %d -> %d", start, cost)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mtcs"
 	"repro/internal/ratio"
 	"repro/internal/rma"
+	"repro/internal/route"
 	"repro/internal/rsm"
 	"repro/internal/runtime"
 	"repro/internal/sched"
@@ -242,6 +243,16 @@ func (e *Engine) ExecuteBatch(b *Batch, l *chip.Layout, inj *faults.Injector, po
 		return nil, fmt.Errorf("%w: nil batch", ErrBadConfig)
 	}
 	return runtime.RunStream(b.Result, l, inj, pol)
+}
+
+// PrewarmLayout eagerly builds and caches the dense transport-cost matrix of
+// a layout (route.MatrixFor), so the first Execute/ExecuteBatch on that
+// geometry pays no all-pairs flood at request time. Repeated calls on the
+// same geometry are cache hits; safe for concurrent use. Engine servers call
+// it once per floorplan at startup.
+func PrewarmLayout(l *chip.Layout) error {
+	_, err := route.MatrixFor(l)
+	return err
 }
 
 // Emissions returns all emission events planned so far, on the engine's

@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/route"
+)
+
+// BenchmarkExecuteOptimized compares the branch-and-bound binding search
+// (matrix hoisted out of the permutation loop, admissible pruning, parallel
+// first-level branches) against the legacy exhaustive enumeration on a
+// layout with more physical than logical mixers (5P3 = 60 bindings).
+func BenchmarkExecuteOptimized(b *testing.B) {
+	s := pcrSchedule(b, 20, 3)
+	l, err := chip.AutoLayout(7, 5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := route.MatrixFor(l); err != nil { // warm the geometry cache
+		b.Fatal(err)
+	}
+	b.Run("branch-and-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ExecuteOptimized(s, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brute-force", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bruteForceOptimized(s, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExecute measures the single-binding plan derivation on the warm
+// matrix cache — the inner loop of every experiment sweep and replan.
+func BenchmarkExecute(b *testing.B) {
+	s := pcrSchedule(b, 20, 3)
+	l := chip.PCRLayout()
+	if _, err := route.MatrixFor(l); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(s, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

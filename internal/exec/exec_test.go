@@ -12,7 +12,7 @@ import (
 	"repro/internal/sched"
 )
 
-func pcrSchedule(t *testing.T, demand, mixers int) *sched.Schedule {
+func pcrSchedule(t testing.TB, demand, mixers int) *sched.Schedule {
 	t.Helper()
 	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
 	if err != nil {

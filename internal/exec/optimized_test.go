@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/route"
+	"repro/internal/sched"
+)
+
+// bruteForceOptimized is the legacy mixer-binding search: enumerate every
+// permutation of logical-onto-physical mixers in lexicographic order and keep
+// the first strict minimum. The branch-and-bound ExecuteOptimized must
+// reproduce its winner exactly.
+func bruteForceOptimized(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
+	mixers := l.OfKind(chip.Mixer)
+	m, err := route.MatrixFor(l)
+	if err != nil {
+		return nil, err
+	}
+	var best *Plan
+	perm := make([]int, 0, s.Mixers)
+	used := make([]bool, len(mixers))
+	var rec func() error
+	rec = func() error {
+		if len(perm) == s.Mixers {
+			p, err := executeBound(s, l, perm, m)
+			if err != nil {
+				return err
+			}
+			if best == nil || p.TotalCost < best.TotalCost {
+				best = p
+			}
+			return nil
+		}
+		for i := range used {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			if err := rec(); err != nil {
+				return err
+			}
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// TestExecuteOptimizedMatchesBruteForce is the golden equivalence test: the
+// pruned parallel branch-and-bound returns exactly the plan the exhaustive
+// permutation enumeration returns — same cost, same moves, same storage
+// cells, same flow — including the tie-break to the first minimal binding.
+func TestExecuteOptimizedMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name    string
+		demand  int
+		mixers  int
+		fluids  int
+		storage int
+	}{
+		{"pcr-20-3", 20, 3, 0, -1}, // Fig. 5 floorplan
+		{"pcr-8-2", 8, 2, 0, -1},
+		{"auto-7-3-extra", 16, 3, 7, 8}, // more physical than logical mixers
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := pcrSchedule(t, tc.demand, tc.mixers)
+			var l *chip.Layout
+			if tc.fluids == 0 {
+				l = chip.PCRLayout()
+			} else {
+				var err error
+				l, err = chip.AutoLayout(tc.fluids, tc.mixers+2, tc.storage)
+				if err != nil {
+					t.Fatalf("AutoLayout: %v", err)
+				}
+			}
+			want, err := bruteForceOptimized(s, l)
+			if err != nil {
+				t.Fatalf("brute force: %v", err)
+			}
+			got, err := ExecuteOptimized(s, l)
+			if err != nil {
+				t.Fatalf("ExecuteOptimized: %v", err)
+			}
+			if got.TotalCost != want.TotalCost {
+				t.Fatalf("cost %d, brute force %d", got.TotalCost, want.TotalCost)
+			}
+			if !reflect.DeepEqual(got.Moves, want.Moves) {
+				t.Error("move list differs from the brute-force winner")
+			}
+			if !reflect.DeepEqual(got.StorageCells, want.StorageCells) {
+				t.Error("storage-cell assignment differs from the brute-force winner")
+			}
+			if !reflect.DeepEqual(got.Flow, want.Flow) {
+				t.Error("flow matrix differs from the brute-force winner")
+			}
+		})
+	}
+}
+
+// TestExecuteOptimizedSingleMatrixBuild pins the acceptance criterion: the
+// whole binding search — every permutation it explores — performs exactly one
+// cost-matrix computation per distinct layout geometry.
+func TestExecuteOptimizedSingleMatrixBuild(t *testing.T) {
+	s := pcrSchedule(t, 20, 3)
+	l := chip.PCRLayout()
+	route.PurgeMatrixCache()
+	base := route.MatrixBuildCount()
+	if _, err := ExecuteOptimized(s, l); err != nil {
+		t.Fatal(err)
+	}
+	if got := route.MatrixBuildCount() - base; got != 1 {
+		t.Errorf("ExecuteOptimized performed %d matrix builds, want exactly 1", got)
+	}
+	// A second search on the same geometry is a pure cache hit.
+	if _, err := ExecuteOptimized(s, l); err != nil {
+		t.Fatal(err)
+	}
+	if got := route.MatrixBuildCount() - base; got != 1 {
+		t.Errorf("repeat search rebuilt the matrix: %d builds total", got)
+	}
+	// Execute (identity binding) shares the same cached matrix.
+	if _, err := Execute(s, l); err != nil {
+		t.Fatal(err)
+	}
+	if got := route.MatrixBuildCount() - base; got != 1 {
+		t.Errorf("Execute rebuilt the matrix: %d builds total", got)
+	}
+}
+
+// TestOptimizePlacementMatchesFullOnRouteMatrix runs the incremental-vs-
+// legacy annealer equivalence on the real geometric matrix (route.CostMatrix
+// with obstacle-aware BFS distances) and a real plan's traffic.
+func TestOptimizePlacementMatchesFullOnRouteMatrix(t *testing.T) {
+	s := pcrSchedule(t, 20, 3)
+	l := chip.PCRLayout()
+	plan, err := Execute(s, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 5} {
+		wantL, wantC, err := chip.OptimizePlacementFull(l, plan.Flow, route.CostMatrix, 300, seed)
+		if err != nil {
+			t.Fatalf("Full: %v", err)
+		}
+		gotL, gotC, err := chip.OptimizePlacement(l, plan.Flow, route.CostMatrix, 300, seed)
+		if err != nil {
+			t.Fatalf("incremental: %v", err)
+		}
+		if gotC != wantC || !reflect.DeepEqual(gotL, wantL) {
+			t.Errorf("seed %d: incremental annealer diverged from legacy on route.CostMatrix (cost %d vs %d)",
+				seed, gotC, wantC)
+		}
+	}
+}

@@ -35,10 +35,13 @@ type Fig5 struct {
 // Fig5Compute reproduces the §5 experiment.
 func Fig5Compute(demand int) (*Fig5, error) {
 	layout := chip.PCRLayout()
-	matrix, err := route.CostMatrix(layout)
+	// MatrixFor shares the fingerprint-cached dense matrix with the
+	// exec.Execute calls below, so this geometry floods exactly once.
+	mat, err := route.MatrixFor(layout)
 	if err != nil {
 		return nil, err
 	}
+	matrix := mat.Legacy()
 	base, err := core.MM.Build(protocols.PCR16().Ratio)
 	if err != nil {
 		return nil, err

@@ -45,7 +45,11 @@ type Result struct {
 // resolved or if the walked cost disagrees with the plan (which would
 // indicate an exec/route inconsistency).
 func Replay(plan *exec.Plan, layout *chip.Layout) (*Result, error) {
-	blocked := layout.Blocked()
+	// One Router per replay: the dense kernel reuses its flood scratch across
+	// all moves instead of allocating per-call BFS maps. Router.Path is
+	// byte-identical to route.ShortestPath, so wear counts and the heat map
+	// are unchanged.
+	router := route.NewRouter(layout)
 	ports := make(map[string]chip.Point, len(layout.Modules))
 	for _, m := range layout.Modules {
 		ports[m.Name] = m.Port
@@ -60,7 +64,7 @@ func Replay(plan *exec.Plan, layout *chip.Layout) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("fluidsim: unknown module %q", mv.To)
 		}
-		path, err := route.ShortestPath(layout.Width, layout.Height, blocked, from, to)
+		path, err := router.Path(from, to)
 		if err != nil {
 			return nil, fmt.Errorf("fluidsim: move %s->%s: %w", mv.From, mv.To, err)
 		}
@@ -131,7 +135,7 @@ func (r *Result) Histogram() []int {
 // Trace renders up to maxMoves moves as animation frames: one frame per
 // micro-step, the droplet shown as '@' on the floorplan.
 func Trace(plan *exec.Plan, layout *chip.Layout, maxMoves int) ([]string, error) {
-	blocked := layout.Blocked()
+	router := route.NewRouter(layout)
 	ports := make(map[string]chip.Point, len(layout.Modules))
 	for _, m := range layout.Modules {
 		ports[m.Name] = m.Port
@@ -143,7 +147,7 @@ func Trace(plan *exec.Plan, layout *chip.Layout, maxMoves int) ([]string, error)
 		if i >= maxMoves {
 			break
 		}
-		path, err := route.ShortestPath(layout.Width, layout.Height, blocked, ports[mv.From], ports[mv.To])
+		path, err := router.Path(ports[mv.From], ports[mv.To])
 		if err != nil {
 			return nil, err
 		}

@@ -73,55 +73,63 @@ func reconstruct(prev map[chip.Point]chip.Point, from, to chip.Point) []chip.Poi
 }
 
 // Cost returns the actuation cost of the shortest path between two points.
+// The distance comes directly from a flat-array BFS flood with early exit —
+// no path reconstruction, no per-call maps.
 func Cost(width, height int, blocked func(chip.Point) bool, from, to chip.Point) (int, error) {
-	p, err := ShortestPath(width, height, blocked, from, to)
-	if err != nil {
-		return 0, err
+	inGrid := func(p chip.Point) bool {
+		return p.X >= 0 && p.Y >= 0 && p.X < width && p.Y < height
 	}
-	return len(p) - 1, nil
+	for _, p := range []chip.Point{from, to} {
+		if !inGrid(p) {
+			return 0, fmt.Errorf("%w: (%d,%d)", ErrOutOfGrid, p.X, p.Y)
+		}
+		if blocked(p) {
+			return 0, fmt.Errorf("%w: (%d,%d)", ErrBlocked, p.X, p.Y)
+		}
+	}
+	if from == to {
+		return 0, nil
+	}
+	idx := func(p chip.Point) int32 { return int32(p.Y*width + p.X) }
+	dist := make([]int32, width*height)
+	for i := range dist {
+		dist[i] = -1
+	}
+	target := idx(to)
+	dist[idx(from)] = 0
+	queue := make([]chip.Point, 1, width*height)
+	queue[0] = from
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		d := dist[idx(cur)] + 1
+		for _, dir := range [4]chip.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
+			next := chip.Point{X: cur.X + dir.X, Y: cur.Y + dir.Y}
+			if !inGrid(next) {
+				continue
+			}
+			n := idx(next)
+			if dist[n] >= 0 || blocked(next) {
+				continue
+			}
+			dist[n] = d
+			if n == target {
+				return int(d), nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return 0, fmt.Errorf("%w: (%d,%d) to (%d,%d)", ErrUnreachable, from.X, from.Y, to.X, to.Y)
 }
 
 // CostMatrix computes the inter-module transport-cost matrix of a layout
 // (the matrix of Fig. 5): actuations on the shortest port-to-port path for
-// every ordered module pair. The matrix is symmetric because paths are.
-// One BFS flood per module covers all of its targets.
+// every ordered module pair, as the historical map form. It runs on the
+// dense Router kernel; hot paths should use MatrixFor (cached, dense,
+// index-addressed) instead.
 func CostMatrix(l *chip.Layout) (map[[2]string]int, error) {
-	blocked := l.Blocked()
-	out := make(map[[2]string]int, len(l.Modules)*len(l.Modules))
-	dist := make([]int, l.Width*l.Height)
-	queue := make([]chip.Point, 0, l.Width*l.Height)
-	for _, a := range l.Modules {
-		// Flood-fill distances from a's port.
-		for i := range dist {
-			dist[i] = -1
-		}
-		idx := func(p chip.Point) int { return p.Y*l.Width + p.X }
-		if blocked(a.Port) {
-			return nil, fmt.Errorf("route: port of %s blocked", a.Name)
-		}
-		dist[idx(a.Port)] = 0
-		queue = append(queue[:0], a.Port)
-		for head := 0; head < len(queue); head++ {
-			cur := queue[head]
-			for _, d := range [4]chip.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
-				next := chip.Point{X: cur.X + d.X, Y: cur.Y + d.Y}
-				if next.X < 0 || next.Y < 0 || next.X >= l.Width || next.Y >= l.Height {
-					continue
-				}
-				if dist[idx(next)] >= 0 || blocked(next) {
-					continue
-				}
-				dist[idx(next)] = dist[idx(cur)] + 1
-				queue = append(queue, next)
-			}
-		}
-		for _, b := range l.Modules {
-			d := dist[idx(b.Port)]
-			if d < 0 {
-				return nil, fmt.Errorf("route: %s to %s: %w", a.Name, b.Name, ErrUnreachable)
-			}
-			out[[2]string{a.Name, b.Name}] = d
-		}
+	m, err := NewRouter(l).Matrix()
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return m.Legacy(), nil
 }

@@ -1,0 +1,344 @@
+package route
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// legacyCostMatrix is the historical per-pair implementation: one map-based
+// ShortestPath BFS (with full path reconstruction) for every ordered module
+// pair. It is the golden reference the dense Router kernel must reproduce.
+func legacyCostMatrix(l *chip.Layout) (map[[2]string]int, error) {
+	blocked := l.Blocked()
+	m := map[[2]string]int{}
+	for _, a := range l.Modules {
+		for _, b := range l.Modules {
+			p, err := ShortestPath(l.Width, l.Height, blocked, a.Port, b.Port)
+			if err != nil {
+				return nil, err
+			}
+			m[[2]string{a.Name, b.Name}] = len(p) - 1
+		}
+	}
+	return m, nil
+}
+
+// layoutFamily returns a representative set of layout geometries: the Fig. 5
+// floorplan, its storage variants, auto-generated lattices and degraded
+// (dead-module and stuck-electrode) descendants.
+func layoutFamily(t *testing.T) map[string]*chip.Layout {
+	t.Helper()
+	fam := map[string]*chip.Layout{"pcr": chip.PCRLayout()}
+	for _, q := range []int{0, 3, 6} {
+		l, err := chip.PCRLayoutWithStorage(q)
+		if err != nil {
+			t.Fatalf("PCRLayoutWithStorage(%d): %v", q, err)
+		}
+		fam["pcr-q"+string(rune('0'+q))] = l
+	}
+	auto, err := chip.AutoLayout(10, 4, 6)
+	if err != nil {
+		t.Fatalf("AutoLayout: %v", err)
+	}
+	fam["auto-10-4-6"] = auto
+	small, err := chip.AutoLayout(3, 2, 2)
+	if err != nil {
+		t.Fatalf("AutoLayout small: %v", err)
+	}
+	fam["auto-3-2-2"] = small
+	fam["pcr-dead-m3"] = chip.PCRLayout().Degrade(map[string]bool{"M3": true}, nil)
+	fam["pcr-stuck"] = chip.PCRLayout().Degrade(nil, []chip.Point{{X: 6, Y: 6}})
+	return fam
+}
+
+// TestMatrixMatchesLegacyCostMatrix pins the dense kernel to the golden
+// per-pair BFS reference over the whole layout family.
+func TestMatrixMatchesLegacyCostMatrix(t *testing.T) {
+	for name, l := range layoutFamily(t) {
+		want, err := legacyCostMatrix(l)
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", name, err)
+		}
+		m, err := NewRouter(l).Matrix()
+		if err != nil {
+			t.Fatalf("%s: Matrix: %v", name, err)
+		}
+		if got := m.Legacy(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: dense matrix differs from legacy per-pair BFS", name)
+		}
+		// The public CostMatrix adapter must agree too.
+		got, err := CostMatrix(l)
+		if err != nil {
+			t.Fatalf("%s: CostMatrix: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: CostMatrix differs from legacy per-pair BFS", name)
+		}
+		// Index-addressed lookups agree with name-addressed ones.
+		for _, a := range l.Modules {
+			for _, b := range l.Modules {
+				d, err := m.Dist(a.Name, b.Name)
+				if err != nil {
+					t.Fatalf("%s: Dist(%s,%s): %v", name, a.Name, b.Name, err)
+				}
+				if d != want[[2]string{a.Name, b.Name}] {
+					t.Errorf("%s: Dist(%s,%s) = %d, want %d", name, a.Name, b.Name, d, want[[2]string{a.Name, b.Name}])
+				}
+			}
+		}
+	}
+}
+
+// TestRouterPathEqualsShortestPath pins path byte-identity: the Router's
+// scratch-buffer BFS must reproduce the legacy map-based BFS exactly (same
+// tie-breaking), or fluidsim heat maps and traces would drift.
+func TestRouterPathEqualsShortestPath(t *testing.T) {
+	for name, l := range layoutFamily(t) {
+		r := NewRouter(l)
+		blocked := l.Blocked()
+		for _, a := range l.Modules {
+			for _, b := range l.Modules {
+				want, errW := ShortestPath(l.Width, l.Height, blocked, a.Port, b.Port)
+				got, errG := r.Path(a.Port, b.Port)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("%s: %s->%s: err %v vs %v", name, a.Name, b.Name, errW, errG)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: %s->%s: Router.Path differs from ShortestPath:\n got %v\nwant %v",
+						name, a.Name, b.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// bruteDistance is an independent shortest-path reference: plain Dijkstra
+// over a map-based adjacency (uniform weights), sharing no code with the
+// production BFS kernels.
+func bruteDistance(w, h int, blocked func(chip.Point) bool, from, to chip.Point) (int, bool) {
+	if blocked(from) || blocked(to) {
+		return 0, false
+	}
+	dist := map[chip.Point]int{from: 0}
+	done := map[chip.Point]bool{}
+	for {
+		// Extract the unvisited point with minimum tentative distance.
+		best, bestD, found := chip.Point{}, 0, false
+		for p, d := range dist {
+			if done[p] {
+				continue
+			}
+			if !found || d < bestD {
+				best, bestD, found = p, d, true
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		if best == to {
+			return bestD, true
+		}
+		done[best] = true
+		for _, d := range []chip.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}} {
+			n := chip.Point{X: best.X + d.X, Y: best.Y + d.Y}
+			if n.X < 0 || n.Y < 0 || n.X >= w || n.Y >= h || blocked(n) {
+				continue
+			}
+			if old, ok := dist[n]; !ok || bestD+1 < old {
+				dist[n] = bestD + 1
+			}
+		}
+	}
+}
+
+// TestCostAgainstBruteForceDijkstra is the property test: on randomized
+// grids with random obstacles, Cost, Router.Distance, Router.Path and
+// ShortestPath all agree with an independent Dijkstra reference.
+func TestCostAgainstBruteForceDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140601))
+	for trial := 0; trial < 120; trial++ {
+		w, h := 3+rng.Intn(10), 3+rng.Intn(10)
+		density := rng.Float64() * 0.35
+		obst := make(map[chip.Point]bool)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if rng.Float64() < density {
+					obst[chip.Point{X: x, Y: y}] = true
+				}
+			}
+		}
+		blocked := func(p chip.Point) bool { return obst[p] }
+		for q := 0; q < 8; q++ {
+			from := chip.Point{X: rng.Intn(w), Y: rng.Intn(h)}
+			to := chip.Point{X: rng.Intn(w), Y: rng.Intn(h)}
+			if blocked(from) || blocked(to) {
+				continue
+			}
+			want, reachable := bruteDistance(w, h, blocked, from, to)
+			gotCost, errCost := Cost(w, h, blocked, from, to)
+			gotPath, errPath := ShortestPath(w, h, blocked, from, to)
+			if reachable {
+				if errCost != nil || errPath != nil {
+					t.Fatalf("grid %dx%d %v->%v: reachable but Cost err=%v Path err=%v",
+						w, h, from, to, errCost, errPath)
+				}
+				if gotCost != want {
+					t.Fatalf("grid %dx%d %v->%v: Cost=%d, Dijkstra=%d", w, h, from, to, gotCost, want)
+				}
+				if len(gotPath)-1 != want {
+					t.Fatalf("grid %dx%d %v->%v: path len %d, Dijkstra %d", w, h, from, to, len(gotPath)-1, want)
+				}
+			} else {
+				if !errors.Is(errCost, ErrUnreachable) || !errors.Is(errPath, ErrUnreachable) {
+					t.Fatalf("grid %dx%d %v->%v: unreachable but Cost err=%v Path err=%v",
+						w, h, from, to, errCost, errPath)
+				}
+			}
+			// Router on the same obstacle set (no modules; inject the grid).
+			rd, errRd := routerDistanceOnGrid(w, h, blocked, from, to)
+			if reachable {
+				if errRd != nil || rd != want {
+					t.Fatalf("grid %dx%d %v->%v: Router.Distance=%d err=%v, want %d",
+						w, h, from, to, rd, errRd, want)
+				}
+			} else if !errors.Is(errRd, ErrUnreachable) {
+				t.Fatalf("grid %dx%d %v->%v: Router.Distance err=%v, want ErrUnreachable", w, h, from, to, errRd)
+			}
+		}
+	}
+}
+
+// routerDistanceOnGrid runs Router.Distance over a bare obstacle grid by
+// wrapping it in a module-free layout with stuck cells.
+func routerDistanceOnGrid(w, h int, blocked func(chip.Point) bool, from, to chip.Point) (int, error) {
+	l := &chip.Layout{Width: w, Height: h}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if p := (chip.Point{X: x, Y: y}); blocked(p) {
+				l.Stuck = append(l.Stuck, p)
+			}
+		}
+	}
+	return NewRouter(l).Distance(from, to)
+}
+
+// TestMatrixDistUnknownPair is the regression test for the silent-zero bug:
+// a lookup naming a module outside the matrix must fail with ErrUnknownPair,
+// never return distance 0.
+func TestMatrixDistUnknownPair(t *testing.T) {
+	m, err := NewRouter(chip.PCRLayout()).Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Dist("M1", "no-such-module"); !errors.Is(err, ErrUnknownPair) {
+		t.Errorf("Dist to unknown module: err = %v, want ErrUnknownPair", err)
+	}
+	if _, err := m.Dist("ghost", "M1"); !errors.Is(err, ErrUnknownPair) {
+		t.Errorf("Dist from unknown module: err = %v, want ErrUnknownPair", err)
+	}
+	if d, err := m.Dist("M1", "M2"); err != nil || d <= 0 {
+		t.Errorf("known pair: d=%d err=%v", d, err)
+	}
+	if _, ok := m.IndexOf("no-such-module"); ok {
+		t.Error("IndexOf resolved an unknown module")
+	}
+}
+
+// TestMatrixForCachesByGeometry pins the single-build guarantee: repeated
+// MatrixFor calls on the same geometry (even via distinct Layout values)
+// perform exactly one all-pairs flood; a distinct geometry pays exactly one
+// more.
+func TestMatrixForCachesByGeometry(t *testing.T) {
+	PurgeMatrixCache()
+	l := chip.PCRLayout()
+	base := MatrixBuildCount()
+	m1, err := MatrixFor(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MatrixBuildCount() - base; got != 1 {
+		t.Fatalf("first MatrixFor performed %d builds, want 1", got)
+	}
+	// A fresh Layout value with identical geometry is a cache hit sharing the
+	// same Matrix instance.
+	m2, err := MatrixFor(chip.PCRLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("identical geometries did not share one cached Matrix")
+	}
+	if got := MatrixBuildCount() - base; got != 1 {
+		t.Errorf("cache hit rebuilt the matrix: %d builds", got)
+	}
+	// A degraded geometry is a distinct entry.
+	if _, err := MatrixFor(l.Degrade(map[string]bool{"M3": true}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := MatrixBuildCount() - base; got != 2 {
+		t.Errorf("distinct geometry: %d builds, want 2", got)
+	}
+	// Purging forces a rebuild.
+	PurgeMatrixCache()
+	if _, err := MatrixFor(l); err != nil {
+		t.Fatal(err)
+	}
+	if got := MatrixBuildCount() - base; got != 3 {
+		t.Errorf("after purge: %d builds, want 3", got)
+	}
+}
+
+// TestFingerprintInjective spot-checks that routing-relevant differences
+// change the fingerprint and irrelevant value-copies do not.
+func TestFingerprintInjective(t *testing.T) {
+	l := chip.PCRLayout()
+	fp := Fingerprint(l)
+	if Fingerprint(chip.PCRLayout()) != fp {
+		t.Error("identical layouts fingerprint differently")
+	}
+	if Fingerprint(l.Degrade(map[string]bool{"M1": true}, nil)) == fp {
+		t.Error("dead module did not change the fingerprint")
+	}
+	if Fingerprint(l.Degrade(nil, []chip.Point{{X: 6, Y: 6}})) == fp {
+		t.Error("stuck electrode did not change the fingerprint")
+	}
+	wider := *l
+	wider.Width++
+	if Fingerprint(&wider) == fp {
+		t.Error("width change did not change the fingerprint")
+	}
+	moved := *l
+	moved.Modules = append([]chip.Module(nil), l.Modules...)
+	moved.Modules[0].Port.X++
+	if Fingerprint(&moved) == fp {
+		t.Error("port move did not change the fingerprint")
+	}
+}
+
+// TestMatrixForConcurrent hammers the cache from many goroutines; run with
+// -race to verify the locking discipline.
+func TestMatrixForConcurrent(t *testing.T) {
+	PurgeMatrixCache()
+	l := chip.PCRLayout()
+	degraded := l.Degrade(map[string]bool{"M2": true}, nil)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			target := l
+			if i%2 == 1 {
+				target = degraded
+			}
+			_, err := MatrixFor(target)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/route"
+)
+
+// TestDegradedRunBuildsEachGeometryOnce pins the acceptance criterion for the
+// fault-recovery executor: a run that degrades mid-flight (dead mixer, roster
+// drop, chunked replans on the surviving mixers) computes exactly one cost
+// matrix per distinct layout geometry — here the pristine floorplan plus the
+// single degraded variant, no matter how many chunks the replan streams.
+func TestDegradedRunBuildsEachGeometryOnce(t *testing.T) {
+	s, l := pcrSchedule(t, 20, 3, "SRS")
+	inj, err := faults.New(faults.Params{DeadMixers: map[string]int{"M3": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route.PurgeMatrixCache()
+	base := route.MatrixBuildCount()
+	rep, err := Run(s, l, inj, Policy{})
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if rep.Degradations < 1 {
+		t.Fatal("scenario did not degrade; the geometry count below is meaningless")
+	}
+	if got := route.MatrixBuildCount() - base; got != 2 {
+		t.Errorf("degraded run performed %d matrix builds, want 2 (pristine + degraded)", got)
+	}
+	// Re-running the same scenario hits the cache for both geometries.
+	inj2, err := faults.New(faults.Params{DeadMixers: map[string]int{"M3": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, l, inj2, Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := route.MatrixBuildCount() - base; got != 2 {
+		t.Errorf("repeat run rebuilt matrices: %d builds total, want 2", got)
+	}
+}
+
+// TestZeroFaultRunSingleBuild checks the fault-free path: planning
+// (exec.Execute) and the runtime replay share one cached matrix.
+func TestZeroFaultRunSingleBuild(t *testing.T) {
+	s, l := pcrSchedule(t, 20, 3, "SRS")
+	route.PurgeMatrixCache()
+	base := route.MatrixBuildCount()
+	if _, err := Run(s, l, nil, Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := route.MatrixBuildCount() - base; got != 1 {
+		t.Errorf("zero-fault run performed %d matrix builds, want exactly 1", got)
+	}
+}

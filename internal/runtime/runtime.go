@@ -182,9 +182,12 @@ type executor struct {
 
 // execCtx is the per-schedule execution context.
 type execCtx struct {
-	s       *sched.Schedule
-	layout  *chip.Layout
-	cost    map[[2]string]int
+	s      *sched.Schedule
+	layout *chip.Layout
+	// mat is the dense transport-cost matrix of the (possibly degraded)
+	// layout, shared via route.MatrixFor's fingerprint cache: repeated
+	// chunks on the same degraded geometry pay for exactly one matrix build.
+	mat     *route.Matrix
 	mixers  []chip.Module
 	resv    map[int]string // fluid -> reservoir name
 	waste   string         // parked-waste home (first waste reservoir)
@@ -206,6 +209,17 @@ type stored struct {
 }
 
 func (c *execCtx) mixerName(k int) string { return c.mixers[k-1].Name }
+
+// dist resolves a transport cost through the dense matrix, failing loudly
+// (route.ErrUnknownPair wrapped in ErrPlanMismatch) instead of silently
+// reading distance 0 for modules outside the bound layout.
+func (c *execCtx) dist(from, to string) (int, error) {
+	d, err := c.mat.Dist(from, to)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrPlanMismatch, err)
+	}
+	return d, nil
+}
 
 // step is one plan move with its semantics resolved: which task consumes the
 // droplet, which produced it, which fluid is dispensed, which cell parks it.
@@ -256,14 +270,14 @@ func (e *executor) newCtx(s *sched.Schedule, plan *exec.Plan) (*execCtx, error) 
 	if len(e.stuck) > 0 || len(e.dead) > 0 {
 		layout = e.origin.Degrade(e.dead, e.stuck)
 	}
-	cost, err := route.CostMatrix(layout)
+	mat, err := route.MatrixFor(layout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrChipBlocked, err)
 	}
 	c := &execCtx{
 		s:       s,
 		layout:  layout,
-		cost:    cost,
+		mat:     mat,
 		mixers:  layout.OfKind(chip.Mixer),
 		resv:    map[int]string{},
 		inbox:   map[int][]errormodel.Droplet{},
@@ -294,19 +308,28 @@ func buildSteps(c *execCtx, plan *exec.Plan) ([]step, error) {
 	s := c.s
 	n := s.Forest.Target().N()
 	wastes := c.layout.OfKind(chip.Waste)
-	nearest := func(from string) string {
+	nearest := func(from string) (string, error) {
 		best, bestCost := wastes[0].Name, int(^uint(0)>>1)
 		for _, w := range wastes {
-			if d := c.cost[[2]string{from, w.Name}]; d < bestCost {
+			d, err := c.dist(from, w.Name)
+			if err != nil {
+				return "", err
+			}
+			if d < bestCost {
 				best, bestCost = w.Name, d
 			}
 		}
-		return best
+		return best, nil
 	}
 	var steps []step
-	add := func(cycle int, from, to string, p exec.Purpose, content string, st step) {
-		st.mv = exec.Move{Cycle: cycle, From: from, To: to, Cost: c.cost[[2]string{from, to}], Purpose: p, Content: content}
+	add := func(cycle int, from, to string, p exec.Purpose, content string, st step) error {
+		d, err := c.dist(from, to)
+		if err != nil {
+			return err
+		}
+		st.mv = exec.Move{Cycle: cycle, From: from, To: to, Cost: d, Purpose: p, Content: content}
 		steps = append(steps, st)
+		return nil
 	}
 	for _, t := range s.Forest.Tasks {
 		a := s.At(t)
@@ -318,16 +341,24 @@ func buildSteps(c *execCtx, plan *exec.Plan) ([]step, error) {
 				if !ok {
 					return nil, fmt.Errorf("%w: no reservoir for fluid %d", ErrChipBlocked, src.Fluid)
 				}
-				add(a.Cycle, r, dst, exec.Dispense, ratio.Unit(src.Fluid, n).Key(), step{consumer: t, fluid: src.Fluid})
+				if err := add(a.Cycle, r, dst, exec.Dispense, ratio.Unit(src.Fluid, n).Key(), step{consumer: t, fluid: src.Fluid}); err != nil {
+					return nil, err
+				}
 			case forest.FromTask:
 				p := s.At(src.Task)
 				from := c.mixerName(p.Mixer)
 				content := src.Task.Vec.Key()
 				if cell, ok := plan.StorageCells[[2]int{src.Task.ID, t.ID}]; ok {
-					add(p.Cycle, from, cell, exec.Store, content, step{producer: src.Task, consumer: t, cell: cell})
-					add(a.Cycle, cell, dst, exec.Fetch, content, step{producer: src.Task, consumer: t, cell: cell})
+					if err := add(p.Cycle, from, cell, exec.Store, content, step{producer: src.Task, consumer: t, cell: cell}); err != nil {
+						return nil, err
+					}
+					if err := add(a.Cycle, cell, dst, exec.Fetch, content, step{producer: src.Task, consumer: t, cell: cell}); err != nil {
+						return nil, err
+					}
 				} else {
-					add(a.Cycle, from, dst, exec.Transfer, content, step{producer: src.Task, consumer: t})
+					if err := add(a.Cycle, from, dst, exec.Transfer, content, step{producer: src.Task, consumer: t}); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -336,10 +367,18 @@ func buildSteps(c *execCtx, plan *exec.Plan) ([]step, error) {
 		a := s.At(t)
 		from := c.mixerName(a.Mixer)
 		for k := 0; k < t.Targets; k++ {
-			add(a.Cycle, from, c.out, exec.Emit, t.Vec.Key(), step{producer: t})
+			if err := add(a.Cycle, from, c.out, exec.Emit, t.Vec.Key(), step{producer: t}); err != nil {
+				return nil, err
+			}
 		}
 		for k := 0; k < t.FreeOutputs(); k++ {
-			add(a.Cycle, from, nearest(from), exec.Discard, t.Vec.Key(), step{producer: t})
+			w, err := nearest(from)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(a.Cycle, from, w, exec.Discard, t.Vec.Key(), step{producer: t}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	sort.SliceStable(steps, func(i, j int) bool { return steps[i].mv.Cycle < steps[j].mv.Cycle })
@@ -362,9 +401,15 @@ func (e *executor) logMove(mv exec.Move) {
 }
 
 // recoveryMove synthesises and logs a transport performed by a recovery
-// action (re-dispense, pool fetch, replay delivery).
-func (e *executor) recoveryMove(c *execCtx, cycle int, from, to string, p exec.Purpose, content string) {
-	e.logMove(exec.Move{Cycle: cycle, From: from, To: to, Cost: c.cost[[2]string{from, to}], Purpose: p, Content: content})
+// action (re-dispense, pool fetch, replay delivery). A recovery route between
+// modules unknown to the bound layout is a plan mismatch, reported loudly.
+func (e *executor) recoveryMove(c *execCtx, cycle int, from, to string, p exec.Purpose, content string) error {
+	d, err := c.dist(from, to)
+	if err != nil {
+		return err
+	}
+	e.logMove(exec.Move{Cycle: cycle, From: from, To: to, Cost: d, Purpose: p, Content: content})
+	return nil
 }
 
 func (e *executor) spendCycles(n int) error {
@@ -563,14 +608,18 @@ func (e *executor) guardLoss(c *execCtx, d errormodel.Droplet, producer *forest.
 // parked-waste pool first, then a minimal subtree replay.
 func (e *executor) replacement(c *execCtx, producer *forest.Task, mv exec.Move) (errormodel.Droplet, error) {
 	if d, ok := e.takePool(mv.Content); ok {
-		e.recoveryMove(c, mv.Cycle, c.waste, mv.To, exec.Fetch, mv.Content)
+		if err := e.recoveryMove(c, mv.Cycle, c.waste, mv.To, exec.Fetch, mv.Content); err != nil {
+			return errormodel.Droplet{}, err
+		}
 		return d, nil
 	}
 	d, mixer, err := e.replay(c, producer, mv.Cycle)
 	if err != nil {
 		return errormodel.Droplet{}, err
 	}
-	e.recoveryMove(c, mv.Cycle, mixer, mv.To, exec.Transfer, mv.Content)
+	if err := e.recoveryMove(c, mv.Cycle, mixer, mv.To, exec.Transfer, mv.Content); err != nil {
+		return errormodel.Droplet{}, err
+	}
 	return d, nil
 }
 
@@ -610,12 +659,16 @@ func (e *executor) replay(c *execCtx, t *forest.Task, cycle int) (errormodel.Dro
 			if err != nil {
 				return errormodel.Droplet{}, "", err
 			}
-			e.recoveryMove(c, cycle, r, mixer, exec.Dispense, ratio.Unit(src.Fluid, e.nfluids).Key())
+			if err := e.recoveryMove(c, cycle, r, mixer, exec.Dispense, ratio.Unit(src.Fluid, e.nfluids).Key()); err != nil {
+				return errormodel.Droplet{}, "", err
+			}
 			ins[i] = d
 		case forest.FromTask:
 			key := src.Task.Vec.Key()
 			if d, ok := e.takePool(key); ok {
-				e.recoveryMove(c, cycle, c.waste, mixer, exec.Fetch, key)
+				if err := e.recoveryMove(c, cycle, c.waste, mixer, exec.Fetch, key); err != nil {
+					return errormodel.Droplet{}, "", err
+				}
 				ins[i] = d
 				continue
 			}
@@ -623,7 +676,9 @@ func (e *executor) replay(c *execCtx, t *forest.Task, cycle int) (errormodel.Dro
 			if err != nil {
 				return errormodel.Droplet{}, "", err
 			}
-			e.recoveryMove(c, cycle, from, mixer, exec.Transfer, key)
+			if err := e.recoveryMove(c, cycle, from, mixer, exec.Transfer, key); err != nil {
+				return errormodel.Droplet{}, "", err
+			}
 			ins[i] = d
 		}
 	}
@@ -685,7 +740,9 @@ func (e *executor) emit(c *execCtx, producer *forest.Task, d errormodel.Droplet,
 		if err != nil {
 			return err
 		}
-		e.recoveryMove(c, cycle, mixer, c.out, exec.Emit, producer.Vec.Key())
+		if err := e.recoveryMove(c, cycle, mixer, c.out, exec.Emit, producer.Vec.Key()); err != nil {
+			return err
+		}
 		d = nd
 	}
 	return fmt.Errorf("%w: emitted droplet out of tolerance at cycle %d", ErrRetriesExhausted, cycle)

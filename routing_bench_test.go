@@ -1,0 +1,91 @@
+package dmfb
+
+// Old-vs-new benchmarks for the dense routing kernel PR: incremental
+// placement annealing against the legacy full-recompute annealer, and the
+// fingerprint-cached matrix against a cold build. `make bench-routing`
+// (cmd/benchroute) runs the same comparisons and records the speedups in
+// results/bench_routing.json and EXPERIMENTS.md §E7.
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/exec"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+	"repro/internal/route"
+	"repro/internal/sched"
+)
+
+func placementInputs(b *testing.B) (*chip.Layout, chip.Flow) {
+	b.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := forest.Build(g, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.SRS(f, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := chip.PCRLayout()
+	plan, err := exec.Execute(s, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l, plan.Flow
+}
+
+// BenchmarkOptimizePlacement compares the incremental delta-evaluating
+// annealer (one matrix evaluation per run) against the legacy full-recompute
+// annealer (one matrix evaluation per candidate swap) on the real
+// obstacle-aware cost model, at the Fig. 5 experiment's 600 iterations.
+// Both produce bit-identical results for the fixed seed (pinned by
+// TestOptimizePlacementMatchesFullOnRouteMatrix).
+func BenchmarkOptimizePlacement(b *testing.B) {
+	l, flow := placementInputs(b)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chip.OptimizePlacement(l, flow, route.CostMatrix, 600, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chip.OptimizePlacementFull(l, flow, route.CostMatrix, 600, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTransportMatrixFor measures the fingerprint cache: a warm hit
+// (fingerprint + lookup) against a cold all-pairs flood.
+func BenchmarkTransportMatrixFor(b *testing.B) {
+	l := chip.PCRLayout()
+	b.Run("cached", func(b *testing.B) {
+		if _, err := route.MatrixFor(l); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := route.MatrixFor(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			route.PurgeMatrixCache()
+			if _, err := route.MatrixFor(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
