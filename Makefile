@@ -4,11 +4,11 @@ GO ?= go
 
 # Packages with new concurrency (worker pool, plan cache, parallel sweeps,
 # streaming planner, fault injector, cyberphysical runtime, the parallel
-# mixer-binding search and the transport-matrix cache) — raced explicitly by
-# `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route
+# mixer-binding search, the transport-matrix cache and the observability
+# registry) — raced explicitly by `make race`.
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit
 
-.PHONY: build test race vet fmt-check bench-smoke bench-routing fuzz-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing fuzz-smoke audit-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,21 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseRatio -fuzztime=10s ./internal/ratio
 	$(GO) test -fuzz=FuzzBuildForest -fuzztime=10s ./internal/forest
 
-check: build vet fmt-check test race bench-smoke fuzz-smoke
+# End-to-end audit smoke: drive the CLIs through planning, streaming, fault
+# recovery and dilution with the invariant auditor live (it is always on) and
+# the metrics/trace exporters enabled. Any audit violation makes the binary
+# exit non-zero, failing this target. Artifacts go to a throwaway tmp dir.
+audit-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; set -e; \
+	$(GO) run ./cmd/mdst -ratio 2:1:1:1:1:1:9 -demand 20 -metrics -trace "$$tmp/mdst.jsonl" >/dev/null; \
+	$(GO) run ./cmd/mdst -ratio 2:1:1:1:1:1:9 -demand 32 -storage 3 -sched SRS -metrics >/dev/null; \
+	$(GO) run ./cmd/chipsim -faults 0.05 -seed 3 -metrics -tracefile "$$tmp/chipsim.jsonl" >/dev/null; \
+	$(GO) run ./cmd/chipsim -deadmixer M3:2 -metrics >/dev/null; \
+	$(GO) run ./cmd/dilute -num 3 -depth 4 -demand 8 -sched SRS >/dev/null; \
+	test -s "$$tmp/mdst.jsonl" && test -s "$$tmp/chipsim.jsonl"; \
+	echo "audit-smoke: all runs audited clean"
+
+check: build vet fmt-check test race bench-smoke fuzz-smoke audit-smoke
 
 clean:
 	$(GO) clean

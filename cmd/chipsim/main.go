@@ -21,6 +21,7 @@ import (
 	dmfb "repro"
 	"repro/internal/contam"
 	"repro/internal/fluidsim"
+	"repro/internal/obs"
 	"repro/internal/pins"
 )
 
@@ -39,10 +40,21 @@ func main() {
 		seed       = flag.Int64("seed", 1, "fault-injection seed")
 		deadMixer  = flag.String("deadmixer", "", "script a mixer death as NAME:CYCLE (e.g. M3:2); implies cyberphysical execution")
 		budget     = flag.Int("budget", 0, "per-run recovery budget in extra cycles (0 = unbounded)")
+		tracePath  = flag.String("tracefile", "", "write a JSONL structured event trace to this file")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry to stderr on exit")
 	)
 	flag.Parse()
-	if err := run(*demand, *schedStr, *optimize, *moves, *heatmap, *routing, *pinsFlag, *contamFlag, *trace,
-		*faultRate, *seed, *deadMixer, *budget); err != nil {
+	finish, err := obs.EnableCLI(*tracePath, *metrics, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipsim:", err)
+		os.Exit(1)
+	}
+	err = run(*demand, *schedStr, *optimize, *moves, *heatmap, *routing, *pinsFlag, *contamFlag, *trace,
+		*faultRate, *seed, *deadMixer, *budget)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "chipsim:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+// TestMalformedInputErrorsNotPanics drives run() with every malformed input
+// class the dilution CLI accepts and asserts a diagnosable error, never a
+// panic.
+func TestMalformedInputErrorsNotPanics(t *testing.T) {
+	cases := []struct {
+		name    string
+		cf      float64
+		num     int64
+		depth   int
+		demand  int
+		sched   string
+		storage int
+		series  int
+	}{
+		{name: "no target given", sched: "MMS", depth: 4, demand: 4},
+		{name: "num out of range", num: 99, depth: 4, demand: 4, sched: "MMS"},
+		{name: "negative depth", num: 3, depth: -1, demand: 4, sched: "MMS"},
+		{name: "cf above one", cf: 1.5, depth: 4, demand: 4, sched: "MMS"},
+		{name: "bad scheduler", num: 3, depth: 4, demand: 4, sched: "NOPE"},
+		{name: "zero demand", num: 3, depth: 4, demand: 0, sched: "MMS"},
+		{name: "negative gradient demand", series: 4, demand: -1, sched: "MMS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("run panicked: %v", r)
+				}
+			}()
+			if err := run(tc.cf, tc.num, tc.depth, tc.demand, tc.sched, tc.storage, tc.series); err == nil {
+				t.Fatal("run accepted malformed input")
+			}
+		})
+	}
+}
+
+// TestWellFormedRuns pins the happy path so the malformed cases above fail
+// for the right reason.
+func TestWellFormedRuns(t *testing.T) {
+	if err := run(0, 3, 4, 8, "SRS", 0, 0); err != nil {
+		t.Fatalf("run(-num 3 -depth 4): %v", err)
+	}
+}

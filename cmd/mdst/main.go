@@ -15,6 +15,7 @@ import (
 	"os"
 
 	dmfb "repro"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -31,9 +32,20 @@ func main() {
 		baseline   = flag.Bool("baseline", false, "compare against the repeated baseline")
 		jsonOut    = flag.Bool("json", false, "emit the plan as JSON instead of text")
 		reportOut  = flag.Bool("report", false, "emit a full markdown dossier (plan + chip analysis)")
+		tracePath  = flag.String("trace", "", "write a JSONL structured event trace to this file")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry to stderr on exit")
 	)
 	flag.Parse()
-	if err := run(*ratioStr, *demand, *mixers, *storage, *algName, *schedName, *showTree, *showForest, *baseline, *jsonOut, *reportOut); err != nil {
+	finish, err := obs.EnableCLI(*tracePath, *metrics, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdst:", err)
+		os.Exit(1)
+	}
+	err = run(*ratioStr, *demand, *mixers, *storage, *algName, *schedName, *showTree, *showForest, *baseline, *jsonOut, *reportOut)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdst:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMalformedInputErrorsNotPanics feeds run() the malformed command-line
+// inputs a user can type and asserts each yields a diagnosable error — never
+// a panic (the Must* constructors in internal/ratio are for literals only;
+// every CLI path must go through the error-returning API).
+func TestMalformedInputErrorsNotPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		ratio string
+		alg   string
+		sched string
+		want  string // substring the diagnostic must contain
+	}{
+		{"garbage ratio", "spam", "MM", "MMS", `"spam"`},
+		{"empty part", "2::9", "MM", "MMS", "invalid part"},
+		{"negative part", "2:-1:15", "MM", "MMS", "positive"},
+		{"zero part", "0:16", "MM", "MMS", "positive"},
+		{"sum not pow2", "1:2", "MM", "MMS", "power of two"},
+		{"float part", "1.5:2.5", "MM", "MMS", "invalid part"},
+		{"overflow", "9223372036854775807:1", "MM", "MMS", "exceeds"},
+		{"bad algorithm", "3:1", "NOPE", "MMS", "unknown algorithm"},
+		{"bad scheduler", "3:1", "MM", "NOPE", "unknown scheduler"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("run panicked on %q: %v", tc.ratio, r)
+				}
+			}()
+			err := run(tc.ratio, 4, 0, 0, tc.alg, tc.sched, false, false, false, false, false)
+			if err == nil {
+				t.Fatalf("run accepted malformed input %q", tc.ratio)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBadDemandErrors covers the non-ratio malformed inputs.
+func TestBadDemandErrors(t *testing.T) {
+	if err := run("3:1", 0, 0, 0, "MM", "MMS", false, false, false, false, false); err == nil {
+		t.Fatal("run accepted demand 0")
+	}
+	if err := run("3:1", -5, 0, 0, "MM", "MMS", false, false, false, false, false); err == nil {
+		t.Fatal("run accepted negative demand")
+	}
+}

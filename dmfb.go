@@ -33,6 +33,7 @@ package dmfb
 
 import (
 	"repro/internal/assay"
+	"repro/internal/audit"
 	"repro/internal/chip"
 	"repro/internal/contam"
 	"repro/internal/core"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
 	"repro/internal/motion"
+	"repro/internal/obs"
 	"repro/internal/pins"
 	"repro/internal/plancache"
 	"repro/internal/protocols"
@@ -263,6 +265,59 @@ var (
 	// ErrUnrecoverable is wrapped by every recovery dead-end the runtime
 	// returns; match with errors.Is.
 	ErrUnrecoverable = runtime.ErrUnrecoverable
+)
+
+// Invariant auditing (see internal/audit): every plan the engines produce
+// and every closed-loop execution is checked against policy-independent
+// invariants — mass conservation, exact CF arithmetic over 2^d denominators,
+// the forest closed forms and the storage occupancy bound — and violations
+// surface as typed errors, never as silently wrong droplets.
+type (
+	// AuditReport is the outcome of one invariant audit; Clean() reports
+	// whether every check passed, Err() wraps the violations.
+	AuditReport = audit.Report
+	// AuditViolation is one typed invariant breach with its event trail.
+	AuditViolation = audit.Violation
+	// AuditCode classifies a violation (mass conservation, CF exactness,
+	// target count, storage occupancy, ...).
+	AuditCode = audit.Code
+)
+
+var (
+	// ErrAuditViolation is wrapped by every failed audit; match with
+	// errors.Is.
+	ErrAuditViolation = audit.ErrViolation
+	// AuditForest re-checks a mixing forest's closed-form invariants.
+	AuditForest = audit.CheckForest
+	// AuditSchedule re-checks a schedule's structural and storage
+	// invariants.
+	AuditSchedule = audit.CheckSchedule
+	// AuditPlan audits a forest and its schedule together.
+	AuditPlan = audit.CheckPlan
+)
+
+// Observability (see internal/obs): a process-wide metrics registry and
+// structured JSONL event tracer, disabled by default at near-zero cost
+// (one atomic pointer load per call site).
+type (
+	// ObsOptions configures the observability registry (trace sink).
+	ObsOptions = obs.Options
+	// ObsSnapshot is a point-in-time copy of every counter and histogram.
+	ObsSnapshot = obs.Snapshot
+)
+
+var (
+	// EnableObservability turns on metrics and (optionally) tracing
+	// process-wide, starting from a fresh registry.
+	EnableObservability = obs.Enable
+	// DisableObservability returns every instrumented call site to its
+	// near-zero disabled cost and drops the registry.
+	DisableObservability = obs.Disable
+	// ObservabilitySnapshot copies the current counters and histograms.
+	ObservabilitySnapshot = obs.TakeSnapshot
+	// WriteObservability renders the registry in a sorted, line-oriented
+	// text format.
+	WriteObservability = obs.WriteMetrics
 )
 
 // Replay walks a transport plan electrode by electrode, producing

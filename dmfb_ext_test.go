@@ -2,6 +2,7 @@ package dmfb
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -91,6 +92,43 @@ func TestExportFacade(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"algorithm": "RSM"`) {
 		t.Error("forest JSON missing algorithm")
+	}
+}
+
+func TestAuditAndObsFacade(t *testing.T) {
+	t.Cleanup(DisableObservability)
+	EnableObservability(ObsOptions{})
+	g, _ := BuildGraph(MM, PCR16().Ratio)
+	f, _ := BuildForest(g, 8)
+	s, err := ScheduleSRS(f, 3)
+	if err != nil {
+		t.Fatalf("ScheduleSRS: %v", err)
+	}
+	if rep := AuditPlan(f, s); !rep.Clean() {
+		t.Fatalf("AuditPlan on a valid plan: %v", rep.Err())
+	}
+	// Corrupt the schedule: double-book a slot; the auditor must object
+	// with a typed error.
+	s.Slots[len(s.Slots)-1] = s.Slots[0]
+	rep := AuditSchedule(s)
+	if rep.Clean() {
+		t.Fatal("AuditSchedule passed a double-booked schedule")
+	}
+	if !errors.Is(rep.Err(), ErrAuditViolation) {
+		t.Fatalf("%v does not wrap ErrAuditViolation", rep.Err())
+	}
+	// The planning above ran with observability on; the registry must have
+	// seen it.
+	snap := ObservabilitySnapshot()
+	if len(snap.Counters) == 0 {
+		t.Fatal("observability snapshot empty after planning")
+	}
+	var buf bytes.Buffer
+	if err := WriteObservability(&buf); err != nil {
+		t.Fatalf("WriteObservability: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("WriteObservability produced no output")
 	}
 }
 

@@ -1,0 +1,361 @@
+// Package audit is the invariant-audit layer of the droplet-streaming
+// engine: it continuously verifies, on the hot path, the exactness
+// guarantees the paper's whole value proposition rests on, and turns any
+// violation into a typed, inspectable diagnostic instead of a silent
+// mis-mix.
+//
+// Two tiers of checking:
+//
+//   - Plan-level (CheckForest, CheckSchedule, CheckPlan, CheckStreamCounts):
+//     pure functions over built forests, schedules and multi-pass plans.
+//     They verify the paper's closed forms — |F| = ⌈D/2⌉ component trees,
+//     2 target droplets per tree, droplet conservation I = T + W, the
+//     zero-waste theorem W = 0 for D ≡ 0 (mod 2^d) on an MM base, exact CF
+//     arithmetic over 2^d denominators at every mix-split — plus the
+//     physical schedule constraints and an independent recomputation of
+//     Algorithm 3's storage-occupancy profile.
+//
+//   - Execution-level (Ledger, in ledger.go): a per-run droplet ledger fed
+//     by the cyberphysical runtime. Every droplet is tracked from dispense
+//     to emission/waste/loss, with policy-independent strict tolerances, so
+//     a fault that slips past a miscalibrated checkpoint sensor still
+//     surfaces as a Violation at the mix that consumed it or at the output
+//     port.
+//
+// Every violation wraps ErrViolation, carries a Code naming the broken
+// invariant, and keeps the recent event trail — never a silent pass.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/forest"
+	"repro/internal/sched"
+)
+
+// Code names the class of invariant a Violation breaks.
+type Code int
+
+const (
+	// Structure: the forest/schedule fails its structural validation
+	// (topological order, consumption bounds, slot sanity).
+	Structure Code = iota
+	// MassConservation: droplets were created or destroyed where the
+	// (1:1) mix-split model conserves them (I = T + W at plan level;
+	// volume-in = volume-out at every physical mix-split).
+	MassConservation
+	// CFExactness: a droplet's concentration-factor vector deviates from
+	// the exact 2^d-denominator arithmetic of the plan.
+	CFExactness
+	// TargetCount: the number of component trees or emitted target
+	// droplets disagrees with the paper's closed forms (|F| = ⌈D/2⌉,
+	// T = 2|F|, Emitted ≥ D).
+	TargetCount
+	// WasteCount: the waste count violates a closed form (in particular
+	// the zero-waste theorem W = 0 for D ≡ 0 mod 2^d on an MM base).
+	WasteCount
+	// StorageOccupancy: the schedule's storage profile disagrees with an
+	// independent recomputation of Algorithm 3's lifetime count.
+	StorageOccupancy
+	// DropletLifecycle: a droplet was consumed before it existed, fetched
+	// from an empty pool, or left in flight at run end.
+	DropletLifecycle
+	// EmissionTolerance: an emitted target droplet is outside the strict
+	// (policy-independent) volume/CF envelope.
+	EmissionTolerance
+	// ScheduleOrder: pass start-cycles, cycle totals or per-pass emission
+	// ordering are inconsistent.
+	ScheduleOrder
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case Structure:
+		return "structure"
+	case MassConservation:
+		return "mass-conservation"
+	case CFExactness:
+		return "cf-exactness"
+	case TargetCount:
+		return "target-count"
+	case WasteCount:
+		return "waste-count"
+	case StorageOccupancy:
+		return "storage-occupancy"
+	case DropletLifecycle:
+		return "droplet-lifecycle"
+	case EmissionTolerance:
+		return "emission-tolerance"
+	case ScheduleOrder:
+		return "schedule-order"
+	default:
+		return fmt.Sprintf("Code(%d)", int(c))
+	}
+}
+
+// ErrViolation is the sentinel every audit violation wraps; callers use
+// errors.Is(err, audit.ErrViolation) to distinguish invariant breaks from
+// ordinary planning or runtime errors.
+var ErrViolation = errors.New("audit: invariant violated")
+
+// Violation is one broken invariant, with enough context to debug it.
+type Violation struct {
+	// Code names the invariant class.
+	Code Code
+	// Cycle is the schedule cycle the violation was detected at (0 when
+	// the check is not cycle-local).
+	Cycle int
+	// Detail is the human-readable specifics (expected vs got).
+	Detail string
+	// Trail is the most recent ledger event log at detection time (empty
+	// for plan-level checks).
+	Trail []string
+}
+
+// Error renders the violation; it wraps ErrViolation.
+func (v *Violation) Error() string {
+	if v.Cycle > 0 {
+		return fmt.Sprintf("%v: %s at cycle %d: %s", ErrViolation, v.Code, v.Cycle, v.Detail)
+	}
+	return fmt.Sprintf("%v: %s: %s", ErrViolation, v.Code, v.Detail)
+}
+
+// Unwrap makes errors.Is(v, ErrViolation) true.
+func (v *Violation) Unwrap() error { return ErrViolation }
+
+// Report is the outcome of an audit: the checks performed, the violations
+// found, and (for execution-level audits) the droplet-ledger totals.
+type Report struct {
+	// Checks counts the individual invariant checks performed.
+	Checks int
+	// Violations lists every broken invariant, in detection order.
+	Violations []*Violation
+
+	// Ledger totals (execution-level audits only; zero at plan level).
+	Created, FailedShots, MixSplits int
+	Emitted, Pooled, Unpooled, Lost int
+}
+
+// Clean reports whether the audit found no violations.
+func (r *Report) Clean() bool { return r != nil && len(r.Violations) == 0 }
+
+// Err returns nil for a clean report, else the first violation (annotated
+// with the total count). The returned error wraps ErrViolation.
+func (r *Report) Err() error {
+	if r.Clean() {
+		return nil
+	}
+	if len(r.Violations) == 1 {
+		return r.Violations[0]
+	}
+	return fmt.Errorf("%w (and %d more)", error(r.Violations[0]), len(r.Violations)-1)
+}
+
+// Merge folds another report's checks, violations and totals into r.
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	r.Checks += o.Checks
+	r.Violations = append(r.Violations, o.Violations...)
+	r.Created += o.Created
+	r.FailedShots += o.FailedShots
+	r.MixSplits += o.MixSplits
+	r.Emitted += o.Emitted
+	r.Pooled += o.Pooled
+	r.Unpooled += o.Unpooled
+	r.Lost += o.Lost
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d checks, %d violations", r.Checks, len(r.Violations))
+	if r.Created+r.Emitted+r.Lost+r.Pooled > 0 {
+		fmt.Fprintf(&b, "; ledger: %d created, %d mix-splits, %d emitted, %d pooled, %d lost, %d failed shots",
+			r.Created, r.MixSplits, r.Emitted, r.Pooled, r.Lost, r.FailedShots)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s", v.Error())
+	}
+	return b.String()
+}
+
+func (r *Report) check(ok bool, v *Violation) {
+	r.Checks++
+	if !ok {
+		r.Violations = append(r.Violations, v)
+	}
+}
+
+// CheckForest audits a built mixing forest against the paper's plan-level
+// invariants: structural validity (topological order, exact CF arithmetic
+// at every task, consumption bounds), the closed forms |F| = ⌈D/2⌉ and
+// T = 2·|F|, droplet conservation I = T + W, root-CF exactness, and the
+// zero-waste theorem W = 0 when the emitted count is a multiple of 2^d on
+// an MM base.
+func CheckForest(f *forest.Forest) *Report {
+	r := &Report{}
+	err := f.Validate()
+	r.check(err == nil, &Violation{Code: Structure, Detail: fmt.Sprint(err)})
+	if err != nil {
+		// Structural breakage invalidates the aggregate checks below.
+		return r
+	}
+	st := f.Stats()
+	wantTrees := (f.Demand + 1) / 2
+	r.check(st.Trees == wantTrees,
+		&Violation{Code: TargetCount, Detail: fmt.Sprintf("|F| = %d trees for D=%d, want ⌈D/2⌉ = %d", st.Trees, f.Demand, wantTrees)})
+	r.check(st.Targets == 2*st.Trees,
+		&Violation{Code: TargetCount, Detail: fmt.Sprintf("%d target droplets from %d trees, want 2 per tree", st.Targets, st.Trees)})
+	r.check(st.InputTotal == int64(st.Targets)+st.Waste,
+		&Violation{Code: MassConservation, Detail: fmt.Sprintf("I=%d, T=%d, W=%d: I != T + W", st.InputTotal, st.Targets, st.Waste)})
+	target := f.Base.Target.Vector()
+	for _, tree := range f.Trees {
+		want := tree.Want
+		if want.IsZero() {
+			want = target
+		}
+		r.check(tree.Root.Vec.Equal(want),
+			&Violation{Code: CFExactness, Detail: fmt.Sprintf("tree %d root CF %v, want %v", tree.Index, tree.Root.Vec, want)})
+	}
+	// Zero-waste theorem (§4): with the MM base and D = p·2^d every
+	// intermediate droplet is consumed. Emitted count (D rounded up to
+	// even) is the operative quantity.
+	if f.Base.Algorithm == "MM" {
+		if d := f.Base.Target.Depth(); d >= 1 {
+			if period := int64(1) << uint(d); int64(st.Targets)%period == 0 {
+				r.check(st.Waste == 0,
+					&Violation{Code: WasteCount, Detail: fmt.Sprintf("W=%d for emitted=%d ≡ 0 mod 2^%d on MM base, want 0", st.Waste, st.Targets, d)})
+			}
+		}
+	}
+	return r
+}
+
+// CheckSchedule audits a schedule: physical validity (every task exactly
+// once, precedence, mixer bounds, no double-booking) and storage occupancy,
+// recomputed independently of Algorithm 3's per-task loop via a difference
+// array over droplet lifetimes and compared cycle-by-cycle against
+// sched.StorageProfile.
+func CheckSchedule(s *sched.Schedule) *Report {
+	r := &Report{}
+	err := s.Validate()
+	r.check(err == nil, &Violation{Code: Structure, Detail: fmt.Sprint(err)})
+	if err != nil {
+		return r
+	}
+	// Independent storage recomputation: +1 when a droplet enters storage
+	// (producer cycle + 1), -1 when its consumer picks it up. Algorithm 3
+	// walks each lifetime interval instead; both must agree everywhere.
+	diff := make([]int, s.Cycles+2)
+	for _, t := range s.Forest.Tasks {
+		produced := s.Slots[t.ID].Cycle
+		for _, c := range t.Consumers() {
+			consumed := s.Slots[c.ID].Cycle
+			if produced+1 <= consumed-1 {
+				diff[produced+1]++
+				diff[consumed]--
+			}
+		}
+	}
+	profile := sched.StorageProfile(s)
+	occ := 0
+	peak := 0
+	for cycle := 1; cycle <= s.Cycles; cycle++ {
+		occ += diff[cycle]
+		r.check(occ == profile[cycle],
+			&Violation{Code: StorageOccupancy, Cycle: cycle,
+				Detail: fmt.Sprintf("independent occupancy %d, Algorithm 3 profile %d", occ, profile[cycle])})
+		if occ > peak {
+			peak = occ
+		}
+	}
+	r.check(peak == sched.StorageUnits(s),
+		&Violation{Code: StorageOccupancy, Detail: fmt.Sprintf("peak occupancy %d, StorageUnits %d", peak, sched.StorageUnits(s))})
+	return r
+}
+
+// CheckPlan audits a (forest, schedule) pair — the unit the plan cache
+// stores. It is the default audit every built plan passes through.
+func CheckPlan(f *forest.Forest, s *sched.Schedule) *Report {
+	r := CheckForest(f)
+	r.Merge(CheckSchedule(s))
+	return r
+}
+
+// PassCounts summarises one planned pass for stream-level auditing.
+type PassCounts struct {
+	// Emits is the number of target droplets the pass emits.
+	Emits int
+	// Cycles is the pass makespan Tc.
+	Cycles int
+	// Waste and Inputs are the pass's droplet costs.
+	Waste, Inputs int64
+	// StartCycle is the absolute cycle the pass begins at (1-based).
+	StartCycle int
+}
+
+// StreamCounts summarises a multi-pass plan for auditing.
+type StreamCounts struct {
+	// Demand is the requested droplet count D; PerPassDemand is D'.
+	Demand, PerPassDemand int
+	// Emitted, TotalCycles, TotalWaste, TotalInputs are the plan's
+	// aggregate claims.
+	Emitted, TotalCycles    int
+	TotalWaste, TotalInputs int64
+	Passes                  []PassCounts
+}
+
+// CheckStreamCounts audits a multi-pass plan's bookkeeping against the
+// paper's closed forms: the pass count and per-pass emissions follow from
+// D and D' (each pass emits min(D', remaining) rounded up to even), the
+// surplus over D is at most one droplet, pass start-cycles tile the
+// timeline contiguously, and the totals equal the per-pass sums.
+func CheckStreamCounts(c StreamCounts) *Report {
+	r := &Report{}
+	if c.PerPassDemand < 1 {
+		r.check(false, &Violation{Code: TargetCount, Detail: fmt.Sprintf("per-pass demand D'=%d", c.PerPassDemand)})
+		return r
+	}
+	remaining := c.Demand
+	var cycles, emitted int
+	var waste, inputs int64
+	start := 1
+	for i, p := range c.Passes {
+		d := c.PerPassDemand
+		if remaining < d {
+			d = remaining
+		}
+		wantEmit := d + d%2 // rounded up to even
+		r.check(p.Emits == wantEmit,
+			&Violation{Code: TargetCount, Detail: fmt.Sprintf("pass %d emits %d droplets, closed form wants %d", i+1, p.Emits, wantEmit)})
+		r.check(p.StartCycle == start,
+			&Violation{Code: ScheduleOrder, Detail: fmt.Sprintf("pass %d starts at cycle %d, want %d", i+1, p.StartCycle, start)})
+		start += p.Cycles
+		cycles += p.Cycles
+		emitted += p.Emits
+		waste += p.Waste
+		inputs += p.Inputs
+		remaining -= p.Emits
+	}
+	r.check(remaining <= 0,
+		&Violation{Code: TargetCount, Detail: fmt.Sprintf("passes cover only %d of D=%d droplets", c.Demand-remaining, c.Demand)})
+	wantPasses := (c.Demand + c.PerPassDemand - 1) / c.PerPassDemand
+	r.check(len(c.Passes) == wantPasses,
+		&Violation{Code: TargetCount, Detail: fmt.Sprintf("%d passes, ⌈D/D'⌉ = %d", len(c.Passes), wantPasses)})
+	r.check(c.Emitted == emitted,
+		&Violation{Code: TargetCount, Detail: fmt.Sprintf("plan claims %d emitted, passes sum to %d", c.Emitted, emitted)})
+	r.check(c.Emitted >= c.Demand && c.Emitted-c.Demand <= 1,
+		&Violation{Code: TargetCount, Detail: fmt.Sprintf("emitted %d for demand %d (surplus must be 0 or 1)", c.Emitted, c.Demand)})
+	r.check(c.TotalCycles == cycles,
+		&Violation{Code: ScheduleOrder, Detail: fmt.Sprintf("plan claims %d total cycles, passes sum to %d", c.TotalCycles, cycles)})
+	r.check(c.TotalWaste == waste,
+		&Violation{Code: MassConservation, Detail: fmt.Sprintf("plan claims %d waste, passes sum to %d", c.TotalWaste, waste)})
+	r.check(c.TotalInputs == inputs,
+		&Violation{Code: MassConservation, Detail: fmt.Sprintf("plan claims %d inputs, passes sum to %d", c.TotalInputs, inputs)})
+	return r
+}

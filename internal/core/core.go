@@ -16,6 +16,7 @@ import (
 	"repro/internal/minmix"
 	"repro/internal/mixgraph"
 	"repro/internal/mtcs"
+	"repro/internal/obs"
 	"repro/internal/ratio"
 	"repro/internal/rma"
 	"repro/internal/route"
@@ -205,6 +206,7 @@ func (e *Engine) Request(n int) (*Batch, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: %w: %d", forest.ErrBadDemand, n)
 	}
+	obs.Inc("core.requests")
 	if e.cfg.PersistPool {
 		return e.requestPersistent(n)
 	}
@@ -222,6 +224,15 @@ func (e *Engine) Request(n int) (*Batch, error) {
 	e.batches = append(e.batches, b)
 	e.elapsed += res.TotalCycles
 	e.emitted += res.Emitted
+	if obs.Enabled() {
+		obs.Emit("core.request", map[string]any{
+			"n":           n,
+			"batch":       len(e.batches),
+			"start_cycle": b.StartCycle,
+			"emitted":     res.Emitted,
+			"cycles":      res.TotalCycles,
+		})
+	}
 	return b, nil
 }
 

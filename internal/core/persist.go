@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/forest"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stream"
 )
@@ -51,6 +53,13 @@ func (e *Engine) requestPersistent(n int) (*Batch, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Incremental schedules bypass stream.plan's cache-entry audit, so the
+	// schedule-level invariants (precedence, mixer exclusivity, Alg. 3
+	// storage accounting) are checked here before the batch is promised.
+	if rep := audit.CheckSchedule(s); !rep.Clean() {
+		obs.Add("audit.violations", int64(len(rep.Violations)))
+		return nil, fmt.Errorf("core: persistent batch audit: %w", rep.Err())
 	}
 
 	q := PersistentStorage(f, s, startID)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/chip"
 	"repro/internal/forest"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ratio"
 	"repro/internal/route"
@@ -112,6 +113,7 @@ var (
 // fetched later; unconsumed non-target droplets go to the nearest waste
 // reservoir; target droplets go to the output port.
 func Execute(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
+	defer obs.StartTimer("exec.execute_ms")()
 	mixers := l.OfKind(chip.Mixer)
 	if len(mixers) < s.Mixers {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrNoMixerModules, len(mixers), s.Mixers)
@@ -124,7 +126,12 @@ func Execute(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
 	for i := range binding {
 		binding[i] = i
 	}
-	return executeBound(s, l, binding, m)
+	p, err := executeBound(s, l, binding, m)
+	if err != nil {
+		return nil, err
+	}
+	obsPlan("exec.executes", p)
+	return p, nil
 }
 
 // ExecuteOptimized searches over all bindings of the schedule's logical
@@ -141,6 +148,7 @@ func Execute(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
 // logical mixer 1) run in parallel via internal/parallel, each with a
 // private incumbent, and merge deterministically in branch order.
 func ExecuteOptimized(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
+	defer obs.StartTimer("exec.execute_optimized_ms")()
 	mixers := l.OfKind(chip.Mixer)
 	if len(mixers) < s.Mixers {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrNoMixerModules, len(mixers), s.Mixers)
@@ -180,7 +188,18 @@ func ExecuteOptimized(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
 			best = p
 		}
 	}
+	obsPlan("exec.executes_optimized", best)
 	return best, nil
+}
+
+// obsPlan exports one derived transport plan's headline numbers.
+func obsPlan(counter string, p *Plan) {
+	if p == nil || !obs.Enabled() {
+		return
+	}
+	obs.Inc(counter)
+	obs.Add("exec.actuations", int64(p.TotalCost))
+	obs.Observe("exec.moves", float64(len(p.Moves)))
 }
 
 // bindingTraffic is the binding-independent traffic census of a schedule,

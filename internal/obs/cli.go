@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// EnableCLI is the command-line exporter entry point shared by cmd/mdst and
+// cmd/chipsim (-trace out.jsonl, -metrics). It enables observability when a
+// trace path or the metrics dump is requested (a no-op finish otherwise),
+// creating the trace file if named. The returned finish func writes the
+// metrics dump to metricsTo (stderr in the CLIs, keeping stdout clean for
+// -json output), disables observability, and closes the trace file.
+func EnableCLI(tracePath string, metrics bool, metricsTo io.Writer) (finish func() error, err error) {
+	if tracePath == "" && !metrics {
+		return func() error { return nil }, nil
+	}
+	var tf *os.File
+	opts := Options{}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		tf, opts.Trace = f, f
+	}
+	Enable(opts)
+	return func() error {
+		var err error
+		if metrics {
+			err = WriteMetrics(metricsTo)
+		}
+		Disable()
+		if tf != nil {
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}, nil
+}

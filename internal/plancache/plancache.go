@@ -19,10 +19,10 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -113,11 +113,15 @@ func NewPlan(f *forest.Forest, s *sched.Schedule) *Plan {
 	return &Plan{Forest: f, Schedule: s, Stats: f.Stats(), Storage: sched.StorageUnits(s)}
 }
 
-// Stats is an expvar-style snapshot of a cache's counters.
+// Stats is an expvar-style snapshot of a cache's counters. All counters are
+// updated inside the cache's critical section, so every snapshot is
+// internally consistent: Lookups == Hits + Misses holds exactly, never
+// approximately, no matter how many goroutines are hitting the cache.
 type Stats struct {
-	// Hits and Misses count Get outcomes; Puts counts insertions and
-	// Evictions counts LRU displacements.
-	Hits, Misses, Puts, Evictions int64
+	// Lookups counts Get calls; Hits and Misses count their outcomes
+	// (Lookups == Hits + Misses in every snapshot). Puts counts insertions
+	// and Evictions counts LRU displacements.
+	Lookups, Hits, Misses, Puts, Evictions int64
 	// Size is the current entry count; Capacity the configured bound.
 	Size, Capacity int
 }
@@ -146,7 +150,11 @@ type Cache struct {
 	ll    *list.List // front = most recently used
 	items map[Key]*list.Element
 
-	hits, misses, puts, evictions atomic.Int64
+	// Counters live under mu (not as free-running atomics bumped after
+	// unlock) so a Stats snapshot can never observe a lookup whose outcome
+	// has not been recorded yet: lookups == hits + misses is an invariant
+	// of every snapshot, which TestStatsRaceConsistency relies on.
+	lookups, hits, misses, puts, evictions int64
 }
 
 type entry struct {
@@ -188,20 +196,24 @@ func (c *Cache) Get(k Key) (*Plan, bool) {
 		return nil, false
 	}
 	c.mu.Lock()
+	c.lookups++
 	el, ok := c.items[k]
 	var p *Plan
 	if ok {
+		c.hits++
 		c.ll.MoveToFront(el)
 		// Capture the plan while still holding the lock: Put's refresh path
 		// rewrites entry.plan in place, so reading it after unlock races.
 		p = el.Value.(*entry).plan
+	} else {
+		c.misses++
 	}
 	c.mu.Unlock()
 	if !ok {
-		c.misses.Add(1)
+		obs.Inc("plancache.misses")
 		return nil, false
 	}
-	c.hits.Add(1)
+	obs.Inc("plancache.hits")
 	return p, true
 }
 
@@ -218,6 +230,7 @@ func (c *Cache) Put(k Key, p *Plan) {
 		c.mu.Unlock()
 		return
 	}
+	c.puts++
 	c.items[k] = c.ll.PushFront(&entry{key: k, plan: p})
 	var evicted bool
 	if c.ll.Len() > c.cap {
@@ -225,11 +238,11 @@ func (c *Cache) Put(k Key, p *Plan) {
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*entry).key)
 		evicted = true
+		c.evictions++
 	}
 	c.mu.Unlock()
-	c.puts.Add(1)
 	if evicted {
-		c.evictions.Add(1)
+		obs.Inc("plancache.evictions")
 	}
 }
 
@@ -270,28 +283,31 @@ func (c *Cache) Purge() {
 	c.mu.Unlock()
 }
 
-// ResetStats zeroes the hit/miss/put/eviction counters.
+// ResetStats zeroes the lookup/hit/miss/put/eviction counters.
 func (c *Cache) ResetStats() {
 	if c == nil {
 		return
 	}
-	c.hits.Store(0)
-	c.misses.Store(0)
-	c.puts.Store(0)
-	c.evictions.Store(0)
+	c.mu.Lock()
+	c.lookups, c.hits, c.misses, c.puts, c.evictions = 0, 0, 0, 0, 0
+	c.mu.Unlock()
 }
 
-// Stats snapshots the cache's counters.
+// Stats snapshots the cache's counters. The snapshot is taken atomically
+// under the cache lock, so Lookups == Hits + Misses holds in every snapshot.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Puts:      c.puts.Load(),
-		Evictions: c.evictions.Load(),
-		Size:      c.Len(),
+		Lookups:   c.lookups,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Puts:      c.puts,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
 		Capacity:  c.cap,
 	}
 }

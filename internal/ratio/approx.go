@@ -61,7 +61,10 @@ func FromPercent(percents []float64, d int) (Ratio, error) {
 	return New(parts...)
 }
 
-// MustFromPercent is FromPercent for known-good literals; it panics on error.
+// MustFromPercent is FromPercent for compile-time-known literals (tests,
+// tables, examples); it panics on error. Never feed it user or file input —
+// route that through FromPercent, which returns a diagnosable error instead
+// of crashing the process.
 func MustFromPercent(percents []float64, d int) Ratio {
 	r, err := FromPercent(percents, d)
 	if err != nil {

@@ -49,7 +49,9 @@ func New(parts ...int64) (Ratio, error) {
 	return r, nil
 }
 
-// MustNew is New for known-good literals; it panics on error.
+// MustNew is New for compile-time-known literals (tests, tables, examples);
+// it panics on error. Never feed it user or file input — route that through
+// New, which returns a diagnosable error instead of crashing the process.
 func MustNew(parts ...int64) Ratio {
 	r, err := New(parts...)
 	if err != nil {
@@ -69,22 +71,31 @@ func (r Ratio) WithNames(names ...string) (Ratio, error) {
 }
 
 // Parse reads a ratio in the colon-separated form used throughout the paper,
-// e.g. "2:1:1:1:1:1:9". Whitespace around the numbers is ignored.
+// e.g. "2:1:1:1:1:1:9". Whitespace around the numbers is ignored. Malformed
+// input yields an error naming both the offending part and the full input,
+// so command-line callers can print it verbatim as their diagnostic.
 func Parse(s string) (Ratio, error) {
 	fields := strings.Split(s, ":")
 	parts := make([]int64, 0, len(fields))
-	for _, f := range fields {
+	for i, f := range fields {
 		f = strings.TrimSpace(f)
 		var v int64
 		if _, err := fmt.Sscanf(f, "%d", &v); err != nil || fmt.Sprintf("%d", v) != f {
-			return Ratio{}, fmt.Errorf("ratio: invalid part %q", f)
+			return Ratio{}, fmt.Errorf("ratio: invalid part %q (position %d of %q; want positive integers separated by colons)", f, i+1, s)
 		}
 		parts = append(parts, v)
 	}
-	return New(parts...)
+	r, err := New(parts...)
+	if err != nil {
+		return Ratio{}, fmt.Errorf("%w (parsing %q)", err, s)
+	}
+	return r, nil
 }
 
-// MustParse is Parse for known-good literals; it panics on error.
+// MustParse is Parse for compile-time-known literals (tests, tables,
+// examples); it panics on error. Never feed it user or file input — route
+// that through Parse, which returns a diagnosable error instead of crashing
+// the process.
 func MustParse(s string) Ratio {
 	r, err := Parse(s)
 	if err != nil {

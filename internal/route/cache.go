@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/chip"
+	"repro/internal/obs"
 )
 
 // The layout-fingerprint matrix cache: every distinct layout geometry pays
@@ -110,17 +111,21 @@ func MatrixFor(l *chip.Layout) (*Matrix, error) {
 		matrices.ll.MoveToFront(el)
 		m := el.Value.(*matrixEntry).m
 		matrices.mu.Unlock()
+		obs.Inc("route.matrix_hits")
 		return m, nil
 	}
 	matrices.mu.Unlock()
 
 	// Build outside the lock: concurrent callers missing on the same key may
 	// both build (matrices are deterministic, either result is correct).
+	stop := obs.StartTimer("route.matrix_build_ms")
 	m, err := NewRouter(l).Matrix()
+	stop()
 	if err != nil {
 		return nil, err
 	}
 	matrixBuilds.Add(1)
+	obs.Inc("route.matrix_builds")
 
 	matrices.mu.Lock()
 	if el, ok := matrices.items[key]; ok {

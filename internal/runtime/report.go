@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/exec"
 	"repro/internal/faults"
 )
@@ -103,6 +104,11 @@ type Report struct {
 	// Passes holds the per-pass reports when the run executed a multi-pass
 	// stream plan; nil for single-schedule runs.
 	Passes []*Report
+	// Audit is the droplet-ledger audit of the run (merged across passes
+	// for stream plans): every dispense, mix-split, park, loss and
+	// emission checked against strict policy-independent invariants. Nil
+	// only when the run failed before its ledger could close.
+	Audit *audit.Report
 }
 
 // MaxCFError returns the worst emitted-droplet CF deviation.

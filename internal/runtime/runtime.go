@@ -28,12 +28,14 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/chip"
 	"repro/internal/errormodel"
 	"repro/internal/exec"
 	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
+	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/ratio"
 	"repro/internal/route"
@@ -94,6 +96,12 @@ func (r *Report) absorb(p *Report) {
 	for k, n := range p.ByKind {
 		r.ByKind[k] += n
 	}
+	if p.Audit != nil {
+		if r.Audit == nil {
+			r.Audit = &audit.Report{}
+		}
+		r.Audit.Merge(p.Audit)
+	}
 }
 
 func runOne(s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy, offset int) (*Report, error) {
@@ -121,6 +129,7 @@ func runOne(s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy,
 		pool:    map[string][]errormodel.Droplet{},
 		nfluids: s.Forest.Target().N(),
 		offset:  offset,
+		led:     audit.NewLedger(s.Forest.Target().N()),
 	}
 	eventsBefore := inj.Count(faults.Kind(-1))
 
@@ -153,11 +162,66 @@ func runOne(s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy,
 	rep.ExtraCycles = rep.TotalCycles - rep.BaseCycles
 	rep.ExtraActuations = rep.TotalActuations - rep.BaseActuations
 	rep.ExtraDroplets = rep.TotalDroplets - rep.BaseDroplets
+	obsRun(rep)
 	if err != nil {
 		return rep, err
 	}
 	rep.Recovered = rep.Detected
+	// The droplet-ledger audit runs on every completed execution: mass
+	// conservation, lifecycle sanity and the strict emission envelope.
+	// An undegraded run must emit exactly two droplets per component tree;
+	// a degraded replan may legitimately overshoot the demand.
+	exact := 2 * len(s.Forest.Trees)
+	if rep.Degradations > 0 {
+		exact = -1
+	}
+	rep.Audit = e.led.Close(s.Forest.Demand, exact)
+	obs.Add("audit.checks", int64(rep.Audit.Checks))
+	if !rep.Audit.Clean() {
+		obs.Add("audit.violations", int64(len(rep.Audit.Violations)))
+		return rep, fmt.Errorf("runtime: ledger audit failed: %w", rep.Audit.Err())
+	}
 	return rep, nil
+}
+
+// obsRun exports a completed (or failed) run's counters to the metrics
+// registry; one atomic load each when observability is disabled.
+func obsRun(rep *Report) {
+	obs.Inc("runtime.runs")
+	obs.Add("runtime.faults_injected", int64(rep.Injected))
+	obs.Add("runtime.faults_detected", int64(rep.Detected))
+	obs.Add("runtime.retries", int64(rep.Retries))
+	obs.Add("runtime.replays", int64(rep.Replays))
+	obs.Add("runtime.degradations", int64(rep.Degradations))
+	obs.Observe("runtime.extra_cycles", float64(rep.ExtraCycles))
+	obs.Observe("runtime.recovery_depth", float64(recoveryDepth(rep)))
+	if obs.Enabled() {
+		obs.Emit("runtime.run", map[string]any{
+			"injected":     rep.Injected,
+			"detected":     rep.Detected,
+			"retries":      rep.Retries,
+			"replays":      rep.Replays,
+			"degradations": rep.Degradations,
+			"cycles":       rep.TotalCycles,
+			"extra_cycles": rep.ExtraCycles,
+			"emitted":      rep.Emitted,
+		})
+	}
+}
+
+// recoveryDepth is the deepest recovery-ladder level a run escalated to:
+// 0 clean, 1 retries, 2 subtree replays, 3 degradation replans.
+func recoveryDepth(rep *Report) int {
+	switch {
+	case rep.Degradations > 0:
+		return 3
+	case rep.Replays > 0:
+		return 2
+	case rep.Retries > 0:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // executor carries the state that survives degradation replans: the parked
@@ -174,6 +238,10 @@ type executor struct {
 	pool    map[string][]errormodel.Droplet
 	nfluids int
 	offset  int
+	// led is the always-on droplet auditor: every dispense, mix-split,
+	// park, loss and emission is ledgered and checked against strict,
+	// policy-independent invariants (see internal/audit).
+	led *audit.Ledger
 
 	cyclesDone  int // completed schedule cycles (abandoned ones pro rata)
 	extraCycles int // recovery cycles, checked against the budget
@@ -491,6 +559,7 @@ func (e *executor) step(c *execCtx, st *step) error {
 		e.logMove(mv)
 		// Waste routes carry no sensor; park the droplet for recovery reuse.
 		e.pool[mv.Content] = append(e.pool[mv.Content], d)
+		e.led.Park(e.offset+mv.Cycle, mv.Content)
 		return nil
 	}
 	return fmt.Errorf("%w: unknown purpose %v", ErrPlanMismatch, mv.Purpose)
@@ -503,6 +572,7 @@ func (e *executor) dispense(c *execCtx, fluid, cycle int, reservoir string) (err
 	for attempt := 0; attempt <= e.pol.MaxRetries; attempt++ {
 		if !e.inj.DispenseFails(e.offset+cycle, reservoir, attempt) {
 			e.rep.TotalDroplets++
+			e.led.Dispense(e.offset+cycle, fluid)
 			return errormodel.Fresh(fluid, e.nfluids, 0), nil
 		}
 		e.rep.Detected++
@@ -511,6 +581,7 @@ func (e *executor) dispense(c *execCtx, fluid, cycle int, reservoir string) (err
 		}
 		e.rep.Retries++
 		e.rep.TotalDroplets++ // the malformed shot goes to waste
+		e.led.FailedShot(e.offset + cycle)
 		if err := e.spendCycles(1); err != nil {
 			return errormodel.Droplet{}, err
 		}
@@ -542,6 +613,8 @@ func (e *executor) deliver(c *execCtx, t *forest.Task, d errormodel.Droplet, cyc
 	mixer := c.mixerName(c.s.At(t).Mixer)
 	if dieAt, ok := e.inj.MixerDeadAt(mixer); ok && !e.dead[mixer] && e.offset+cycle >= dieAt {
 		// The mixer refuses the mix; its loaded droplets are unrecoverable.
+		e.led.Lose(e.offset+cycle, "droplet stranded in dead mixer "+mixer)
+		e.led.Lose(e.offset+cycle, "droplet stranded in dead mixer "+mixer)
 		return &degradeErr{mixer: mixer, cycle: cycle}
 	}
 	hi, lo, err := e.mixSplit(c, t, ins[0], ins[1], cycle, mixer)
@@ -563,6 +636,7 @@ func (e *executor) mixSplit(c *execCtx, t *forest.Task, a, b errormodel.Droplet,
 		hi, lo := errormodel.Split(merged, eps)
 		if absf(eps) <= e.pol.SensorThreshold &&
 			hi.LinfError(want) <= e.pol.CFTolerance && lo.LinfError(want) <= e.pol.CFTolerance {
+			e.led.MixSplit(e.offset+cycle, mixer, a, b, hi, lo, t.Vec)
 			return hi, lo, nil
 		}
 		e.rep.Detected++
@@ -587,6 +661,7 @@ func (e *executor) guardLoss(c *execCtx, d errormodel.Droplet, producer *forest.
 			return d, nil
 		}
 		e.rep.Detected++
+		e.led.Lose(e.offset+mv.Cycle, "droplet lost in transit "+mv.From+"->"+mv.To)
 		if attempt == e.pol.MaxRetries {
 			break
 		}
@@ -607,7 +682,7 @@ func (e *executor) guardLoss(c *execCtx, d errormodel.Droplet, producer *forest.
 // replacement regenerates a droplet of the move's exact composition:
 // parked-waste pool first, then a minimal subtree replay.
 func (e *executor) replacement(c *execCtx, producer *forest.Task, mv exec.Move) (errormodel.Droplet, error) {
-	if d, ok := e.takePool(mv.Content); ok {
+	if d, ok := e.takePool(e.offset+mv.Cycle, mv.Content); ok {
 		if err := e.recoveryMove(c, mv.Cycle, c.waste, mv.To, exec.Fetch, mv.Content); err != nil {
 			return errormodel.Droplet{}, err
 		}
@@ -623,13 +698,14 @@ func (e *executor) replacement(c *execCtx, producer *forest.Task, mv exec.Move) 
 	return d, nil
 }
 
-func (e *executor) takePool(content string) (errormodel.Droplet, bool) {
+func (e *executor) takePool(cycle int, content string) (errormodel.Droplet, bool) {
 	ds := e.pool[content]
 	if len(ds) == 0 {
 		return errormodel.Droplet{}, false
 	}
 	d := ds[len(ds)-1]
 	e.pool[content] = ds[:len(ds)-1]
+	e.led.Unpark(cycle, content)
 	return d, true
 }
 
@@ -665,7 +741,7 @@ func (e *executor) replay(c *execCtx, t *forest.Task, cycle int) (errormodel.Dro
 			ins[i] = d
 		case forest.FromTask:
 			key := src.Task.Vec.Key()
-			if d, ok := e.takePool(key); ok {
+			if d, ok := e.takePool(e.offset+cycle, key); ok {
 				if err := e.recoveryMove(c, cycle, c.waste, mixer, exec.Fetch, key); err != nil {
 					return errormodel.Droplet{}, "", err
 				}
@@ -690,6 +766,7 @@ func (e *executor) replay(c *execCtx, t *forest.Task, cycle int) (errormodel.Dro
 		return errormodel.Droplet{}, "", err
 	}
 	e.pool[t.Vec.Key()] = append(e.pool[t.Vec.Key()], lo)
+	e.led.Park(e.offset+cycle, t.Vec.Key())
 	return hi, mixer, nil
 }
 
@@ -726,6 +803,7 @@ func (e *executor) emit(c *execCtx, producer *forest.Task, d errormodel.Droplet,
 		if cfErr := d.LinfError(want); cfErr <= e.pol.CFTolerance && absf(d.Volume-1) <= e.pol.SensorThreshold {
 			e.rep.Emitted++
 			e.rep.Targets = append(e.rep.Targets, TargetReading{Cycle: e.offset + cycle, Volume: d.Volume, CFError: cfErr})
+			e.led.Emit(e.offset+cycle, producer.Vec, d)
 			return nil
 		}
 		e.rep.Detected++
@@ -733,6 +811,7 @@ func (e *executor) emit(c *execCtx, producer *forest.Task, d errormodel.Droplet,
 			break
 		}
 		e.rep.Retries++
+		e.led.Lose(e.offset+cycle, "target droplet rejected at output port")
 		if err := e.spendCycles(1); err != nil {
 			return err
 		}
@@ -760,13 +839,26 @@ func (e *executor) degrade(c *execCtx, d *degradeErr) error {
 	// Park survivors: stored droplets and unconsumed outputs re-seed replays.
 	for cell, sd := range c.cells {
 		e.pool[sd.content] = append(e.pool[sd.content], sd.d)
+		e.led.Park(e.offset+d.cycle, sd.content)
 		delete(c.cells, cell)
 	}
 	for id, outs := range c.outputs {
 		if len(outs) > 0 {
 			key := c.s.Forest.Tasks[id].Vec.Key()
 			e.pool[key] = append(e.pool[key], outs...)
+			for range outs {
+				e.led.Park(e.offset+d.cycle, key)
+			}
 		}
+	}
+	// Half-delivered inputs of other tasks are stranded on the abandoned
+	// schedule's routes; they are wasted, not parked — reusing them would
+	// change the recovery economics the golden tests pin.
+	for id, ins := range c.inbox {
+		for range ins {
+			e.led.Lose(e.offset+d.cycle, fmt.Sprintf("input of task %d abandoned by degradation", id))
+		}
+		delete(c.inbox, id)
 	}
 	remaining := c.s.Forest.Demand - (e.rep.Emitted - c.emitted)
 	if remaining <= 0 {
@@ -854,6 +946,11 @@ func (e *executor) bindChunk(order []string, base *mixgraph.Graph, demand, mixer
 				s, err := scheme.Schedule(f, mixers)
 				if err != nil {
 					return nil, err
+				}
+				// Degraded replans pass the same plan-level audit as
+				// pristine plans before they may execute.
+				if arep := audit.CheckPlan(f, s); !arep.Clean() {
+					return nil, fmt.Errorf("runtime: degraded replan: %w", arep.Err())
 				}
 				return plancache.NewPlan(f, s), nil
 			})

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
+	"repro/internal/obs"
 )
 
 // MMS schedules a mixing forest on mc mixers with M_Mixers_Schedule
@@ -90,7 +91,11 @@ type fifoQueue struct {
 
 func (q *fifoQueue) add(tasks []*forest.Task) {
 	batch := append([]*forest.Task(nil), tasks...)
-	sort.Slice(batch, func(i, j int) bool {
+	// The comparator is a total order (task IDs are unique), so the sort —
+	// stable or not — has exactly one fixed point: every queue policy in this
+	// package breaks its final tie on ID, which is what makes repeated
+	// schedules of the same forest byte-identical (TestScheduleDeterminism).
+	sort.SliceStable(batch, func(i, j int) bool {
 		if batch[i].Level != batch[j].Level {
 			return batch[i].Level < batch[j].Level
 		}
@@ -170,6 +175,14 @@ func run(f *forest.Forest, mc int, name string, q queue, firstTask int) (*Schedu
 		s.Cycles = t
 		q.add(releasedNext)
 		releasedNext = releasedNext[:0]
+	}
+	if obs.Enabled() {
+		obs.Inc("sched.schedules")
+		obs.Observe("sched.cycles", float64(s.Cycles))
+		if s.Cycles > 0 {
+			scheduled := len(f.Tasks) - firstTask
+			obs.Observe("sched.mixer_utilization", float64(scheduled)/(float64(mc)*float64(s.Cycles)))
+		}
 	}
 	return s, nil
 }

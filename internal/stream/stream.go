@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
+	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/sched"
 )
@@ -126,6 +128,13 @@ func plan(cfg Config, d int) (*plancache.Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Every plan entering the cache passes the plan-level audit first:
+		// a structurally broken forest or a storage-profile mismatch is a
+		// planner bug and must never be cached, reused, or executed.
+		if rep := audit.CheckPlan(f, s); !rep.Clean() {
+			obs.Add("audit.violations", int64(len(rep.Violations)))
+			return nil, fmt.Errorf("stream: plan audit: %w", rep.Err())
+		}
 		return plancache.NewPlan(f, s), nil
 	})
 }
@@ -230,7 +239,58 @@ func Run(cfg Config, demand int) (*Result, error) {
 		start += p.Schedule.Cycles
 		remaining -= st.Targets
 	}
+	// Cross-check the assembled multi-pass plan against the paper's closed
+	// forms (pass count, per-pass emissions, start-cycle tiling, aggregate
+	// totals) before handing it to any executor.
+	if rep := audit.CheckStreamCounts(auditCounts(res)); !rep.Clean() {
+		obs.Add("audit.violations", int64(len(rep.Violations)))
+		return nil, fmt.Errorf("stream: plan audit: %w", rep.Err())
+	}
+	obsRun(res)
 	return res, nil
+}
+
+// auditCounts projects a Result onto the audit package's count view.
+func auditCounts(r *Result) audit.StreamCounts {
+	c := audit.StreamCounts{
+		Demand:        r.Demand,
+		PerPassDemand: r.PerPassDemand,
+		Emitted:       r.Emitted,
+		TotalCycles:   r.TotalCycles,
+		TotalWaste:    r.TotalWaste,
+		TotalInputs:   r.TotalInputs,
+	}
+	for _, p := range r.Passes {
+		c.Passes = append(c.Passes, audit.PassCounts{
+			Emits:      p.Demand,
+			Cycles:     p.Schedule.Cycles,
+			Waste:      p.Waste,
+			Inputs:     p.Inputs,
+			StartCycle: p.StartCycle,
+		})
+	}
+	return c
+}
+
+// obsRun exports the plan's headline metrics and, when tracing, one
+// stream.plan event.
+func obsRun(res *Result) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Inc("stream.runs")
+	obs.Observe("stream.passes", float64(len(res.Passes)))
+	obs.Observe("stream.total_cycles", float64(res.TotalCycles))
+	obs.Emit("stream.plan", map[string]any{
+		"demand":       res.Demand,
+		"per_pass":     res.PerPassDemand,
+		"passes":       len(res.Passes),
+		"emitted":      res.Emitted,
+		"total_cycles": res.TotalCycles,
+		"total_waste":  res.TotalWaste,
+		"total_inputs": res.TotalInputs,
+		"scheduler":    res.Config.Scheduler.String(),
+	})
 }
 
 // Emissions lists (absolute cycle, droplet count) events across all passes,
