@@ -4,11 +4,12 @@ GO ?= go
 
 # Packages with new concurrency (worker pool, plan cache, parallel sweeps,
 # streaming planner, fault injector, cyberphysical runtime, the parallel
-# mixer-binding search, the transport-matrix cache and the observability
-# registry) — raced explicitly by `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit
+# mixer-binding search, the transport-matrix cache, the observability
+# registry, the synchronized engine and the HTTP serving core) — raced
+# explicitly by `make race`.
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./cmd/dmfbd
 
-.PHONY: build test race vet fmt-check bench-smoke bench-routing fuzz-smoke audit-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-serve fuzz-smoke audit-smoke serve-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -60,7 +61,20 @@ audit-smoke:
 	test -s "$$tmp/mdst.jsonl" && test -s "$$tmp/chipsim.jsonl"; \
 	echo "audit-smoke: all runs audited clean"
 
-check: build vet fmt-check test race bench-smoke fuzz-smoke audit-smoke
+# dmfbd load-test run: boots the serving core in-process, drives every
+# endpoint scenario at fixed concurrency, writes latency/throughput
+# percentiles to results/bench_serve.json (EXPERIMENTS §E9).
+bench-serve:
+	$(GO) run ./cmd/benchserve -out results/bench_serve.json
+
+# Serving smoke: boot dmfbd on an ephemeral port, hit every endpoint, then
+# SIGTERM and assert a clean graceful drain — exactly the cmd-level
+# integration test, run with the race detector on.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmokeAndDrain' ./cmd/dmfbd
+	@echo "serve-smoke: boot, all endpoints, graceful drain OK"
+
+check: build vet fmt-check test race bench-smoke fuzz-smoke audit-smoke serve-smoke
 
 clean:
 	$(GO) clean

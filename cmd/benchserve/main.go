@@ -1,0 +1,195 @@
+// Command benchserve load-tests the dmfbd serving core in-process: it boots
+// the internal/server handler on a loopback listener, drives each scenario
+// at a fixed concurrency, and writes latency/throughput percentiles to a
+// JSON record (results/bench_serve.json; see EXPERIMENTS.md §E9).
+//
+// Scenarios:
+//
+//	plan-hot   identical stateless /v1/plan requests — the single-flight +
+//	           plan-cache fast path (what a dashboard hammering one assay
+//	           sees)
+//	plan-cold  distinct (ratio, demand) pairs — uncached planning
+//	stream     storage-limited multi-pass /v1/stream plans
+//	execute    small /v1/execute cyberphysical runs, zero fault rate
+//	session    session-routed plans extending shared timelines
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+type scenarioResult struct {
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Errors      int     `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	RPS         float64 `json:"rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+type record struct {
+	Generated   string                    `json:"generated"`
+	MaxInFlight int                       `json:"max_inflight"`
+	Scenarios   map[string]scenarioResult `json:"scenarios"`
+	Counters    map[string]int64          `json:"obs_counters"`
+}
+
+func main() {
+	var (
+		requests    = flag.Int("requests", 2000, "requests per scenario")
+		concurrency = flag.Int("concurrency", 64, "concurrent clients per scenario")
+		maxInflight = flag.Int("max-inflight", 64, "server admission slots")
+		out         = flag.String("out", "results/bench_serve.json", "output JSON path")
+	)
+	flag.Parse()
+
+	obs.Enable(obs.Options{})
+	defer obs.Disable()
+
+	srv := server.New(server.Config{
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *requests, // the bench supplies its own backpressure
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	ratios := []string{"1:1", "1:3", "1:7", "3:5:8", "2:1:1:1:1:1:9", "7:9", "1:2:5", "5:11", "9:23", "3:13"}
+	scenarios := []struct {
+		name string
+		body func(i int) (path string, payload map[string]any)
+	}{
+		{"plan-hot", func(i int) (string, map[string]any) {
+			return "/v1/plan", map[string]any{"ratio": "2:1:1:1:1:1:9", "demand": 20, "scheduler": "SRS"}
+		}},
+		{"plan-cold", func(i int) (string, map[string]any) {
+			return "/v1/plan", map[string]any{"ratio": ratios[i%len(ratios)], "demand": 2 + 2*(i%50)}
+		}},
+		{"stream", func(i int) (string, map[string]any) {
+			return "/v1/stream", map[string]any{"ratio": ratios[i%len(ratios)], "demand": 16, "storage": 4, "scheduler": "SRS"}
+		}},
+		{"execute", func(i int) (string, map[string]any) {
+			return "/v1/execute", map[string]any{"ratio": ratios[i%len(ratios)], "demand": 2}
+		}},
+		{"plan-heavy", func(i int) (string, map[string]any) {
+			// One expensive storage-limited plan requested by everyone at
+			// once: the first client leads, concurrent duplicates coalesce
+			// onto its flight, stragglers hit the plan cache.
+			return "/v1/plan", map[string]any{"ratio": "2:1:1:1:1:1:9", "demand": 600, "storage": 4, "scheduler": "SRS"}
+		}},
+		{"session", func(i int) (string, map[string]any) {
+			// The session pins its configuration, so the ratio must be a
+			// function of the session name.
+			j := i % 16
+			return "/v1/plan", map[string]any{"ratio": ratios[j%len(ratios)], "demand": 4,
+				"session": fmt.Sprintf("bench-%d", j)}
+		}},
+	}
+
+	rec := record{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		MaxInFlight: *maxInflight,
+		Scenarios:   map[string]scenarioResult{},
+		Counters:    map[string]int64{},
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency}}
+	for _, sc := range scenarios {
+		res := drive(client, base, *requests, *concurrency, sc.body)
+		rec.Scenarios[sc.name] = res
+		fmt.Printf("%-10s %6d req @ %3d conc: %8.1f req/s  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  (%d errors)\n",
+			sc.name, res.Requests, res.Concurrency, res.RPS, res.P50Ms, res.P90Ms, res.P99Ms, res.Errors)
+		if res.Errors > 0 {
+			log.Fatalf("scenario %s had %d errors", sc.name, res.Errors)
+		}
+	}
+	for _, c := range []string{"server.requests", "server.flights.coalesced", "plancache.hits",
+		"plancache.misses", "server.sessions.created", "server.admission.queued"} {
+		rec.Counters[c] = obs.Counter(c)
+	}
+
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	buf, _ := json.MarshalIndent(rec, "", "  ")
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// drive fires n requests at the given concurrency and aggregates latency.
+func drive(client *http.Client, base string, n, concurrency int, body func(int) (string, map[string]any)) scenarioResult {
+	lat := make([]float64, n)
+	var errors atomic.Int32
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				path, payload := body(i)
+				buf, _ := json.Marshal(payload)
+				t0 := time.Now()
+				resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+				}
+				lat[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(n-1))
+		return lat[idx]
+	}
+	return scenarioResult{
+		Requests:    n,
+		Concurrency: concurrency,
+		Errors:      int(errors.Load()),
+		Seconds:     elapsed,
+		RPS:         float64(n) / elapsed,
+		P50Ms:       pct(0.50),
+		P90Ms:       pct(0.90),
+		P99Ms:       pct(0.99),
+		MaxMs:       lat[n-1],
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,29 +26,38 @@ import (
 	"repro/internal/pins"
 )
 
-func main() {
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain is the whole CLI minus process exit: it parses args on its own
+// FlagSet and returns the exit status (0 ok, 1 runtime error, 2 usage), so
+// tests can pin the exit-code and tracefile-atomicity contracts in-process.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chipsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		demand     = flag.Int("demand", 20, "number of target droplets")
-		schedStr   = flag.String("sched", "SRS", "forest scheduler: MMS or SRS")
-		optimize   = flag.Bool("optimize", false, "optimize module placement for the traffic")
-		moves      = flag.Bool("moves", false, "print every droplet movement")
-		heatmap    = flag.Bool("heatmap", false, "replay the plan and print per-electrode wear")
-		routing    = flag.Bool("route", false, "route all droplets concurrently under fluidic constraints")
-		pinsFlag   = flag.Bool("pins", false, "derive a broadcast pin assignment from the routed plan")
-		contamFlag = flag.Bool("contam", false, "report cross-contamination exposure of the routed plan")
-		trace      = flag.Int("trace", 0, "animate the first N moves step by step")
-		faultRate  = flag.Float64("faults", 0, "execute cyberphysically with this per-event fault rate (0 disables)")
-		seed       = flag.Int64("seed", 1, "fault-injection seed")
-		deadMixer  = flag.String("deadmixer", "", "script a mixer death as NAME:CYCLE (e.g. M3:2); implies cyberphysical execution")
-		budget     = flag.Int("budget", 0, "per-run recovery budget in extra cycles (0 = unbounded)")
-		tracePath  = flag.String("tracefile", "", "write a JSONL structured event trace to this file")
-		metrics    = flag.Bool("metrics", false, "dump the metrics registry to stderr on exit")
+		demand     = fs.Int("demand", 20, "number of target droplets")
+		schedStr   = fs.String("sched", "SRS", "forest scheduler: MMS or SRS")
+		optimize   = fs.Bool("optimize", false, "optimize module placement for the traffic")
+		moves      = fs.Bool("moves", false, "print every droplet movement")
+		heatmap    = fs.Bool("heatmap", false, "replay the plan and print per-electrode wear")
+		routing    = fs.Bool("route", false, "route all droplets concurrently under fluidic constraints")
+		pinsFlag   = fs.Bool("pins", false, "derive a broadcast pin assignment from the routed plan")
+		contamFlag = fs.Bool("contam", false, "report cross-contamination exposure of the routed plan")
+		trace      = fs.Int("trace", 0, "animate the first N moves step by step")
+		faultRate  = fs.Float64("faults", 0, "execute cyberphysically with this per-event fault rate (0 disables)")
+		seed       = fs.Int64("seed", 1, "fault-injection seed")
+		deadMixer  = fs.String("deadmixer", "", "script a mixer death as NAME:CYCLE (e.g. M3:2); implies cyberphysical execution")
+		budget     = fs.Int("budget", 0, "per-run recovery budget in extra cycles (0 = unbounded)")
+		tracePath  = fs.String("tracefile", "", "write a JSONL structured event trace to this file")
+		metrics    = fs.Bool("metrics", false, "dump the metrics registry to stderr on exit")
 	)
-	flag.Parse()
-	finish, err := obs.EnableCLI(*tracePath, *metrics, os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	finish, err := obs.EnableCLI(*tracePath, *metrics, stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chipsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "chipsim:", err)
+		return 1
 	}
 	err = run(*demand, *schedStr, *optimize, *moves, *heatmap, *routing, *pinsFlag, *contamFlag, *trace,
 		*faultRate, *seed, *deadMixer, *budget)
@@ -55,9 +65,10 @@ func main() {
 		err = ferr
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "chipsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "chipsim:", err)
+		return 1
 	}
+	return 0
 }
 
 // runFaults executes the schedule cycle-by-cycle under fault injection and

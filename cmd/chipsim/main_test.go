@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quiet routes the CLI's stdout chatter into /dev/null for the duration of a
+// test so exit-code assertions do not drown the test log.
+func quiet(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+// TestExitCodes pins the CLI exit-status contract: 0 on success, 1 on any
+// runtime error (bad scheduler, unwritable tracefile), 2 on flag misuse.
+func TestExitCodes(t *testing.T) {
+	quiet(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{"-demand", "4"}, 0},
+		{"bad scheduler", []string{"-sched", "NOPE"}, 1},
+		{"bad deadmixer spec", []string{"-demand", "4", "-deadmixer", "M3"}, 1},
+		{"unwritable tracefile", []string{"-demand", "4", "-tracefile", filepath.Join(t.TempDir(), "no", "dir", "t.jsonl")}, 1},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"malformed int flag", []string{"-demand", "many"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			if got := cliMain(tc.args, &stderr); got != tc.want {
+				t.Fatalf("cliMain(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+// TestTracefileCommittedAtomically runs the CLI with -tracefile and asserts
+// the atomic-write protocol end to end: exit 0, a complete JSONL trace under
+// the requested name, and no temp debris in the directory.
+func TestTracefileCommittedAtomically(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var stderr strings.Builder
+	if got := cliMain([]string{"-demand", "4", "-tracefile", path}, &stderr); got != 0 {
+		t.Fatalf("cliMain = %d (stderr: %s)", got, stderr.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("tracefile not committed: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp debris left next to tracefile: %s", e.Name())
+		}
+	}
+}
+
+// TestTracefileNotPublishedOnBadRun: when the run itself fails after the
+// trace was requested, the exit status is 1 and the directory holds either a
+// complete committed trace or nothing — never a *.tmp leftover.
+func TestTracefileNotPublishedOnBadRun(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var stderr strings.Builder
+	if got := cliMain([]string{"-sched", "NOPE", "-tracefile", path}, &stderr); got != 1 {
+		t.Fatalf("cliMain = %d, want 1 (stderr: %s)", got, stderr.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("failed run leaked temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCLIExitCodes pins dilute's exit-status contract: 0 on success, 1 on
+// any runtime error, 2 on flag misuse, with a stderr diagnostic on failure.
+func TestCLIExitCodes(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok by numerator", []string{"-num", "3", "-depth", "4", "-demand", "4"}, 0},
+		{"no target given", []string{}, 1},
+		{"cf out of range", []string{"-cf", "1.5"}, 1},
+		{"bad scheduler", []string{"-num", "3", "-sched", "NOPE"}, 1},
+		{"unknown flag", []string{"-nope"}, 2},
+		{"malformed float flag", []string{"-cf", "lots"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			got := cliMain(tc.args, &stderr)
+			if got != tc.want {
+				t.Fatalf("cliMain(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.want != 0 && stderr.Len() == 0 {
+				t.Fatalf("cliMain(%v) failed silently", tc.args)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	dmfb "repro"
@@ -18,21 +19,31 @@ import (
 	"repro/internal/gradient"
 )
 
-func main() {
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain is the whole CLI minus process exit: it parses args on its own
+// FlagSet and returns the exit status (0 ok, 1 runtime error, 2 usage), so
+// tests can pin the exit-code contract without spawning a subprocess.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dilute", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cf      = flag.Float64("cf", 0, "desired concentration in (0,1); rounded to c/2^depth")
-		num     = flag.Int64("num", 0, "CF numerator c (alternative to -cf)")
-		depth   = flag.Int("depth", 4, "accuracy level d")
-		demand  = flag.Int("demand", 16, "number of droplets")
-		sched   = flag.String("sched", "MMS", "scheduler: MMS or SRS")
-		storage = flag.Int("storage", 0, "storage units (0 = unlimited)")
-		series  = flag.Int("gradient", 0, "plan a 2-fold serial gradient of N concentrations instead")
+		cf      = fs.Float64("cf", 0, "desired concentration in (0,1); rounded to c/2^depth")
+		num     = fs.Int64("num", 0, "CF numerator c (alternative to -cf)")
+		depth   = fs.Int("depth", 4, "accuracy level d")
+		demand  = fs.Int("demand", 16, "number of droplets")
+		sched   = fs.String("sched", "MMS", "scheduler: MMS or SRS")
+		storage = fs.Int("storage", 0, "storage units (0 = unlimited)")
+		series  = fs.Int("gradient", 0, "plan a 2-fold serial gradient of N concentrations instead")
 	)
-	flag.Parse()
-	if err := run(*cf, *num, *depth, *demand, *sched, *storage, *series); err != nil {
-		fmt.Fprintln(os.Stderr, "dilute:", err)
-		os.Exit(1)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if err := run(*cf, *num, *depth, *demand, *sched, *storage, *series); err != nil {
+		fmt.Fprintln(stderr, "dilute:", err)
+		return 1
+	}
+	return 0
 }
 
 func run(cf float64, num int64, depth, demand int, schedName string, storage, series int) error {

@@ -1,0 +1,132 @@
+// Command dmfbd serves the demand-driven mixture-preparation stack over
+// HTTP/JSON: POST /v1/plan, /v1/stream and /v1/execute answer (ratio,
+// demand) requests with MMS/SRS pass plans, emission timelines and
+// cyberphysical runs; GET /healthz and /metrics expose liveness and the
+// observability registry.
+//
+// Usage:
+//
+//	dmfbd -addr :8077
+//	dmfbd -addr :8077 -max-inflight 128 -queue 512 -timeout 10s
+//	dmfbd -addr :8077 -tracefile server.jsonl -metrics
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// in-flight requests finish (bounded by -drain-grace), and the obs trace
+// and metrics are flushed before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr, nil)) }
+
+// cliMain is the whole daemon minus process exit. If ready is non-nil it
+// receives the bound listen address once the server is accepting (tests use
+// it to avoid port races); the daemon then runs until SIGINT/SIGTERM.
+func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("dmfbd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8077", "listen address")
+		maxInfl    = fs.Int("max-inflight", 64, "requests planned/executed concurrently")
+		queue      = fs.Int("queue", 256, "requests allowed to wait for a slot before 429")
+		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request planning deadline")
+		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "upper clamp on client timeout_ms")
+		sessions   = fs.Int("sessions", 128, "session-pool capacity (LRU beyond it)")
+		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		tracePath  = fs.String("tracefile", "", "write a JSONL structured event trace to this file")
+		metrics    = fs.Bool("metrics", false, "dump the metrics registry to stderr on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// The daemon always runs with observability on so /metrics has data.
+	// EnableCLI additionally wires the atomic trace file and the exit-time
+	// metrics dump when requested; without either flag we enable the bare
+	// registry ourselves (EnableCLI would be a no-op).
+	var finish func() error
+	if *tracePath == "" && !*metrics {
+		obs.Enable(obs.Options{})
+		finish = func() error { obs.Disable(); return nil }
+	} else {
+		var err error
+		finish, err = obs.EnableCLI(*tracePath, *metrics, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "dmfbd:", err)
+			return 1
+		}
+	}
+
+	srv := server.New(server.Config{
+		MaxInFlight:    *maxInfl,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Sessions:       *sessions,
+	})
+	err := serve(*addr, srv, *drainGrace, stderr, ready)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "dmfbd:", err)
+		return 1
+	}
+	return 0
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains.
+func serve(addr string, srv *server.Server, grace time.Duration, stderr io.Writer, ready chan<- string) error {
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "dmfbd: serving on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stderr, "dmfbd: draining...")
+	dctx, cancelD := context.WithTimeout(context.Background(), grace)
+	defer cancelD()
+	// Stop accepting and unblock Serve first, then wait for the admitted
+	// requests the server still owns.
+	serr := hs.Shutdown(dctx)
+	derr := srv.Drain(dctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	if derr != nil {
+		return derr
+	}
+	if serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	fmt.Fprintln(stderr, "dmfbd: drained")
+	return nil
+}

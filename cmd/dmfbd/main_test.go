@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmokeAndDrain boots the daemon in-process on an ephemeral port,
+// exercises every endpoint, then delivers SIGTERM and asserts a clean
+// (exit 0) graceful drain.
+func TestServeSmokeAndDrain(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stderr bytes.Buffer
+	go func() {
+		done <- cliMain([]string{"-addr", "127.0.0.1:0", "-drain-grace", "10s"}, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("daemon exited early with %d: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	// Health first: the daemon is live.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// One request per /v1 endpoint.
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/plan", `{"ratio":"2:1:1:1:1:1:9","demand":8,"scheduler":"SRS"}`},
+		{"/v1/stream", `{"ratio":"2:1:1:1:1:1:9","demand":8,"storage":4,"scheduler":"SRS"}`},
+		{"/v1/execute", `{"ratio":"1:3","demand":2}`},
+	} {
+		resp, err := http.Post(base+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", tc.path, err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode %s: %v", tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s = %d: %v", tc.path, resp.StatusCode, out)
+		}
+		if em, ok := out["emitted"].(float64); !ok || em < 2 {
+			t.Errorf("POST %s: emitted = %v", tc.path, out["emitted"])
+		}
+	}
+
+	// The metrics endpoint reflects the traffic.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbody bytes.Buffer
+	mbody.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(mbody.String(), "server.requests 3") {
+		t.Errorf("metrics missing request count:\n%s", mbody.String())
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d after SIGTERM: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("drain not logged: %s", stderr.String())
+	}
+}
+
+// TestBadFlagsExitCode pins the usage exit status.
+func TestBadFlagsExitCode(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := cliMain([]string{"-definitely-not-a-flag"}, &stderr, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestBadAddrExitCode pins the runtime-error exit status.
+func TestBadAddrExitCode(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := cliMain([]string{"-addr", "256.256.256.256:99999"}, &stderr, nil); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "dmfbd:") {
+		t.Errorf("error not reported: %q", stderr.String())
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIExitCodes pins mdst's exit-status contract: 0 on success, 1 on any
+// runtime error (malformed ratio, unwritable trace destination), 2 on flag
+// misuse. Every failure must also leave a diagnostic on stderr.
+func TestCLIExitCodes(t *testing.T) {
+	// Silence the success case's plan dump.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{"-ratio", "3:1", "-demand", "4"}, 0},
+		{"bad ratio", []string{"-ratio", "spam"}, 1},
+		{"ratio sum not pow2", []string{"-ratio", "1:2"}, 1},
+		{"bad scheduler", []string{"-ratio", "3:1", "-sched", "NOPE"}, 1},
+		{"unwritable trace", []string{"-ratio", "3:1", "-demand", "4", "-trace", filepath.Join(t.TempDir(), "no", "dir", "t.jsonl")}, 1},
+		{"unknown flag", []string{"-nope"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			got := cliMain(tc.args, &stderr)
+			if got != tc.want {
+				t.Fatalf("cliMain(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.want != 0 && stderr.Len() == 0 {
+				t.Fatalf("cliMain(%v) failed silently", tc.args)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	dmfb "repro"
@@ -19,36 +20,46 @@ import (
 	"repro/internal/report"
 )
 
-func main() {
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain is the whole CLI minus process exit: it parses args on its own
+// FlagSet and returns the exit status (0 ok, 1 runtime error, 2 usage), so
+// tests can pin the exit-code contract without spawning a subprocess.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdst", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		ratioStr   = flag.String("ratio", "2:1:1:1:1:1:9", "target ratio a1:a2:...:aN (sum must be a power of two)")
-		demand     = flag.Int("demand", 20, "number of target droplets D")
-		mixers     = flag.Int("mixers", 0, "on-chip mixers Mc (0 = Mlb of the MM tree)")
-		storage    = flag.Int("storage", 0, "on-chip storage units q' (0 = unlimited)")
-		algName    = flag.String("alg", "MM", "base mixing algorithm: MM, RMA or MTCS")
-		schedName  = flag.String("sched", "MMS", "forest scheduler: MMS or SRS")
-		showTree   = flag.Bool("tree", false, "print the base mixing tree")
-		showForest = flag.Bool("forest", false, "print the mixing forest")
-		baseline   = flag.Bool("baseline", false, "compare against the repeated baseline")
-		jsonOut    = flag.Bool("json", false, "emit the plan as JSON instead of text")
-		reportOut  = flag.Bool("report", false, "emit a full markdown dossier (plan + chip analysis)")
-		tracePath  = flag.String("trace", "", "write a JSONL structured event trace to this file")
-		metrics    = flag.Bool("metrics", false, "dump the metrics registry to stderr on exit")
+		ratioStr   = fs.String("ratio", "2:1:1:1:1:1:9", "target ratio a1:a2:...:aN (sum must be a power of two)")
+		demand     = fs.Int("demand", 20, "number of target droplets D")
+		mixers     = fs.Int("mixers", 0, "on-chip mixers Mc (0 = Mlb of the MM tree)")
+		storage    = fs.Int("storage", 0, "on-chip storage units q' (0 = unlimited)")
+		algName    = fs.String("alg", "MM", "base mixing algorithm: MM, RMA or MTCS")
+		schedName  = fs.String("sched", "MMS", "forest scheduler: MMS or SRS")
+		showTree   = fs.Bool("tree", false, "print the base mixing tree")
+		showForest = fs.Bool("forest", false, "print the mixing forest")
+		baseline   = fs.Bool("baseline", false, "compare against the repeated baseline")
+		jsonOut    = fs.Bool("json", false, "emit the plan as JSON instead of text")
+		reportOut  = fs.Bool("report", false, "emit a full markdown dossier (plan + chip analysis)")
+		tracePath  = fs.String("trace", "", "write a JSONL structured event trace to this file")
+		metrics    = fs.Bool("metrics", false, "dump the metrics registry to stderr on exit")
 	)
-	flag.Parse()
-	finish, err := obs.EnableCLI(*tracePath, *metrics, os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	finish, err := obs.EnableCLI(*tracePath, *metrics, stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdst:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mdst:", err)
+		return 1
 	}
 	err = run(*ratioStr, *demand, *mixers, *storage, *algName, *schedName, *showTree, *showForest, *baseline, *jsonOut, *reportOut)
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdst:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mdst:", err)
+		return 1
 	}
+	return 0
 }
 
 func run(ratioStr string, demand, mixers, storage int, algName, schedName string, showTree, showForest, baseline, jsonOut, reportOut bool) error {

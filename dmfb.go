@@ -34,6 +34,7 @@ package dmfb
 import (
 	"repro/internal/assay"
 	"repro/internal/audit"
+	"repro/internal/cancel"
 	"repro/internal/chip"
 	"repro/internal/contam"
 	"repro/internal/core"
@@ -165,6 +166,16 @@ type StreamResult = stream.Result
 // Stream plans `demand` droplets under chip-resource constraints (Table 4).
 var Stream = stream.Run
 
+// StreamCtx is Stream with cooperative cancellation: a done context abandons
+// the plan at the next pass boundary with an error wrapping ErrCanceled.
+var StreamCtx = stream.RunCtx
+
+// ErrCanceled is wrapped by every context-aware entry point (StreamCtx,
+// RunWithFaultsCtx, ExecuteOptimizedCtx, Engine.RequestCtx, ...) when the
+// caller's context is done; match with errors.Is. The original context cause
+// (context.Canceled or context.DeadlineExceeded) is preserved in the chain.
+var ErrCanceled = cancel.ErrCanceled
+
 // Baseline plans the repeated-baseline engine (RMM / RRMA / RMTCS).
 var Baseline = core.Baseline
 
@@ -224,6 +235,9 @@ var (
 	// ExecuteOptimized additionally searches over mixer bindings
 	// (branch-and-bound with parallel first-level branches).
 	ExecuteOptimized = exec.ExecuteOptimized
+	// ExecuteOptimizedCtx is ExecuteOptimized with cooperative cancellation
+	// checked at every branch of the binding search.
+	ExecuteOptimizedCtx = exec.ExecuteOptimizedCtx
 	// OptimizePlacement improves a floorplan for a traffic matrix by
 	// incremental simulated annealing (one matrix evaluation per search).
 	OptimizePlacement = chip.OptimizePlacement
@@ -260,8 +274,14 @@ var (
 	FaultRate = faults.Rate
 	// RunWithFaults executes one schedule on a layout under fault injection.
 	RunWithFaults = runtime.Run
+	// RunWithFaultsCtx is RunWithFaults with cooperative cancellation at
+	// every cycle boundary; the partial report is still returned.
+	RunWithFaultsCtx = runtime.RunCtx
 	// RunStreamWithFaults executes every pass of a multi-pass stream plan.
 	RunStreamWithFaults = runtime.RunStream
+	// RunStreamWithFaultsCtx is RunStreamWithFaults with cooperative
+	// cancellation at every pass and cycle boundary.
+	RunStreamWithFaultsCtx = runtime.RunStreamCtx
 	// ErrUnrecoverable is wrapped by every recovery dead-end the runtime
 	// returns; match with errors.Is.
 	ErrUnrecoverable = runtime.ErrUnrecoverable

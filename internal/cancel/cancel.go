@@ -1,0 +1,38 @@
+// Package cancel defines the stack-wide typed cancellation error and the
+// cheap check the planning and execution kernels call at their loop
+// boundaries (stream passes, runtime cycles, branch-and-bound branches).
+//
+// Every context-aware entry point in the stack (stream.RunCtx,
+// runtime.RunCtx/RunStreamCtx, exec.ExecuteOptimizedCtx,
+// core.Engine.RequestCtx) reports an expired or canceled context as an error
+// wrapping both ErrCanceled and the context's own cause, so callers can
+// test either errors.Is(err, cancel.ErrCanceled) — "the engine gave up
+// because the caller asked it to" — or errors.Is(err, context.
+// DeadlineExceeded) — "specifically, the deadline passed".
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that an operation was abandoned because its context
+// was canceled or its deadline expired. It always wraps the context's own
+// error, so errors.Is works against context.Canceled and
+// context.DeadlineExceeded too.
+var ErrCanceled = errors.New("canceled")
+
+// Check returns nil while ctx is live, and a typed error wrapping both
+// ErrCanceled and ctx.Err() once it is done. It is the cancellation point
+// the kernels call at cycle/branch boundaries; the live-path cost is one
+// ctx.Err() call.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}

@@ -7,8 +7,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/chip"
 	"repro/internal/faults"
@@ -125,10 +127,21 @@ type Config struct {
 // Engine is a demand-driven droplet-streaming engine. Each Request plans the
 // emission of additional target droplets, continuing on the engine's
 // timeline; the engine never re-plans droplets it has already promised.
+//
+// Engines are safe for concurrent use: the timeline state (elapsed, emitted,
+// batches, the persistent-pool builder) is guarded by an internal mutex, so
+// N goroutines hammering one engine serialize their Requests — each batch
+// still gets a consistent StartCycle and the timeline never tears. Requests
+// are serialized whole (plan included), preserving the engine's promise
+// that batches land on the timeline in Request order.
 type Engine struct {
-	cfg     Config
-	base    *mixgraph.Graph
-	mixers  int
+	cfg    Config
+	base   *mixgraph.Graph
+	mixers int
+
+	// mu guards every field below. cfg, base and mixers are immutable after
+	// New and readable without it.
+	mu      sync.Mutex
 	elapsed int
 	emitted int
 	batches []*Batch
@@ -192,25 +205,48 @@ func (e *Engine) Base() *mixgraph.Graph { return e.base }
 func (e *Engine) Mixers() int { return e.mixers }
 
 // Emitted returns the number of target droplets planned so far.
-func (e *Engine) Emitted() int { return e.emitted }
+func (e *Engine) Emitted() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.emitted
+}
 
 // Elapsed returns the engine cycles consumed by the plans so far.
-func (e *Engine) Elapsed() int { return e.elapsed }
+func (e *Engine) Elapsed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.elapsed
+}
 
-// Batches returns the plans produced by previous Requests.
-func (e *Engine) Batches() []*Batch { return e.batches }
+// Batches returns a snapshot of the plans produced by previous Requests.
+func (e *Engine) Batches() []*Batch {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Batch(nil), e.batches...)
+}
 
 // Request plans the emission of n further target droplets and appends the
-// batch to the engine timeline.
+// batch to the engine timeline. It is RequestCtx with a background context.
 func (e *Engine) Request(n int) (*Batch, error) {
+	return e.RequestCtx(context.Background(), n)
+}
+
+// RequestCtx plans the emission of n further target droplets under ctx and
+// appends the batch to the engine timeline. A canceled or expired context
+// abandons the plan (error wrapping cancel.ErrCanceled) without mutating the
+// timeline. Concurrent Requests serialize on the engine's mutex; each holds
+// it for the whole plan so the timeline order equals the request order.
+func (e *Engine) RequestCtx(ctx context.Context, n int) (*Batch, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: %w: %d", forest.ErrBadDemand, n)
 	}
 	obs.Inc("core.requests")
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.cfg.PersistPool {
 		return e.requestPersistent(n)
 	}
-	res, err := stream.Run(stream.Config{
+	res, err := stream.RunCtx(ctx, stream.Config{
 		Base:           e.base,
 		Mixers:         e.mixers,
 		Storage:        e.cfg.Storage,
@@ -247,13 +283,23 @@ func (e *Engine) Request(n int) (*Batch, error) {
 // scheduled as increments of one shared growing forest, which the
 // cyberphysical replay cannot isolate.
 func (e *Engine) ExecuteBatch(b *Batch, l *chip.Layout, inj *faults.Injector, pol runtime.Policy) (*runtime.Report, error) {
+	return e.ExecuteBatchCtx(context.Background(), b, l, inj, pol)
+}
+
+// ExecuteBatchCtx is the context-aware form of ExecuteBatch: the
+// cyberphysical replay checks ctx at every cycle boundary and a canceled run
+// returns its partial report with an error wrapping cancel.ErrCanceled.
+// Execution reads only immutable engine configuration and the caller's
+// batch, so it runs outside the engine mutex: a long chip-level run never
+// blocks concurrent planning Requests.
+func (e *Engine) ExecuteBatchCtx(ctx context.Context, b *Batch, l *chip.Layout, inj *faults.Injector, pol runtime.Policy) (*runtime.Report, error) {
 	if e.cfg.PersistPool {
 		return nil, fmt.Errorf("%w: persistent-pool batches cannot be executed cyberphysically", ErrBadConfig)
 	}
 	if b == nil || b.Result == nil {
 		return nil, fmt.Errorf("%w: nil batch", ErrBadConfig)
 	}
-	return runtime.RunStream(b.Result, l, inj, pol)
+	return runtime.RunStreamCtx(ctx, b.Result, l, inj, pol)
 }
 
 // PrewarmLayout eagerly builds and caches the dense transport-cost matrix of
@@ -269,6 +315,8 @@ func PrewarmLayout(l *chip.Layout) error {
 // Emissions returns all emission events planned so far, on the engine's
 // absolute timeline.
 func (e *Engine) Emissions() []stream.Emission {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var out []stream.Emission
 	for _, b := range e.batches {
 		for _, em := range b.Result.Emissions() {

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPersistentEmissionsAfterGrowth is the single-threaded regression for
+// the window-aliasing bug: persistent-pool batches share one live growing
+// forest, so after a second Request the first batch's Result aliases a
+// forest with MORE trees than its schedule has slots. Emissions()/
+// FirstEmission() used to index those later roots into the older schedule
+// and panic (or misattribute emissions across batches); they must report
+// exactly the batch's own window.
+func TestPersistentEmissionsAfterGrowth(t *testing.T) {
+	e, err := New(Config{Target: pcr, PersistPool: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b1, err := e.Request(4)
+	if err != nil {
+		t.Fatalf("Request 1: %v", err)
+	}
+	if _, err := e.Request(6); err != nil {
+		t.Fatalf("Request 2: %v", err)
+	}
+
+	// b1 still answers for its own window only.
+	var n1 int
+	for _, em := range b1.Result.Emissions() {
+		n1 += em.Count
+	}
+	if n1 != b1.Result.Emitted {
+		t.Fatalf("batch 1 emissions total %d, want %d", n1, b1.Result.Emitted)
+	}
+	if fe := b1.Result.FirstEmission(); fe < 1 || fe > b1.Result.TotalCycles {
+		t.Fatalf("batch 1 first emission at cycle %d, outside its %d-cycle plan", fe, b1.Result.TotalCycles)
+	}
+
+	// The engine-level view across both batches is complete and consistent.
+	var total int
+	for _, em := range e.Emissions() {
+		total += em.Count
+	}
+	if want := e.Emitted(); total != want {
+		t.Fatalf("engine emissions total %d, want %d", total, want)
+	}
+}

@@ -26,6 +26,8 @@ import (
 var ErrPersistStorage = errors.New("core: persistent batch exceeds the storage budget")
 
 // requestPersistent plans n more droplets on the engine's growing forest.
+// Callers hold e.mu: the builder, the timeline counters and the batch list
+// are all mutated here.
 func (e *Engine) requestPersistent(n int) (*Batch, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: %w: %d", forest.ErrBadDemand, n)
@@ -101,6 +103,8 @@ func (e *Engine) requestPersistent(n int) (*Batch, error) {
 // PoolSize returns the number of spare droplets currently waiting in the
 // persistent pool (0 when PersistPool is off or nothing has run yet).
 func (e *Engine) PoolSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.builder == nil {
 		return 0
 	}
@@ -108,8 +112,11 @@ func (e *Engine) PoolSize() int {
 }
 
 // Forest returns the engine's growing forest in persistent mode (nil
-// otherwise). The returned forest keeps growing with further Requests.
+// otherwise). The returned forest keeps growing with further Requests;
+// concurrent readers must not hold it across another goroutine's Request.
 func (e *Engine) Forest() *forest.Forest {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.builder == nil {
 		return nil
 	}

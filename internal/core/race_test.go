@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/ratio"
+	"repro/internal/stream"
+)
+
+// TestEngineConcurrentRequestsRace is the regression test for the engine's
+// latent data race: Request/requestPersistent mutated emitted, elapsed and
+// batches (and the persistent builder) with no synchronization, safe only by
+// single-goroutine convention. With the internal mutex, N goroutines
+// hammering one engine must produce a torn-free timeline: run it under
+// `go test -race ./internal/core` (make race includes the package).
+func TestEngineConcurrentRequestsRace(t *testing.T) {
+	for _, persist := range []bool{false, true} {
+		name := "streaming"
+		if persist {
+			name = "persistent-pool"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, err := New(Config{
+				Target:      ratio.MustParse("2:1:1:1:1:1:9"),
+				Scheduler:   stream.SRS,
+				PersistPool: persist,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 16
+			const perG = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						if _, err := e.Request(2 + 2*(g%3)); err != nil {
+							errs <- err
+							return
+						}
+						// Interleave the read-side accessors: they race with
+						// the writers unless they share the mutex.
+						_ = e.Emitted()
+						_ = e.Elapsed()
+						_ = e.Emissions()
+						_ = e.PoolSize()
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			batches := e.Batches()
+			if len(batches) != goroutines*perG {
+				t.Fatalf("recorded %d batches, want %d", len(batches), goroutines*perG)
+			}
+			// The timeline must tile exactly: sorting batches by StartCycle,
+			// each batch starts right after its predecessor ends, and the
+			// aggregate counters match the per-batch sums.
+			sort.Slice(batches, func(i, j int) bool { return batches[i].StartCycle < batches[j].StartCycle })
+			next, emitted := 1, 0
+			for i, b := range batches {
+				if b.StartCycle != next {
+					t.Fatalf("batch %d starts at cycle %d, want %d (torn timeline)", i, b.StartCycle, next)
+				}
+				next += b.Result.TotalCycles
+				emitted += b.Result.Emitted
+			}
+			if got := e.Elapsed(); got != next-1 {
+				t.Fatalf("Elapsed() = %d, want %d", got, next-1)
+			}
+			if got := e.Emitted(); got != emitted {
+				t.Fatalf("Emitted() = %d, want %d", got, emitted)
+			}
+		})
+	}
+}

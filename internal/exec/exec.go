@@ -15,10 +15,12 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/chip"
 	"repro/internal/forest"
 	"repro/internal/obs"
@@ -148,6 +150,14 @@ func Execute(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
 // logical mixer 1) run in parallel via internal/parallel, each with a
 // private incumbent, and merge deterministically in branch order.
 func ExecuteOptimized(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
+	return ExecuteOptimizedCtx(context.Background(), s, l)
+}
+
+// ExecuteOptimizedCtx is the context-aware binding search: cancellation is
+// checked at every branch boundary of the branch-and-bound (each partial-
+// binding expansion), so a server can abandon an expensive search within one
+// branch. An abandoned search returns an error wrapping cancel.ErrCanceled.
+func ExecuteOptimizedCtx(ctx context.Context, s *sched.Schedule, l *chip.Layout) (*Plan, error) {
 	defer obs.StartTimer("exec.execute_optimized_ms")()
 	mixers := l.OfKind(chip.Mixer)
 	if len(mixers) < s.Mixers {
@@ -170,7 +180,7 @@ func ExecuteOptimized(s *sched.Schedule, l *chip.Layout) (*Plan, error) {
 		branches[i] = i
 	}
 	results, err := parallel.Map(branches, func(_ int, first int) (*Plan, error) {
-		b := &bbSearch{s: s, l: l, m: m, tr: tr, used: make([]bool, len(mixers))}
+		b := &bbSearch{ctx: ctx, s: s, l: l, m: m, tr: tr, used: make([]bool, len(mixers))}
 		b.perm = append(b.perm, first)
 		b.used[first] = true
 		b.lb = append(b.lb, tr.bindCost(b.perm, len(b.perm)-1))
@@ -390,6 +400,7 @@ func (tr *bindingTraffic) bindCost(perm []int, p int) int {
 }
 
 type bbSearch struct {
+	ctx  context.Context
 	s    *sched.Schedule
 	l    *chip.Layout
 	m    *route.Matrix
@@ -402,7 +413,11 @@ type bbSearch struct {
 
 // dfs explores completions of the current partial binding in lexicographic
 // order, pruning subtrees whose lower bound cannot beat the incumbent.
+// Every call is one branch boundary — the search's cancellation point.
 func (b *bbSearch) dfs() error {
+	if err := cancel.Check(b.ctx); err != nil {
+		return fmt.Errorf("exec: binding search: %w", err)
+	}
 	if len(b.perm) == b.s.Mixers {
 		plan, err := executeBound(b.s, b.l, b.perm, b.m)
 		if err != nil {

@@ -1,16 +1,23 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // EnableCLI is the command-line exporter entry point shared by cmd/mdst and
 // cmd/chipsim (-trace out.jsonl, -metrics). It enables observability when a
-// trace path or the metrics dump is requested (a no-op finish otherwise),
-// creating the trace file if named. The returned finish func writes the
-// metrics dump to metricsTo (stderr in the CLIs, keeping stdout clean for
-// -json output), disables observability, and closes the trace file.
+// trace path or the metrics dump is requested (a no-op finish otherwise).
+// The returned finish func writes the metrics dump to metricsTo (stderr in
+// the CLIs, keeping stdout clean for -json output) and disables
+// observability.
+//
+// Trace writes are atomic: events stream into a hidden temp file next to
+// tracePath and finish renames it into place only after a successful sync,
+// so a crashed or interrupted run never leaves a torn half-trace under the
+// requested name. On finish-time failure the temp file is removed.
 func EnableCLI(tracePath string, metrics bool, metricsTo io.Writer) (finish func() error, err error) {
 	if tracePath == "" && !metrics {
 		return func() error { return nil }, nil
@@ -18,9 +25,13 @@ func EnableCLI(tracePath string, metrics bool, metricsTo io.Writer) (finish func
 	var tf *os.File
 	opts := Options{}
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
+		dir, base := filepath.Split(tracePath)
+		if dir == "" {
+			dir = "."
+		}
+		f, err := os.CreateTemp(dir, "."+base+".tmp*")
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("obs: create trace temp file: %w", err)
 		}
 		tf, opts.Trace = f, f
 	}
@@ -32,8 +43,20 @@ func EnableCLI(tracePath string, metrics bool, metricsTo io.Writer) (finish func
 		}
 		Disable()
 		if tf != nil {
-			if cerr := tf.Close(); err == nil {
-				err = cerr
+			// Commit the trace even if the metrics dump failed: the two
+			// outputs are independent, and a complete trace is worth keeping.
+			terr := tf.Sync()
+			if cerr := tf.Close(); terr == nil {
+				terr = cerr
+			}
+			if terr == nil {
+				terr = os.Rename(tf.Name(), tracePath)
+			}
+			if terr != nil {
+				os.Remove(tf.Name())
+				if err == nil {
+					err = terr
+				}
 			}
 		}
 		return err

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tmpLeftovers returns the hidden temp files EnableCLI stages trace writes
+// in, so tests can assert the atomic-commit protocol never leaks them.
+func tmpLeftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmp []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			tmp = append(tmp, e.Name())
+		}
+	}
+	return tmp
+}
+
+// TestEnableCLITraceAtomic pins the atomic tracefile contract: while the run
+// is in flight the requested path must NOT exist (events stream into a
+// hidden temp file), and finish() commits the complete trace via rename,
+// leaving no temp debris behind.
+func TestEnableCLITraceAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	finish, err := EnableCLI(path, false, nil)
+	if err != nil {
+		t.Fatalf("EnableCLI: %v", err)
+	}
+	Emit("test.event", map[string]any{"k": 1})
+	Emit("test.event", map[string]any{"k": 2})
+
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("trace path %q exists before finish (partial file visible mid-run)", path)
+	}
+	if got := tmpLeftovers(t, dir); len(got) != 1 {
+		t.Fatalf("want exactly 1 in-flight temp file, found %v", got)
+	}
+
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("committed trace missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace has %d lines, want 2:\n%s", len(lines), data)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "test.event") {
+			t.Fatalf("trace line %q lacks the emitted event", l)
+		}
+	}
+	if got := tmpLeftovers(t, dir); len(got) != 0 {
+		t.Fatalf("temp debris after finish: %v", got)
+	}
+}
+
+// TestEnableCLIAbandonedRunLeavesNoFinalFile models a crashed run: finish is
+// never called, so the requested path must never appear (the half-written
+// trace stays quarantined in the temp file).
+func TestEnableCLIAbandonedRunLeavesNoFinalFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	_, err := EnableCLI(path, false, nil)
+	if err != nil {
+		t.Fatalf("EnableCLI: %v", err)
+	}
+	Emit("test.event", nil)
+	Disable() // simulate the process dying without finish()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("abandoned run published %q", path)
+	}
+}
+
+// TestEnableCLIUnwritableDir pins the error path the CLIs turn into exit
+// status 1: an unwritable trace destination fails up front, before any
+// planning work runs.
+func TestEnableCLIUnwritableDir(t *testing.T) {
+	if _, err := EnableCLI(filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl"), false, nil); err == nil {
+		Disable()
+		t.Fatal("EnableCLI accepted an unwritable trace path")
+	}
+}
+
+// TestEnableCLINoopWhenDisabled keeps the zero-flag fast path allocation- and
+// file-free.
+func TestEnableCLINoopWhenDisabled(t *testing.T) {
+	finish, err := EnableCLI("", false, nil)
+	if err != nil {
+		t.Fatalf("EnableCLI: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("observability enabled with no exporters requested")
+	}
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package ratio
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpellings is the regression table for the Sscanf+Sprintf
+// round-trip bug: Parse used to reject every valid integer spelling whose
+// canonical re-rendering differs from the input — leading zeros ("1:02")
+// and explicit signs ("1:+3") — while the replacement must still reject
+// embedded garbage, empty parts and overflow with position-naming
+// diagnostics.
+func TestParseSpellings(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		want  string // expected String() of the parsed ratio; "" = error
+		diag  string // substring the error must contain ("" = don't care)
+		exact []int64
+	}{
+		{name: "plain", in: "1:3", want: "1:3"},
+		{name: "leading zero", in: "1:03", want: "1:3"},
+		{name: "many leading zeros", in: "001:0003", want: "1:3"},
+		{name: "spaces", in: " 1 : 2 : 1 ", want: "1:2:1"},
+		// "1:02" and " 1 : 2 " are syntactically fine (the round-trip bug
+		// rejected the first as "invalid part"); they must now reach the
+		// semantic layer and fail there, on the power-of-two rule.
+		{name: "leading zero semantic", in: "1:02", diag: "power of two"},
+		{name: "spaced semantic", in: " 1 : 2 ", diag: "power of two"},
+		{name: "plus semantic", in: "1:+2", diag: "power of two"},
+		{name: "explicit plus", in: "1:+3", want: "1:3"},
+		{name: "plus with zeros", in: "+01:3", want: "1:3"},
+		{name: "trailing garbage", in: "1:2x", diag: "position 2"},
+		{name: "embedded sign", in: "1:2+3", diag: "position 2"},
+		{name: "double plus", in: "1:++3", diag: "position 2"},
+		{name: "bare plus", in: "+:3", diag: "position 1"},
+		{name: "empty input", in: "", diag: "position 1"},
+		{name: "empty part", in: "2::2", diag: "position 2"},
+		{name: "negative", in: "-1:17", diag: "positive"},
+		{name: "float", in: "1.5:2.5", diag: "position 1"},
+		{name: "hex", in: "0x10", diag: "position 1"},
+		{name: "overflow int64", in: "99999999999999999999:1", diag: "out of range"},
+		{name: "overflow sum", in: "9223372036854775807:1", diag: "exceeds"},
+		{name: "sum not pow2", in: "1:2", diag: "power of two"},
+		{name: "zero part", in: "0:16", diag: "positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Parse(tc.in)
+			if tc.want == "" {
+				if err == nil {
+					t.Fatalf("Parse(%q) accepted malformed input as %v", tc.in, r)
+				}
+				if tc.diag != "" && !strings.Contains(err.Error(), tc.diag) {
+					t.Fatalf("Parse(%q) diagnostic %q does not mention %q", tc.in, err, tc.diag)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q) rejected valid input: %v", tc.in, err)
+			}
+			if got := r.String(); got != tc.want {
+				t.Fatalf("Parse(%q) = %s, want %s", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSpellingsCanonical pins that non-canonical spellings parse to
+// ratios Equal to their canonical form.
+func TestParseSpellingsCanonical(t *testing.T) {
+	canon := MustParse("1:3")
+	for _, in := range []string{"1:03", "01:3", "1:+3", "+1:+03", " 1 : 3 "} {
+		r, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if !r.Equal(canon) {
+			t.Fatalf("Parse(%q) = %v, want %v", in, r, canon)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -71,17 +72,18 @@ func (r Ratio) WithNames(names ...string) (Ratio, error) {
 }
 
 // Parse reads a ratio in the colon-separated form used throughout the paper,
-// e.g. "2:1:1:1:1:1:9". Whitespace around the numbers is ignored. Malformed
-// input yields an error naming both the offending part and the full input,
-// so command-line callers can print it verbatim as their diagnostic.
+// e.g. "2:1:1:1:1:1:9". Whitespace around the numbers is ignored, and each
+// part may carry an explicit '+' sign or leading zeros ("1:02" is 1:2, as
+// any integer parser would read it). Malformed input yields an error naming
+// both the offending part and the full input, so command-line callers can
+// print it verbatim as their diagnostic.
 func Parse(s string) (Ratio, error) {
 	fields := strings.Split(s, ":")
 	parts := make([]int64, 0, len(fields))
 	for i, f := range fields {
-		f = strings.TrimSpace(f)
-		var v int64
-		if _, err := fmt.Sscanf(f, "%d", &v); err != nil || fmt.Sprintf("%d", v) != f {
-			return Ratio{}, fmt.Errorf("ratio: invalid part %q (position %d of %q; want positive integers separated by colons)", f, i+1, s)
+		v, err := parsePart(strings.TrimSpace(f))
+		if err != nil {
+			return Ratio{}, fmt.Errorf("ratio: invalid part %q (position %d of %q; %v)", strings.TrimSpace(f), i+1, s, err)
 		}
 		parts = append(parts, v)
 	}
@@ -90,6 +92,30 @@ func Parse(s string) (Ratio, error) {
 		return Ratio{}, fmt.Errorf("%w (parsing %q)", err, s)
 	}
 	return r, nil
+}
+
+// parsePart reads one ratio part: an optional '+' sign followed by decimal
+// digits. The historical Sscanf+Sprintf round-trip rejected valid spellings
+// like "02" and "+3" (their canonical re-rendering differs from the input);
+// explicit character validation plus strconv.ParseInt accepts every integer
+// spelling while still rejecting embedded garbage ("2x"), empty parts, signs
+// without digits and overflow.
+func parsePart(f string) (int64, error) {
+	digits := strings.TrimPrefix(f, "+")
+	if digits == "" {
+		return 0, errors.New("want positive integers separated by colons")
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, errors.New("want positive integers separated by colons")
+		}
+	}
+	v, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		// Only ErrRange is reachable: the character scan guarantees syntax.
+		return 0, fmt.Errorf("%v", errors.Unwrap(err))
+	}
+	return v, nil
 }
 
 // MustParse is Parse for compile-time-known literals (tests, tables,

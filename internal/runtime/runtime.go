@@ -24,11 +24,13 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/audit"
+	"repro/internal/cancel"
 	"repro/internal/chip"
 	"repro/internal/errormodel"
 	"repro/internal/exec"
@@ -45,22 +47,41 @@ import (
 
 // Run executes one planned schedule on the layout under fault injection.
 // A nil injector runs the zero-fault path. The returned report is non-nil
-// even when the run fails, so callers can inspect how far it got.
+// even when the run fails, so callers can inspect how far it got. It is
+// RunCtx with a background context.
 func Run(s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy) (*Report, error) {
-	return runOne(s, l, inj, pol, 0)
+	return RunCtx(context.Background(), s, l, inj, pol)
+}
+
+// RunCtx is the context-aware form of Run. The executor checks ctx at every
+// cycle boundary of the replay (and at every recovery replan chunk); an
+// abandoned run returns the partial report together with an error wrapping
+// cancel.ErrCanceled, so a server can bound request latency without leaking
+// half-executed goroutines.
+func RunCtx(ctx context.Context, s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy) (*Report, error) {
+	return runOne(ctx, s, l, inj, pol, 0)
 }
 
 // RunStream executes every pass of a multi-pass stream plan in order, each
 // under the per-pass recovery budget configured on the stream (or on the
 // policy, which takes precedence). The aggregate report carries the
-// per-pass reports in Passes.
+// per-pass reports in Passes. It is RunStreamCtx with a background context.
 func RunStream(res *stream.Result, l *chip.Layout, inj *faults.Injector, pol Policy) (*Report, error) {
+	return RunStreamCtx(context.Background(), res, l, inj, pol)
+}
+
+// RunStreamCtx is the context-aware form of RunStream: ctx is checked at
+// every pass boundary and, inside each pass, at every cycle boundary.
+func RunStreamCtx(ctx context.Context, res *stream.Result, l *chip.Layout, inj *faults.Injector, pol Policy) (*Report, error) {
 	if pol.RecoveryBudget == 0 {
 		pol.RecoveryBudget = res.Config.RecoveryBudget
 	}
 	agg := &Report{ByKind: map[faults.Kind]int{}}
 	for _, pass := range res.Passes {
-		r, err := runOne(pass.Schedule, l, inj, pol, pass.StartCycle-1)
+		if err := cancel.Check(ctx); err != nil {
+			return agg, fmt.Errorf("runtime: pass starting at cycle %d: %w", pass.StartCycle, err)
+		}
+		r, err := runOne(ctx, pass.Schedule, l, inj, pol, pass.StartCycle-1)
 		if r != nil {
 			agg.Passes = append(agg.Passes, r)
 			agg.absorb(r)
@@ -104,7 +125,7 @@ func (r *Report) absorb(p *Report) {
 	}
 }
 
-func runOne(s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy, offset int) (*Report, error) {
+func runOne(ctx context.Context, s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy, offset int) (*Report, error) {
 	pol = pol.withDefaults()
 	basePlan, err := exec.Execute(s, l)
 	if err != nil {
@@ -121,6 +142,7 @@ func runOne(s *sched.Schedule, l *chip.Layout, inj *faults.Injector, pol Policy,
 		}
 	}
 	e := &executor{
+		ctx:     ctx,
 		pol:     pol,
 		inj:     inj,
 		rep:     rep,
@@ -227,6 +249,9 @@ func recoveryDepth(rep *Report) int {
 // executor carries the state that survives degradation replans: the parked
 // waste pool, the dead-mixer roster and the cost ledger.
 type executor struct {
+	// ctx is the run's cancellation scope, checked at every cycle boundary
+	// of the replay and at every recovery replan chunk.
+	ctx    context.Context
 	pol    Policy
 	inj    *faults.Injector
 	rep    *Report
@@ -320,7 +345,18 @@ func (e *executor) exec(s *sched.Schedule, plan *exec.Plan) error {
 	if err != nil {
 		return err
 	}
+	cycle := 0 // last cycle boundary a cancellation check ran at
 	for i := range steps {
+		if cy := steps[i].mv.Cycle; cy != cycle {
+			// Cycle boundary: the documented cancellation point. A canceled
+			// run stops before starting the next cycle's moves, so the
+			// partial report stays consistent at a cycle granularity.
+			if err := cancel.Check(e.ctx); err != nil {
+				e.cyclesDone += cycle
+				return fmt.Errorf("runtime: at cycle boundary %d: %w", cy, err)
+			}
+			cycle = cy
+		}
 		if err := e.step(c, &steps[i]); err != nil {
 			var d *degradeErr
 			if errors.As(err, &d) {
@@ -899,6 +935,11 @@ func (e *executor) replan(prevScheduler string, base *mixgraph.Graph, demand int
 	lastErr := cause
 	remaining, chunk := demand, demand
 	for remaining > 0 {
+		// Replan chunks are recovery work; a canceled request must not keep
+		// burning planner time on the degraded chip.
+		if err := cancel.Check(e.ctx); err != nil {
+			return fmt.Errorf("runtime: degraded replan with %d droplets remaining: %w", remaining, err)
+		}
 		if chunk > remaining {
 			chunk = remaining
 		}

@@ -18,6 +18,13 @@ const MaxExactTasks = 22
 // ErrTooLarge reports a forest beyond the exact scheduler's reach.
 var ErrTooLarge = errors.New("sched: forest too large for exact scheduling")
 
+// ErrNonCanonicalForest reports a forest whose task IDs are not the dense
+// canonical 0..n-1 enumeration forest.Build produces. The exact scheduler's
+// subset DP indexes predecessor bitmasks by task ID, so a permuted or gappy
+// ID space would silently map precedences onto the wrong tasks and certify a
+// wrong "optimal" makespan; it must refuse such forests instead.
+var ErrNonCanonicalForest = errors.New("sched: forest task IDs are not the canonical dense 0..n-1 enumeration")
+
 // Exact returns an optimal schedule. The mixer assignment within each cycle
 // follows increasing mixer indices, like the list schedulers.
 func Exact(f *forest.Forest, mc int) (*Schedule, error) {
@@ -28,10 +35,23 @@ func Exact(f *forest.Forest, mc int) (*Schedule, error) {
 	if n > MaxExactTasks {
 		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxExactTasks)
 	}
+	// The DP below builds predecessor masks via 1 << src.Task.ID and writes
+	// Slots[i] for task i: both assume the dense ID invariant Tasks[i].ID == i
+	// that forest.Build guarantees (and forest.Validate checks). A permuted
+	// forest would not crash — it would compute a confidently wrong optimum —
+	// so validate up front and fail typed.
+	for i, t := range f.Tasks {
+		if t.ID != i {
+			return nil, fmt.Errorf("%w: task at index %d has ID %d", ErrNonCanonicalForest, i, t.ID)
+		}
+	}
 	preds := make([]uint32, n)
 	for i, t := range f.Tasks {
 		for _, src := range t.In {
 			if src.Kind == forest.FromTask {
+				if id := src.Task.ID; id < 0 || id >= n {
+					return nil, fmt.Errorf("%w: task %d consumes task with out-of-range ID %d", ErrNonCanonicalForest, i, id)
+				}
 				preds[i] |= 1 << uint(src.Task.ID)
 			}
 		}

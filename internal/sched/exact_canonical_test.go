@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+)
+
+// TestExactRejectsPermutedIDs is the regression test for the silent-wrong-
+// answer bug: Exact's subset DP builds predecessor bitmasks via
+// 1 << Task.ID, assuming the dense 0..n-1 enumeration. On a forest with
+// permuted IDs the pre-fix code happily computed a schedule against the
+// wrong precedence relation; it must now refuse with the typed
+// ErrNonCanonicalForest.
+func TestExactRejectsPermutedIDs(t *testing.T) {
+	base, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := forest.Build(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Tasks) < 2 {
+		t.Fatalf("forest unexpectedly small: %d tasks", len(f.Tasks))
+	}
+	// Sanity: the canonical forest schedules fine.
+	if _, err := Exact(f, 2); err != nil {
+		t.Fatalf("Exact on canonical forest: %v", err)
+	}
+	// Permute two task IDs without reordering the slice: precedence masks
+	// built from these IDs would address the wrong tasks.
+	f.Tasks[0].ID, f.Tasks[1].ID = f.Tasks[1].ID, f.Tasks[0].ID
+	defer func() { f.Tasks[0].ID, f.Tasks[1].ID = f.Tasks[1].ID, f.Tasks[0].ID }()
+	s, err := Exact(f, 2)
+	if err == nil {
+		t.Fatalf("Exact accepted a permuted-ID forest and produced a %d-cycle schedule", s.Cycles)
+	}
+	if !errors.Is(err, ErrNonCanonicalForest) {
+		t.Fatalf("Exact returned %v, want ErrNonCanonicalForest", err)
+	}
+}
+
+// TestExactRejectsOutOfRangeSourceID covers the second hole: even with a
+// dense ID sequence, a task source pointing at a task outside the forest
+// would shift a mask bit out of range (or onto an unrelated task).
+func TestExactRejectsOutOfRangeSourceID(t *testing.T) {
+	base, err := minmix.Build(ratio.MustParse("1:3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := forest.Build(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dangle one producing task's ID out of range. The shared *Task means the
+	// dense scan (or the mask builder — whichever runs first) must land on
+	// the same typed error; either way Exact must not shift 1 << 42.
+	for _, task := range f.Tasks {
+		for _, src := range task.In {
+			if src.Kind == forest.FromTask {
+				old := src.Task.ID
+				src.Task.ID = len(f.Tasks) + 40
+				_, err := Exact(f, 2)
+				src.Task.ID = old
+				if !errors.Is(err, ErrNonCanonicalForest) {
+					t.Fatalf("Exact returned %v, want ErrNonCanonicalForest", err)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no FromTask source in this forest")
+}

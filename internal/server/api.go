@@ -1,0 +1,206 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ratio"
+	"repro/internal/stream"
+)
+
+// PlanRequest is the JSON body of POST /v1/plan and POST /v1/stream (and is
+// embedded in ExecuteRequest). The zero values of the optional fields select
+// the paper's defaults: MM base algorithm, MMS scheduler, Mlb mixers,
+// unlimited storage.
+type PlanRequest struct {
+	// Ratio is the target mixture in colon form, e.g. "2:1:1:1:1:1:9".
+	Ratio string `json:"ratio"`
+	// Demand is the number of target droplets D (> 0).
+	Demand int `json:"demand"`
+	// Mixers is the on-chip mixer count Mc; 0 uses Mlb of the MM tree.
+	Mixers int `json:"mixers,omitempty"`
+	// Storage is the on-chip storage budget q'; 0 means unlimited.
+	Storage int `json:"storage,omitempty"`
+	// Algorithm picks the base mixing-tree builder: MM, RMA, MTCS or RSM.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Scheduler picks the forest scheduler: MMS or SRS.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Session, when non-empty, routes the request to a named long-lived
+	// engine: successive requests extend one droplet timeline instead of
+	// planning from cycle 1. Sessions pin their configuration; a later
+	// request with a different config is rejected (409).
+	Session string `json:"session,omitempty"`
+	// TimeoutMS bounds this request's planning time; it is clamped to the
+	// server's max timeout. 0 uses the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ExecuteRequest is the JSON body of POST /v1/execute: a plan request plus
+// cyberphysical execution knobs.
+type ExecuteRequest struct {
+	PlanRequest
+	// FaultRate is the per-event fault-injection probability (0 disables
+	// injection; the run still executes cycle-by-cycle).
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Seed seeds the deterministic fault injector (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// RecoveryBudget bounds per-pass recovery cycles (0 = unbounded).
+	RecoveryBudget int `json:"recovery_budget,omitempty"`
+}
+
+// PassSummary is one planned pass in a response.
+type PassSummary struct {
+	Demand     int `json:"demand"`
+	Cycles     int `json:"cycles"`
+	Storage    int `json:"storage"`
+	StartCycle int `json:"start_cycle"`
+}
+
+// EmissionPoint is one droplet-output event of a stream plan.
+type EmissionPoint struct {
+	Cycle int `json:"cycle"`
+	Count int `json:"count"`
+}
+
+// PlanResponse is the JSON body answering /v1/plan.
+type PlanResponse struct {
+	Ratio         string        `json:"ratio"`
+	Algorithm     string        `json:"algorithm"`
+	Scheduler     string        `json:"scheduler"`
+	Mixers        int           `json:"mixers"`
+	Storage       int           `json:"storage,omitempty"`
+	Demand        int           `json:"demand"`
+	Emitted       int           `json:"emitted"`
+	Passes        []PassSummary `json:"passes"`
+	TotalCycles   int           `json:"total_cycles"`
+	TotalInputs   int64         `json:"total_inputs"`
+	TotalWaste    int64         `json:"total_waste"`
+	FirstEmission int           `json:"first_emission"`
+	// Session/StartCycle are set on session-routed requests: StartCycle is
+	// where this batch lands on the session's droplet timeline.
+	Session    string `json:"session,omitempty"`
+	StartCycle int    `json:"start_cycle,omitempty"`
+	// Coalesced marks a response served from another identical request
+	// that was already in flight.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// StreamResponse is the JSON body answering /v1/stream: the plan summary
+// plus the cycle-by-cycle emission timeline and the largest demand a single
+// pass can carry under the storage budget.
+type StreamResponse struct {
+	PlanResponse
+	Emissions           []EmissionPoint `json:"emissions"`
+	MaxSinglePassDemand int             `json:"max_single_pass_demand"`
+}
+
+// ExecuteResponse is the JSON body answering /v1/execute.
+type ExecuteResponse struct {
+	PlanResponse
+	Injected     int     `json:"injected"`
+	Detected     int     `json:"detected"`
+	Recovered    int     `json:"recovered"`
+	Retries      int     `json:"retries"`
+	Replays      int     `json:"replays"`
+	Degradations int     `json:"degradations"`
+	RunCycles    int     `json:"run_cycles"`
+	ExtraCycles  int     `json:"extra_cycles"`
+	Actuations   int     `json:"actuations"`
+	RunEmitted   int     `json:"run_emitted"`
+	MaxCFError   float64 `json:"max_cf_error"`
+}
+
+// errorResponse is the uniform JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// planSpec is a validated, normalized PlanRequest.
+type planSpec struct {
+	target    ratio.Ratio
+	algorithm core.Algorithm
+	scheduler stream.Scheduler
+	mixers    int
+	storage   int
+	demand    int
+}
+
+// parsePlanRequest validates a PlanRequest into a planSpec; every error is a
+// client error (HTTP 400).
+func parsePlanRequest(req *PlanRequest) (*planSpec, error) {
+	if strings.TrimSpace(req.Ratio) == "" {
+		return nil, fmt.Errorf("missing ratio")
+	}
+	target, err := ratio.Parse(req.Ratio)
+	if err != nil {
+		return nil, err
+	}
+	if req.Demand <= 0 {
+		return nil, fmt.Errorf("demand must be positive, got %d", req.Demand)
+	}
+	if req.Mixers < 0 || req.Storage < 0 {
+		return nil, fmt.Errorf("mixers and storage must be non-negative")
+	}
+	alg := core.MM
+	if req.Algorithm != "" {
+		if alg, err = core.ParseAlgorithm(req.Algorithm); err != nil {
+			return nil, err
+		}
+	}
+	sch := stream.MMS
+	switch req.Scheduler {
+	case "", "MMS", "mms":
+		// default
+	case "SRS", "srs":
+		sch = stream.SRS
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (want MMS or SRS)", req.Scheduler)
+	}
+	return &planSpec{
+		target:    target,
+		algorithm: alg,
+		scheduler: sch,
+		mixers:    req.Mixers,
+		storage:   req.Storage,
+		demand:    req.Demand,
+	}, nil
+}
+
+// fingerprint canonicalizes a spec for session pinning and in-flight
+// coalescing: two requests with the same fingerprint are the same plan.
+func (s *planSpec) fingerprint() string {
+	return fmt.Sprintf("%s|%s|%s|m%d|q%d", s.target, s.algorithm, s.scheduler, s.mixers, s.storage)
+}
+
+// flightKey extends the fingerprint with the demand (session-less plans of
+// different demands are different flights).
+func (s *planSpec) flightKey(endpoint string) string {
+	return fmt.Sprintf("%s|%s|d%d", endpoint, s.fingerprint(), s.demand)
+}
+
+// planResponse summarizes a stream.Result.
+func planResponse(spec *planSpec, res *stream.Result, mixers int) PlanResponse {
+	resp := PlanResponse{
+		Ratio:         spec.target.String(),
+		Algorithm:     spec.algorithm.String(),
+		Scheduler:     spec.scheduler.String(),
+		Mixers:        mixers,
+		Storage:       spec.storage,
+		Demand:        res.Demand,
+		Emitted:       res.Emitted,
+		TotalCycles:   res.TotalCycles,
+		TotalInputs:   res.TotalInputs,
+		TotalWaste:    res.TotalWaste,
+		FirstEmission: res.FirstEmission(),
+	}
+	for _, p := range res.Passes {
+		resp.Passes = append(resp.Passes, PassSummary{
+			Demand:     p.Demand,
+			Cycles:     p.Schedule.Cycles,
+			Storage:    p.Storage,
+			StartCycle: p.StartCycle,
+		})
+	}
+	return resp
+}

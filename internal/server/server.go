@@ -1,0 +1,567 @@
+// Package server exposes the demand-driven mixture-preparation stack as an
+// HTTP/JSON service (the `dmfbd` daemon): /v1/plan answers a (ratio, demand)
+// request with the mixing forest's MMS/SRS pass plan, /v1/stream adds the
+// cycle-by-cycle emission timeline of the multi-pass plan under a storage
+// budget, and /v1/execute replays the plan cyberphysically with optional
+// fault injection. /healthz and /metrics expose liveness and the obs
+// registry.
+//
+// The serving core is built from three concurrency layers:
+//
+//   - a sharded LRU session pool of named, long-lived core.Engines (each
+//     internally synchronized), so repeated requests against one session
+//     extend a single droplet timeline — the paper's demand-driven shape;
+//   - a single-flight group coalescing identical stateless plans that are
+//     in flight at the same moment, stacked on internal/plancache which
+//     deduplicates identical plans across time;
+//   - a bounded admission queue: MaxInFlight requests plan concurrently,
+//     up to MaxQueue more wait for a slot, and everything beyond that is
+//     refused immediately with 429 + Retry-After.
+//
+// Every request runs under a deadline-carrying context.Context threaded
+// through stream.RunCtx / runtime.RunStreamCtx / exec; expiry surfaces as a
+// typed cancel.ErrCanceled within one cycle (or pass, or candidate-demand)
+// boundary and is mapped to HTTP 504. Drain stops admission and waits for
+// the in-flight requests, so SIGTERM never tears a plan in half.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/forest"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+)
+
+// Config tunes the serving layers; zero values select sensible defaults.
+type Config struct {
+	// MaxInFlight is the number of requests allowed to plan or execute
+	// concurrently (admission slots). Default 64.
+	MaxInFlight int
+	// MaxQueue is the number of additional requests allowed to wait for a
+	// slot before the server answers 429. Default 256.
+	MaxQueue int
+	// DefaultTimeout bounds a request that does not name its own
+	// timeout_ms. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied timeout_ms. Default 2m.
+	MaxTimeout time.Duration
+	// Sessions is the session-pool capacity across all shards; the least
+	// recently used session is evicted beyond it. Default 128.
+	Sessions int
+	// RetryAfter is the hint returned with 429/503 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 128
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the dmfbd serving core. Create with New, mount Handler on an
+// http.Server, and call Drain before exit.
+type Server struct {
+	cfg     Config
+	pool    *sessionPool
+	flights flightGroup
+
+	slots    chan struct{} // admission slots; buffered to MaxInFlight
+	waiting  atomic.Int64  // requests blocked on a slot
+	draining atomic.Bool
+
+	// mu guards the in-flight census used by Drain. A WaitGroup cannot
+	// express "stop admitting, then wait": its Add may not race with Wait
+	// around a zero counter, which is exactly the drain moment.
+	mu        sync.Mutex
+	inflightN int
+	drainDone chan struct{} // non-nil once draining; closed when inflightN hits 0
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		pool:  newSessionPool(cfg.Sessions),
+		slots: make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Handler returns the routed HTTP handler. /healthz and /metrics bypass
+// admission control so operators can always observe a saturated server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handle("plan", s.servePlan))
+	mux.HandleFunc("POST /v1/stream", s.handle("stream", s.serveStream))
+	mux.HandleFunc("POST /v1/execute", s.handle("execute", s.serveExecute))
+	mux.HandleFunc("GET /healthz", s.serveHealth)
+	mux.HandleFunc("GET /metrics", s.serveMetrics)
+	return mux
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain initiates a graceful shutdown: new work is refused with 503 while
+// the in-flight (and queued) requests run to completion. It returns when
+// the last request has finished or ctx expires, whichever is first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining.Store(true)
+	if s.drainDone == nil {
+		s.drainDone = make(chan struct{})
+		if s.inflightN == 0 {
+			close(s.drainDone)
+		}
+	}
+	done := s.drainDone
+	s.mu.Unlock()
+	obs.Inc("server.drains")
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain abandoned with requests in flight: %w", ctx.Err())
+	}
+}
+
+// beginRequest registers a request with the drain census; it fails once
+// draining has begun. endRequest is its mandatory counterpart.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflightN--
+	// After the drain flag is up no request is admitted, so the census is
+	// non-increasing and crosses zero exactly once.
+	if s.inflightN == 0 && s.drainDone != nil {
+		close(s.drainDone)
+	}
+}
+
+// errRejected carries a pre-admission refusal and its HTTP status.
+type errRejected struct {
+	status int
+	msg    string
+}
+
+func (e *errRejected) Error() string { return e.msg }
+
+// admit acquires an admission slot, honoring the drain flag, the queue
+// bound and the request context. The returned release func must be called
+// exactly once after the request finishes.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	// The census admission and the drain flag are checked under one lock,
+	// so no request slips past a Drain that has begun.
+	if !s.beginRequest() {
+		return nil, &errRejected{http.StatusServiceUnavailable, "server is draining"}
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// No free slot: wait, but only if the queue has room.
+		if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+			s.waiting.Add(-1)
+			s.endRequest()
+			obs.Inc("server.admission.rejected")
+			return nil, &errRejected{http.StatusTooManyRequests, "admission queue full"}
+		}
+		obs.Inc("server.admission.queued")
+		select {
+		case s.slots <- struct{}{}:
+			s.waiting.Add(-1)
+		case <-ctx.Done():
+			s.waiting.Add(-1)
+			s.endRequest()
+			return nil, cancel.Check(ctx)
+		}
+	}
+	return func() {
+		<-s.slots
+		s.endRequest()
+	}, nil
+}
+
+// timeout resolves a request's planning deadline from its timeout_ms.
+func (s *Server) timeout(ms int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// handlerFunc is one /v1 endpoint: it parses its own body and returns the
+// response value or an error (mapped to an HTTP status by statusFor).
+type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
+
+// handle wraps an endpoint with admission control, the per-request
+// deadline, structured obs logging and uniform error rendering.
+func (s *Server) handle(name string, fn handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		obs.Inc("server.requests")
+		obs.Inc("server.requests." + name)
+
+		status, err := s.dispatch(name, w, r, fn)
+		if obs.Enabled() {
+			obs.Observe("server.latency_ms."+name, float64(time.Since(t0).Microseconds())/1000)
+			f := map[string]any{
+				"endpoint": name,
+				"status":   status,
+				"ms":       time.Since(t0).Milliseconds(),
+			}
+			if err != nil {
+				f["error"] = err.Error()
+			}
+			obs.Emit("server.request", f)
+		}
+		obs.Inc("server.status." + strconv.Itoa(status))
+	}
+}
+
+// dispatch runs one admitted request and writes its response, returning the
+// status for the access log.
+func (s *Server) dispatch(name string, w http.ResponseWriter, r *http.Request, fn handlerFunc) (int, error) {
+	release, err := s.admit(r.Context())
+	if err != nil {
+		var rej *errRejected
+		if errors.As(err, &rej) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+			return rej.status, writeError(w, rej.status, err)
+		}
+		// Client went away while queued.
+		return statusFor(err), writeError(w, statusFor(err), err)
+	}
+	defer release()
+
+	resp, err := fn(r.Context(), r)
+	if err != nil {
+		st := statusFor(err)
+		if st == http.StatusServiceUnavailable || st == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+		}
+		return st, writeError(w, st, err)
+	}
+	return http.StatusOK, writeJSON(w, http.StatusOK, resp)
+}
+
+// errBadRequest marks client-side validation failures for statusFor.
+type errBadRequest struct{ err error }
+
+func (e *errBadRequest) Error() string { return e.err.Error() }
+func (e *errBadRequest) Unwrap() error { return e.err }
+
+// statusFor maps the stack's typed errors onto HTTP statuses.
+func statusFor(err error) int {
+	var bad *errBadRequest
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case errors.Is(err, errSessionConflict):
+		return http.StatusConflict
+	case errors.Is(err, cancel.ErrCanceled):
+		// Deadline expiry is the server refusing to plan any longer (504);
+		// anything else canceled means the client hung up.
+		if errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout
+		}
+		return http.StatusServiceUnavailable
+	case errors.Is(err, stream.ErrStorage),
+		errors.Is(err, core.ErrBadConfig),
+		errors.Is(err, core.ErrPersistStorage),
+		errors.Is(err, forest.ErrBadDemand):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) error {
+	obs.Inc("server.errors")
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+	return err
+}
+
+// decode parses a JSON request body into dst, flagging failures as client
+// errors.
+func decode(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &errBadRequest{fmt.Errorf("bad request body: %w", err)}
+	}
+	return nil
+}
+
+// engineFor resolves the engine answering a request: the named session's
+// pooled engine, or a fresh stateless engine. The fingerprint pins session
+// configuration across requests.
+func (s *Server) engineFor(req *PlanRequest, spec *planSpec) (*core.Engine, error) {
+	build := func() (*core.Engine, error) {
+		return core.New(core.Config{
+			Target:    spec.target,
+			Algorithm: spec.algorithm,
+			Scheduler: spec.scheduler,
+			Mixers:    spec.mixers,
+			Storage:   spec.storage,
+		})
+	}
+	if req.Session == "" {
+		return build()
+	}
+	return s.pool.get(req.Session, spec.fingerprint(), build)
+}
+
+// planBatch validates, resolves the engine and plans one batch under the
+// request deadline. It is the shared front half of every /v1 endpoint.
+func (s *Server) planBatch(ctx context.Context, req *PlanRequest) (*core.Engine, *core.Batch, *planSpec, context.CancelFunc, error) {
+	spec, err := parsePlanRequest(req)
+	if err != nil {
+		return nil, nil, nil, nil, &errBadRequest{err}
+	}
+	ctx, cancelCtx := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	eng, err := s.engineFor(req, spec)
+	if err != nil {
+		cancelCtx()
+		return nil, nil, nil, nil, err
+	}
+	b, err := eng.RequestCtx(ctx, req.Demand)
+	if err != nil {
+		cancelCtx()
+		return nil, nil, nil, nil, err
+	}
+	return eng, b, spec, cancelCtx, nil
+}
+
+// servePlan answers POST /v1/plan.
+func (s *Server) servePlan(ctx context.Context, r *http.Request) (any, error) {
+	var req PlanRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Session != "" {
+		// Session requests extend a shared timeline; each must plan.
+		eng, b, spec, done, err := s.planBatch(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		done()
+		resp := planResponse(spec, b.Result, eng.Mixers())
+		resp.Session = req.Session
+		resp.StartCycle = b.StartCycle
+		return resp, nil
+	}
+	// Stateless plans are pure functions of the spec: coalesce concurrent
+	// identical requests onto one leader. (Validation runs pre-flight so
+	// the flight key exists; the leader re-validates harmlessly.)
+	spec, err := parsePlanRequest(&req)
+	if err != nil {
+		return nil, &errBadRequest{err}
+	}
+	v, err, shared := s.flights.do(ctx, spec.flightKey("plan"), func() (any, error) {
+		eng, b, spec, done, err := s.planBatch(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		done()
+		resp := planResponse(spec, b.Result, eng.Mixers())
+		resp.StartCycle = b.StartCycle
+		return resp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := v.(PlanResponse)
+	if shared {
+		resp.Coalesced = true
+		obs.Inc("server.flights.coalesced")
+	}
+	return resp, nil
+}
+
+// serveStream answers POST /v1/stream: the plan plus its emission timeline
+// and the storage-limited single-pass demand cap D'.
+func (s *Server) serveStream(ctx context.Context, r *http.Request) (any, error) {
+	var req PlanRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	buildResp := func() (StreamResponse, error) {
+		eng, b, spec, done, err := s.planBatch(ctx, &req)
+		if err != nil {
+			return StreamResponse{}, err
+		}
+		done()
+		resp := StreamResponse{
+			PlanResponse:        planResponse(spec, b.Result, eng.Mixers()),
+			MaxSinglePassDemand: b.Result.PerPassDemand,
+		}
+		resp.StartCycle = b.StartCycle
+		for _, em := range b.Result.Emissions() {
+			resp.Emissions = append(resp.Emissions, EmissionPoint{Cycle: em.Cycle, Count: em.Count})
+		}
+		return resp, nil
+	}
+	if req.Session != "" {
+		resp, err := buildResp()
+		if err != nil {
+			return nil, err
+		}
+		resp.Session = req.Session
+		return resp, nil
+	}
+	v, err, shared := s.flights.do(ctx, mustFlightKey(&req, "stream"), func() (any, error) {
+		return buildResp()
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := v.(StreamResponse)
+	if shared {
+		resp.Coalesced = true
+		obs.Inc("server.flights.coalesced")
+	}
+	return resp, nil
+}
+
+// mustFlightKey computes the coalescing key for a pre-validated stateless
+// request; invalid requests get a unique key and fail inside their own
+// flight.
+func mustFlightKey(req *PlanRequest, endpoint string) string {
+	spec, err := parsePlanRequest(req)
+	if err != nil {
+		return fmt.Sprintf("%s|invalid|%p", endpoint, req)
+	}
+	return spec.flightKey(endpoint)
+}
+
+// serveExecute answers POST /v1/execute: plan, then replay cyberphysically
+// on an auto-sized floorplan with optional fault injection. Executions are
+// never coalesced — fault injection makes them distinct runs by design.
+func (s *Server) serveExecute(ctx context.Context, r *http.Request) (any, error) {
+	var req ExecuteRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if req.FaultRate < 0 || req.FaultRate >= 1 {
+		return nil, &errBadRequest{fmt.Errorf("fault_rate must be in [0,1), got %g", req.FaultRate)}
+	}
+	eng, b, spec, done, err := s.planBatch(ctx, &req.PlanRequest)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+
+	storageCells := spec.storage
+	if storageCells < 8 {
+		storageCells = 8
+	}
+	layout, err := chip.AutoLayout(spec.target.N(), eng.Mixers(), storageCells)
+	if err != nil {
+		return nil, err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	inj, err := faults.New(faults.Rate(seed, req.FaultRate))
+	if err != nil {
+		return nil, &errBadRequest{err}
+	}
+	rep, err := eng.ExecuteBatchCtx(ctx, b, layout, inj, runtime.Policy{RecoveryBudget: req.RecoveryBudget})
+	if err != nil {
+		return nil, err
+	}
+	resp := ExecuteResponse{
+		PlanResponse: planResponse(spec, b.Result, eng.Mixers()),
+		Injected:     rep.Injected,
+		Detected:     rep.Detected,
+		Recovered:    rep.Recovered,
+		Retries:      rep.Retries,
+		Replays:      rep.Replays,
+		Degradations: rep.Degradations,
+		RunCycles:    rep.TotalCycles,
+		ExtraCycles:  rep.ExtraCycles,
+		Actuations:   rep.TotalActuations,
+		RunEmitted:   rep.Emitted,
+		MaxCFError:   rep.MaxCFError(),
+	}
+	resp.Session = req.Session
+	resp.StartCycle = b.StartCycle
+	return resp, nil
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Waiting  int64  `json:"waiting"`
+}
+
+// serveHealth answers GET /healthz: 200 while serving, 503 once draining.
+func (s *Server) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := healthResponse{Status: "ok", Sessions: s.pool.len(), Waiting: s.waiting.Load()}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// serveMetrics dumps the obs registry in the CLI exporter format. When
+// observability is disabled the body is empty (but still 200: the endpoint
+// itself is healthy).
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	obs.WriteMetrics(w)
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// errSessionConflict reports a request that names an existing session but
+// carries a different engine configuration; the caller must either match the
+// session's configuration or pick a new session name. Mapped to HTTP 409.
+var errSessionConflict = errors.New("server: session exists with a different configuration")
+
+const sessionShards = 8
+
+// sessionPool is a sharded LRU pool of named, long-lived engines. Each
+// session owns one core.Engine (itself internally synchronized), so repeated
+// requests against a session continue one droplet timeline — the paper's
+// demand-driven operation. Sharding by session name keeps pool bookkeeping
+// off the planning hot path: two requests on different sessions only contend
+// if they hash to the same shard, and even then only for the few list
+// operations, never for the plan itself.
+type sessionPool struct {
+	perShard int // LRU capacity per shard
+	shards   [sessionShards]sessionShard
+}
+
+type sessionShard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used, values are *session
+	index map[string]*list.Element
+}
+
+type session struct {
+	name   string
+	fp     string // engine-config fingerprint, guards against silent config drift
+	engine *core.Engine
+}
+
+// newSessionPool builds a pool holding about `capacity` sessions across all
+// shards (minimum one per shard).
+func newSessionPool(capacity int) *sessionPool {
+	per := (capacity + sessionShards - 1) / sessionShards
+	if per < 1 {
+		per = 1
+	}
+	p := &sessionPool{perShard: per}
+	for i := range p.shards {
+		p.shards[i].lru = list.New()
+		p.shards[i].index = map[string]*list.Element{}
+	}
+	return p
+}
+
+func (p *sessionPool) shard(name string) *sessionShard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &p.shards[h.Sum32()%sessionShards]
+}
+
+// get returns the engine for the named session, building it with build on
+// first use. A config-fingerprint mismatch on an existing session returns
+// errSessionConflict. Inserting beyond the shard's capacity evicts the least
+// recently used session of that shard.
+func (p *sessionPool) get(name, fp string, build func() (*core.Engine, error)) (*core.Engine, error) {
+	s := p.shard(name)
+	s.mu.Lock()
+	if el, ok := s.index[name]; ok {
+		sess := el.Value.(*session)
+		if sess.fp != fp {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: session %q", errSessionConflict, name)
+		}
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return sess.engine, nil
+	}
+	s.mu.Unlock()
+
+	// Build outside the shard lock: engine construction parses the ratio
+	// and builds the base mixing graph, which has no business serializing
+	// unrelated sessions. Two racing first-requests for the same name both
+	// build; the loser's engine is dropped (engines are pure memory).
+	eng, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[name]; ok {
+		sess := el.Value.(*session)
+		if sess.fp != fp {
+			return nil, fmt.Errorf("%w: session %q", errSessionConflict, name)
+		}
+		s.lru.MoveToFront(el)
+		return sess.engine, nil
+	}
+	el := s.lru.PushFront(&session{name: name, fp: fp, engine: eng})
+	s.index[name] = el
+	obs.Inc("server.sessions.created")
+	for s.lru.Len() > p.perShard {
+		old := s.lru.Back()
+		s.lru.Remove(old)
+		delete(s.index, old.Value.(*session).name)
+		obs.Inc("server.sessions.evicted")
+	}
+	return eng, nil
+}
+
+// len reports the number of live sessions across all shards.
+func (p *sessionPool) len() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

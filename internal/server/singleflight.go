@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/cancel"
+)
+
+// flightGroup coalesces concurrent invocations that share a key: one leader
+// runs the build, every concurrent duplicate waits for the leader's result
+// instead of repeating the work. It is a minimal single-flight tailored to
+// the server's stateless planning path (plans are pure functions of the
+// request fingerprint, so sharing a result across callers is always sound —
+// the plan cache below deduplicates across time, the flight group
+// deduplicates across in-flight concurrency).
+//
+// A waiting duplicate honours its own context: if the caller's deadline
+// expires before the leader finishes, the duplicate abandons the wait with a
+// typed cancellation error while the leader keeps running for the others.
+// The leader runs under its own request context; if the leader is canceled,
+// followers receive the leader's (typed, cancellation-wrapping) error and
+// the next request starts a fresh flight.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do returns the result of fn for key, coalescing concurrent duplicates.
+// The boolean reports whether the result was shared (this caller was a
+// follower, not the leader).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err, true
+		case <-ctx.Done():
+			return nil, cancel.Check(ctx), true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}

@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+)
+
+func timeInPast() time.Time { return time.Now().Add(-time.Second) }
+
+// TestRunCtxCanceled pins the planner's cancellation contract: a done
+// context abandons the plan with an error wrapping both cancel.ErrCanceled
+// and the context cause, at a pass boundary.
+func TestRunCtxCanceled(t *testing.T) {
+	base, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	if _, err := RunCtx(ctx, Config{Base: base, Mixers: 3, Scheduler: SRS}, 20); !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("RunCtx error %v does not wrap cancel.ErrCanceled", err)
+	}
+	if _, err := RunCtx(ctx, Config{Base: base, Mixers: 3, Scheduler: SRS}, 20); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx error does not wrap context.Canceled")
+	}
+	// The storage scan is a cancellation point too.
+	if _, err := MaxSinglePassDemandCtx(ctx, Config{Base: base, Mixers: 3, Storage: 4, Scheduler: SRS}, 40); !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("MaxSinglePassDemandCtx error %v does not wrap cancel.ErrCanceled", err)
+	}
+}
+
+// TestRunCtxDeadline asserts deadline expiry surfaces as the typed error
+// with the DeadlineExceeded cause preserved.
+func TestRunCtxDeadline(t *testing.T) {
+	base, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := context.WithDeadline(context.Background(), timeInPast())
+	defer stop()
+	_, err = RunCtx(ctx, Config{Base: base, Mixers: 3, Scheduler: MMS}, 12)
+	if !errors.Is(err, cancel.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v must wrap both cancel.ErrCanceled and context.DeadlineExceeded", err)
+	}
+}

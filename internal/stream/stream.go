@@ -7,11 +7,13 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/audit"
+	"repro/internal/cancel"
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
 	"repro/internal/obs"
@@ -143,6 +145,14 @@ func plan(cfg Config, d int) (*plancache.Plan, error) {
 // whose one-pass schedule fits in the configured storage, or 0 if even a
 // demand of 2 does not fit. Storage use is not monotone in demand, so the
 // scan inspects every even demand up to limit and keeps the largest fit.
+// It is MaxSinglePassDemandCtx with a background context.
+func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
+	return MaxSinglePassDemandCtx(context.Background(), cfg, limit)
+}
+
+// MaxSinglePassDemandCtx is the context-aware scan behind
+// MaxSinglePassDemand. Cancellation is checked at every candidate-demand
+// boundary; an abandoned scan returns an error wrapping cancel.ErrCanceled.
 //
 // The scan grows ONE incremental forest.Builder across all candidate
 // demands — appending one component tree per step reproduces forest.Build's
@@ -152,7 +162,7 @@ func plan(cfg Config, d int) (*plancache.Plan, error) {
 // plans short-circuit the per-candidate scheduling as well. Schedules
 // computed against the growing builder are used immediately and never
 // cached: they alias the live forest, which keeps growing.
-func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
+func MaxSinglePassDemandCtx(ctx context.Context, cfg Config, limit int) (int, error) {
 	if limit < 2 {
 		limit = 2
 	}
@@ -160,6 +170,9 @@ func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
 	b := forest.NewBuilder(cfg.Base)
 	best := 0
 	for d := 2; d <= limit; d += 2 {
+		if err := cancel.Check(ctx); err != nil {
+			return 0, fmt.Errorf("stream: demand scan at D=%d: %w", d, err)
+		}
 		b.AddTree()
 		if p, ok := cache.Get(plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String(), plancache.PristinePolicy)); ok {
 			if p.Storage <= cfg.Storage {
@@ -179,11 +192,19 @@ func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
 }
 
 // Run plans the emission of `demand` target droplets under the configured
-// resource constraints. The repeated full-size pass is planned once and
-// reused for all ⌈D/D'⌉ occurrences (every full pass is the same forest and
-// schedule — only StartCycle differs); only a final short pass, when the
-// demand is not a multiple of D', is planned separately.
+// resource constraints. It is RunCtx with a background context.
 func Run(cfg Config, demand int) (*Result, error) {
+	return RunCtx(context.Background(), cfg, demand)
+}
+
+// RunCtx plans the emission of `demand` target droplets under the configured
+// resource constraints, honouring ctx: cancellation is checked at every pass
+// boundary (and inside the storage scan), and an abandoned plan returns an
+// error wrapping cancel.ErrCanceled. The repeated full-size pass is planned
+// once and reused for all ⌈D/D'⌉ occurrences (every full pass is the same
+// forest and schedule — only StartCycle differs); only a final short pass,
+// when the demand is not a multiple of D', is planned separately.
+func RunCtx(ctx context.Context, cfg Config, demand int) (*Result, error) {
 	if demand <= 0 {
 		return nil, fmt.Errorf("stream: %w: %d", forest.ErrBadDemand, demand)
 	}
@@ -192,7 +213,7 @@ func Run(cfg Config, demand int) (*Result, error) {
 	}
 	perPass := demand
 	if cfg.Storage > 0 {
-		dmax, err := MaxSinglePassDemand(cfg, demand)
+		dmax, err := MaxSinglePassDemandCtx(ctx, cfg, demand)
 		if err != nil {
 			return nil, err
 		}
@@ -206,6 +227,9 @@ func Run(cfg Config, demand int) (*Result, error) {
 	start := 1
 	var full *plancache.Plan // the reused full-size pass plan
 	for remaining := demand; remaining > 0; {
+		if err := cancel.Check(ctx); err != nil {
+			return nil, fmt.Errorf("stream: pass starting at cycle %d: %w", start, err)
+		}
 		d := perPass
 		if remaining < d {
 			d = remaining
@@ -296,11 +320,21 @@ func obsRun(res *Result) {
 // Emissions lists (absolute cycle, droplet count) events across all passes,
 // in time order: every component-tree root emits two target droplets in the
 // cycle it executes.
+//
+// Persistent-pool batches alias one live growing forest: a pass's schedule
+// covers only its own scheduling window [FirstTask, len(Slots)), while the
+// shared forest keeps collecting trees from later batches. Trees outside the
+// window are skipped — indexing their roots into this schedule's slots used
+// to panic (or silently misreport) once a later Request had grown the
+// forest.
 func (r *Result) Emissions() []Emission {
 	var out []Emission
 	for _, p := range r.Passes {
 		byCycle := map[int]int{}
 		for _, tree := range p.Schedule.Forest.Trees {
+			if !inWindow(p.Schedule, tree.Root) {
+				continue
+			}
 			c := p.StartCycle + p.Schedule.At(tree.Root).Cycle - 1
 			byCycle[c] += 2
 		}
@@ -312,6 +346,13 @@ func (r *Result) Emissions() []Emission {
 	return out
 }
 
+// inWindow reports whether a tree root was scheduled by s itself, rather
+// than by an earlier window (ID < FirstTask) or a later one (ID beyond the
+// slot snapshot) of a shared persistent forest.
+func inWindow(s *sched.Schedule, root *forest.Task) bool {
+	return root.ID >= s.FirstTask && root.ID < len(s.Slots)
+}
+
 // FirstEmission returns the absolute cycle the first target droplets leave
 // the chip — the stream's responsiveness (time to first droplet). The
 // mixing forest emits its first pair after d cycles regardless of the total
@@ -321,6 +362,9 @@ func (r *Result) FirstEmission() int {
 	first := 0
 	for _, p := range r.Passes {
 		for _, tree := range p.Schedule.Forest.Trees {
+			if !inWindow(p.Schedule, tree.Root) {
+				continue
+			}
 			c := p.StartCycle + p.Schedule.At(tree.Root).Cycle - 1
 			if first == 0 || c < first {
 				first = c
