@@ -5,11 +5,12 @@ GO ?= go
 # Packages with new concurrency (worker pool, plan cache, parallel sweeps,
 # streaming planner, fault injector, cyberphysical runtime, the parallel
 # mixer-binding search, the transport-matrix cache, the observability
-# registry, the synchronized engine and the HTTP serving core) — raced
+# registry, the synchronized engine, the HTTP serving core, the memoised
+# graph fingerprints and the pooled packed planning kernels) — raced
 # explicitly by `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./cmd/dmfbd
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./cmd/dmfbd
 
-.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-serve fuzz-smoke audit-smoke serve-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve fuzz-smoke audit-smoke serve-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +62,19 @@ audit-smoke:
 	test -s "$$tmp/mdst.jsonl" && test -s "$$tmp/chipsim.jsonl"; \
 	echo "audit-smoke: all runs audited clean"
 
+# Planning-kernel old-vs-new measurement run: packed arena forests and the
+# allocation-free MMS/SRS kernel vs the legacy pointer pipeline, plus the
+# warm end-to-end plan request and the incremental demand scan. Bit-identity
+# is verified before anything is measured. Writes results/bench_plan.json
+# (EXPERIMENTS §E10).
+bench-plan:
+	$(GO) run ./cmd/benchplan -out results/bench_plan.json
+
+# Fast wiring check for the same harness: runs the identity checks and one
+# iteration of each workload, writes nothing.
+bench-plan-smoke:
+	$(GO) run ./cmd/benchplan -smoke
+
 # dmfbd load-test run: boots the serving core in-process, drives every
 # endpoint scenario at fixed concurrency, writes latency/throughput
 # percentiles to results/bench_serve.json (EXPERIMENTS §E9).
@@ -74,7 +88,7 @@ serve-smoke:
 	$(GO) test -race -run 'TestServeSmokeAndDrain' ./cmd/dmfbd
 	@echo "serve-smoke: boot, all endpoints, graceful drain OK"
 
-check: build vet fmt-check test race bench-smoke fuzz-smoke audit-smoke serve-smoke
+check: build vet fmt-check test race bench-smoke bench-plan-smoke fuzz-smoke audit-smoke serve-smoke
 
 clean:
 	$(GO) clean

@@ -1,0 +1,301 @@
+// Command benchplan measures the packed planning kernel against the legacy
+// pointer pipeline — arena forest construction vs pointer-tree Build,
+// allocation-free MMS/SRS vs the container/heap schedulers, the warm
+// end-to-end plan request, and the incremental single-pass demand scan —
+// verifies the packed paths are bit-identical to the legacy ones, and
+// writes the numbers to a JSON record (results/bench_plan.json; see
+// EXPERIMENTS.md §E10).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/plancache"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+	"repro/internal/stream"
+)
+
+type measurement struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"iterations"`
+	MsPerOp     float64 `json:"ms_per_op"`
+}
+
+type record struct {
+	Generated  string                 `json:"generated"`
+	Ratio      string                 `json:"ratio"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+	Speedups   map[string]float64     `json:"speedups"`
+	Identical  map[string]bool        `json:"identical"`
+}
+
+func measure(f func(b *testing.B)) measurement {
+	r := testing.Benchmark(f)
+	return measurement{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+	}
+}
+
+// legacyScan is the from-scratch single-pass demand scan the packed
+// incremental scan replaced: a fresh forest and schedule per even candidate.
+func legacyScan(cfg stream.Config, maxDemand int) (int, error) {
+	best := 0
+	for d := 2; d <= maxDemand; d += 2 {
+		f, err := forest.Build(cfg.Base, d)
+		if err != nil {
+			return 0, err
+		}
+		s, err := cfg.Scheduler.Schedule(f, cfg.Mixers)
+		if err != nil {
+			return 0, err
+		}
+		if sched.StorageUnits(s) <= cfg.Storage {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	out := flag.String("out", "results/bench_plan.json", "output JSON path")
+	smoke := flag.Bool("smoke", false, "verify identity and run each workload once; write nothing")
+	flag.Parse()
+
+	target := ratio.MustParse("2:1:1:1:1:1:9")
+	g, err := minmix.Build(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec := record{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Ratio:      target.String(),
+		Benchmarks: map[string]measurement{},
+		Speedups:   map[string]float64{},
+		Identical:  map[string]bool{},
+	}
+
+	// Bit-identity checks: the packed build+schedule pipeline must reproduce
+	// the legacy pointer pipeline exactly — rendered Gantt chart, aggregate
+	// stats and storage profile — before any of its numbers mean anything.
+	builder := forest.NewPackedBuilder(g)
+	kernel := &sched.Kernel{}
+	for _, d := range []int{20, 200} {
+		lf, err := forest.Build(g, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for name, schedule := range map[string]func() (*sched.Schedule, error){
+			"mms": func() (*sched.Schedule, error) { return sched.MMS(lf, 4) },
+			"srs": func() (*sched.Schedule, error) { return sched.SRS(lf, 4) },
+		} {
+			ls, err := schedule()
+			if err != nil {
+				log.Fatal(err)
+			}
+			pf, err := forest.BuildPacked(builder, g, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if name == "mms" {
+				err = kernel.MMS(pf, 4)
+			} else {
+				err = kernel.SRS(pf, 4)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			mf := pf.Materialize()
+			ms := kernel.Materialize(mf)
+			mst, lst := mf.Stats(), lf.Stats()
+			key := fmt.Sprintf("%s_%d", name, d)
+			rec.Identical[key] = sched.Gantt(ms) == sched.Gantt(ls) &&
+				sched.StorageUnits(ms) == sched.StorageUnits(ls) &&
+				mst.Trees == lst.Trees && mst.Targets == lst.Targets &&
+				mst.Waste == lst.Waste && mst.InputTotal == lst.InputTotal &&
+				mst.Reuses == lst.Reuses
+			if !rec.Identical[key] {
+				log.Fatalf("packed %s diverged from legacy at D=%d", name, d)
+			}
+		}
+	}
+
+	scanCfg := stream.Config{Base: g, Mixers: 4, Storage: 4, Scheduler: stream.SRS}
+	const scanMax = 200
+	plancache.Default().Purge()
+	stream.PurgeScanMemo()
+	packedScan, err := stream.MaxSinglePassDemand(scanCfg, scanMax)
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacyScanD, err := legacyScan(scanCfg, scanMax)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.Identical["max_single_pass_demand"] = packedScan == legacyScanD
+	if !rec.Identical["max_single_pass_demand"] {
+		log.Fatalf("packed demand scan D'=%d, legacy D'=%d", packedScan, legacyScanD)
+	}
+
+	coreCfg := core.Config{Target: target, Algorithm: core.MM, Scheduler: stream.SRS}
+	warmRequest := func() error {
+		e, err := core.New(coreCfg)
+		if err != nil {
+			return err
+		}
+		_, err = e.Request(20)
+		return err
+	}
+	if err := warmRequest(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *smoke {
+		fmt.Printf("bench-plan smoke: identity OK (%d checks), scan D'=%d, warm request OK\n",
+			len(rec.Identical), packedScan)
+		return
+	}
+
+	for _, d := range []int{20, 200} {
+		d := d
+		rec.Benchmarks[fmt.Sprintf("forest_build_legacy_%d", d)] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.Build(g, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec.Benchmarks[fmt.Sprintf("forest_build_packed_%d", d)] = measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.BuildPacked(builder, g, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	lf200, err := forest.Build(g, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf200, err := forest.BuildPacked(builder, g, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.Benchmarks["mms_legacy_200"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.MMS(lf200, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["mms_packed_200"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kernel.MMS(pf200, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["srs_legacy_200"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.SRS(lf200, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["srs_packed_200"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kernel.SRS(pf200, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rec.Benchmarks["warm_plan_request"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := warmRequest(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Both caches are purged per iteration so the packed row measures a cold
+	// scan's compute, not a memo hit (the serving layer's warm scan is a
+	// zero-allocation map lookup; TestDemandScanMemo pins it).
+	rec.Benchmarks["max_single_pass_demand_packed"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plancache.Default().Purge()
+			stream.PurgeScanMemo()
+			if _, err := stream.MaxSinglePassDemand(scanCfg, scanMax); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.Benchmarks["max_single_pass_demand_legacy"] = measure(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := legacyScan(scanCfg, scanMax); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	speedup := func(num, den string) float64 {
+		return float64(rec.Benchmarks[num].NsPerOp) / float64(rec.Benchmarks[den].NsPerOp)
+	}
+	rec.Speedups["forest_build_20"] = speedup("forest_build_legacy_20", "forest_build_packed_20")
+	rec.Speedups["forest_build_200"] = speedup("forest_build_legacy_200", "forest_build_packed_200")
+	rec.Speedups["mms_200"] = speedup("mms_legacy_200", "mms_packed_200")
+	rec.Speedups["srs_200"] = speedup("srs_legacy_200", "srs_packed_200")
+	rec.Speedups["max_single_pass_demand"] = speedup("max_single_pass_demand_legacy", "max_single_pass_demand_packed")
+
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	row := func(label, legacy, packed, key string) {
+		l, p := rec.Benchmarks[legacy], rec.Benchmarks[packed]
+		fmt.Printf("%-16s %9d ns %5d allocs legacy -> %9d ns %3d allocs packed  (%.1fx)\n",
+			label+":", l.NsPerOp, l.AllocsPerOp, p.NsPerOp, p.AllocsPerOp, rec.Speedups[key])
+	}
+	row("forest D=20", "forest_build_legacy_20", "forest_build_packed_20", "forest_build_20")
+	row("forest D=200", "forest_build_legacy_200", "forest_build_packed_200", "forest_build_200")
+	row("MMS D=200", "mms_legacy_200", "mms_packed_200", "mms_200")
+	row("SRS D=200", "srs_legacy_200", "srs_packed_200", "srs_200")
+	row("demand scan", "max_single_pass_demand_legacy", "max_single_pass_demand_packed", "max_single_pass_demand")
+	w := rec.Benchmarks["warm_plan_request"]
+	fmt.Printf("%-16s %9d ns %5d allocs (seed: 277 allocs)\n", "warm request:", w.NsPerOp, w.AllocsPerOp)
+	fmt.Printf("wrote %s\n", *out)
+}

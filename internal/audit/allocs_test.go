@@ -1,0 +1,33 @@
+package audit
+
+import "testing"
+
+// TestCleanAuditAllocs pins the clean-path cost of the stream-count audit:
+// it runs on every multi-pass plan the serving layer builds, so a passing
+// check must not materialise violation messages. The only allocation a
+// clean run is allowed is the Report itself.
+func TestCleanAuditAllocs(t *testing.T) {
+	c := StreamCounts{
+		Demand:        20,
+		PerPassDemand: 8,
+		Emitted:       20,
+		TotalCycles:   15,
+		TotalWaste:    6,
+		TotalInputs:   30,
+		Passes: []PassCounts{
+			{Emits: 8, Cycles: 5, Waste: 2, Inputs: 10, StartCycle: 1},
+			{Emits: 8, Cycles: 5, Waste: 2, Inputs: 10, StartCycle: 6},
+			{Emits: 4, Cycles: 5, Waste: 2, Inputs: 10, StartCycle: 11},
+		},
+	}
+	if r := CheckStreamCounts(c); !r.Clean() {
+		t.Fatalf("fixture fails its own audit: %v", r.Violations)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if !CheckStreamCounts(c).Clean() {
+			t.Fatal("audit failed")
+		}
+	}); allocs > 1 {
+		t.Fatalf("clean CheckStreamCounts allocates %.1f objects, want <= 1 (the Report)", allocs)
+	}
+}

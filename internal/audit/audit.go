@@ -184,11 +184,18 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-func (r *Report) check(ok bool, v *Violation) {
+// failed records one check outcome; true means the invariant was violated
+// and the caller must append its Violation via violate. The two-step shape
+// keeps the clean path from materializing violation messages: these audits
+// run on every plan the serving layer builds, so a passing check must not
+// format anything (TestCleanAuditAllocs).
+func (r *Report) failed(ok bool) bool {
 	r.Checks++
-	if !ok {
-		r.Violations = append(r.Violations, v)
-	}
+	return !ok
+}
+
+func (r *Report) violate(v *Violation) {
+	r.Violations = append(r.Violations, v)
 }
 
 // CheckForest audits a built mixing forest against the paper's plan-level
@@ -200,27 +207,31 @@ func (r *Report) check(ok bool, v *Violation) {
 func CheckForest(f *forest.Forest) *Report {
 	r := &Report{}
 	err := f.Validate()
-	r.check(err == nil, &Violation{Code: Structure, Detail: fmt.Sprint(err)})
-	if err != nil {
+	if r.failed(err == nil) {
 		// Structural breakage invalidates the aggregate checks below.
+		r.violate(&Violation{Code: Structure, Detail: fmt.Sprint(err)})
 		return r
 	}
 	st := f.Stats()
 	wantTrees := (f.Demand + 1) / 2
-	r.check(st.Trees == wantTrees,
-		&Violation{Code: TargetCount, Detail: fmt.Sprintf("|F| = %d trees for D=%d, want ⌈D/2⌉ = %d", st.Trees, f.Demand, wantTrees)})
-	r.check(st.Targets == 2*st.Trees,
-		&Violation{Code: TargetCount, Detail: fmt.Sprintf("%d target droplets from %d trees, want 2 per tree", st.Targets, st.Trees)})
-	r.check(st.InputTotal == int64(st.Targets)+st.Waste,
-		&Violation{Code: MassConservation, Detail: fmt.Sprintf("I=%d, T=%d, W=%d: I != T + W", st.InputTotal, st.Targets, st.Waste)})
+	if r.failed(st.Trees == wantTrees) {
+		r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("|F| = %d trees for D=%d, want ⌈D/2⌉ = %d", st.Trees, f.Demand, wantTrees)})
+	}
+	if r.failed(st.Targets == 2*st.Trees) {
+		r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("%d target droplets from %d trees, want 2 per tree", st.Targets, st.Trees)})
+	}
+	if r.failed(st.InputTotal == int64(st.Targets)+st.Waste) {
+		r.violate(&Violation{Code: MassConservation, Detail: fmt.Sprintf("I=%d, T=%d, W=%d: I != T + W", st.InputTotal, st.Targets, st.Waste)})
+	}
 	target := f.Base.Target.Vector()
 	for _, tree := range f.Trees {
 		want := tree.Want
 		if want.IsZero() {
 			want = target
 		}
-		r.check(tree.Root.Vec.Equal(want),
-			&Violation{Code: CFExactness, Detail: fmt.Sprintf("tree %d root CF %v, want %v", tree.Index, tree.Root.Vec, want)})
+		if r.failed(tree.Root.Vec.Equal(want)) {
+			r.violate(&Violation{Code: CFExactness, Detail: fmt.Sprintf("tree %d root CF %v, want %v", tree.Index, tree.Root.Vec, want)})
+		}
 	}
 	// Zero-waste theorem (§4): with the MM base and D = p·2^d every
 	// intermediate droplet is consumed. Emitted count (D rounded up to
@@ -228,8 +239,9 @@ func CheckForest(f *forest.Forest) *Report {
 	if f.Base.Algorithm == "MM" {
 		if d := f.Base.Target.Depth(); d >= 1 {
 			if period := int64(1) << uint(d); int64(st.Targets)%period == 0 {
-				r.check(st.Waste == 0,
-					&Violation{Code: WasteCount, Detail: fmt.Sprintf("W=%d for emitted=%d ≡ 0 mod 2^%d on MM base, want 0", st.Waste, st.Targets, d)})
+				if r.failed(st.Waste == 0) {
+					r.violate(&Violation{Code: WasteCount, Detail: fmt.Sprintf("W=%d for emitted=%d ≡ 0 mod 2^%d on MM base, want 0", st.Waste, st.Targets, d)})
+				}
 			}
 		}
 	}
@@ -244,8 +256,8 @@ func CheckForest(f *forest.Forest) *Report {
 func CheckSchedule(s *sched.Schedule) *Report {
 	r := &Report{}
 	err := s.Validate()
-	r.check(err == nil, &Violation{Code: Structure, Detail: fmt.Sprint(err)})
-	if err != nil {
+	if r.failed(err == nil) {
+		r.violate(&Violation{Code: Structure, Detail: fmt.Sprint(err)})
 		return r
 	}
 	// Independent storage recomputation: +1 when a droplet enters storage
@@ -267,15 +279,17 @@ func CheckSchedule(s *sched.Schedule) *Report {
 	peak := 0
 	for cycle := 1; cycle <= s.Cycles; cycle++ {
 		occ += diff[cycle]
-		r.check(occ == profile[cycle],
-			&Violation{Code: StorageOccupancy, Cycle: cycle,
+		if r.failed(occ == profile[cycle]) {
+			r.violate(&Violation{Code: StorageOccupancy, Cycle: cycle,
 				Detail: fmt.Sprintf("independent occupancy %d, Algorithm 3 profile %d", occ, profile[cycle])})
+		}
 		if occ > peak {
 			peak = occ
 		}
 	}
-	r.check(peak == sched.StorageUnits(s),
-		&Violation{Code: StorageOccupancy, Detail: fmt.Sprintf("peak occupancy %d, StorageUnits %d", peak, sched.StorageUnits(s))})
+	if r.failed(peak == sched.StorageUnits(s)) {
+		r.violate(&Violation{Code: StorageOccupancy, Detail: fmt.Sprintf("peak occupancy %d, StorageUnits %d", peak, sched.StorageUnits(s))})
+	}
 	return r
 }
 
@@ -317,8 +331,8 @@ type StreamCounts struct {
 // timeline contiguously, and the totals equal the per-pass sums.
 func CheckStreamCounts(c StreamCounts) *Report {
 	r := &Report{}
-	if c.PerPassDemand < 1 {
-		r.check(false, &Violation{Code: TargetCount, Detail: fmt.Sprintf("per-pass demand D'=%d", c.PerPassDemand)})
+	if r.failed(c.PerPassDemand >= 1) {
+		r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("per-pass demand D'=%d", c.PerPassDemand)})
 		return r
 	}
 	remaining := c.Demand
@@ -331,10 +345,12 @@ func CheckStreamCounts(c StreamCounts) *Report {
 			d = remaining
 		}
 		wantEmit := d + d%2 // rounded up to even
-		r.check(p.Emits == wantEmit,
-			&Violation{Code: TargetCount, Detail: fmt.Sprintf("pass %d emits %d droplets, closed form wants %d", i+1, p.Emits, wantEmit)})
-		r.check(p.StartCycle == start,
-			&Violation{Code: ScheduleOrder, Detail: fmt.Sprintf("pass %d starts at cycle %d, want %d", i+1, p.StartCycle, start)})
+		if r.failed(p.Emits == wantEmit) {
+			r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("pass %d emits %d droplets, closed form wants %d", i+1, p.Emits, wantEmit)})
+		}
+		if r.failed(p.StartCycle == start) {
+			r.violate(&Violation{Code: ScheduleOrder, Detail: fmt.Sprintf("pass %d starts at cycle %d, want %d", i+1, p.StartCycle, start)})
+		}
 		start += p.Cycles
 		cycles += p.Cycles
 		emitted += p.Emits
@@ -342,20 +358,27 @@ func CheckStreamCounts(c StreamCounts) *Report {
 		inputs += p.Inputs
 		remaining -= p.Emits
 	}
-	r.check(remaining <= 0,
-		&Violation{Code: TargetCount, Detail: fmt.Sprintf("passes cover only %d of D=%d droplets", c.Demand-remaining, c.Demand)})
+	if r.failed(remaining <= 0) {
+		r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("passes cover only %d of D=%d droplets", c.Demand-remaining, c.Demand)})
+	}
 	wantPasses := (c.Demand + c.PerPassDemand - 1) / c.PerPassDemand
-	r.check(len(c.Passes) == wantPasses,
-		&Violation{Code: TargetCount, Detail: fmt.Sprintf("%d passes, ⌈D/D'⌉ = %d", len(c.Passes), wantPasses)})
-	r.check(c.Emitted == emitted,
-		&Violation{Code: TargetCount, Detail: fmt.Sprintf("plan claims %d emitted, passes sum to %d", c.Emitted, emitted)})
-	r.check(c.Emitted >= c.Demand && c.Emitted-c.Demand <= 1,
-		&Violation{Code: TargetCount, Detail: fmt.Sprintf("emitted %d for demand %d (surplus must be 0 or 1)", c.Emitted, c.Demand)})
-	r.check(c.TotalCycles == cycles,
-		&Violation{Code: ScheduleOrder, Detail: fmt.Sprintf("plan claims %d total cycles, passes sum to %d", c.TotalCycles, cycles)})
-	r.check(c.TotalWaste == waste,
-		&Violation{Code: MassConservation, Detail: fmt.Sprintf("plan claims %d waste, passes sum to %d", c.TotalWaste, waste)})
-	r.check(c.TotalInputs == inputs,
-		&Violation{Code: MassConservation, Detail: fmt.Sprintf("plan claims %d inputs, passes sum to %d", c.TotalInputs, inputs)})
+	if r.failed(len(c.Passes) == wantPasses) {
+		r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("%d passes, ⌈D/D'⌉ = %d", len(c.Passes), wantPasses)})
+	}
+	if r.failed(c.Emitted == emitted) {
+		r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("plan claims %d emitted, passes sum to %d", c.Emitted, emitted)})
+	}
+	if r.failed(c.Emitted >= c.Demand && c.Emitted-c.Demand <= 1) {
+		r.violate(&Violation{Code: TargetCount, Detail: fmt.Sprintf("emitted %d for demand %d (surplus must be 0 or 1)", c.Emitted, c.Demand)})
+	}
+	if r.failed(c.TotalCycles == cycles) {
+		r.violate(&Violation{Code: ScheduleOrder, Detail: fmt.Sprintf("plan claims %d total cycles, passes sum to %d", c.TotalCycles, cycles)})
+	}
+	if r.failed(c.TotalWaste == waste) {
+		r.violate(&Violation{Code: MassConservation, Detail: fmt.Sprintf("plan claims %d waste, passes sum to %d", c.TotalWaste, waste)})
+	}
+	if r.failed(c.TotalInputs == inputs) {
+		r.violate(&Violation{Code: MassConservation, Detail: fmt.Sprintf("plan claims %d inputs, passes sum to %d", c.TotalInputs, inputs)})
+	}
 	return r
 }

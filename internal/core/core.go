@@ -179,18 +179,21 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.RecoveryBudget < 0 {
 		return nil, fmt.Errorf("%w: negative recovery budget %d", ErrBadConfig, cfg.RecoveryBudget)
 	}
-	base, err := cfg.Algorithm.Build(cfg.Target)
+	// Base graphs and the Mlb mixer search are pure in (algorithm, target)
+	// and their results immutable, so they are memoised process-wide (see
+	// basecache.go): a stateless server constructing an Engine per request
+	// pays for neither after the first request for a target.
+	base, err := cachedBase(cfg.Algorithm, cfg.Target)
 	if err != nil {
 		return nil, err
 	}
 	mixers := cfg.Mixers
 	if mixers == 0 {
 		// The paper schedules every scheme with Mlb of the MM tree.
-		mm, err := minmix.Build(cfg.Target)
+		mixers, err = cachedMlb(cfg.Target)
 		if err != nil {
 			return nil, err
 		}
-		mixers = sched.Mlb(mm)
 	}
 	if mixers < 1 {
 		return nil, sched.ErrNoMixers

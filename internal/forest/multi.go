@@ -20,11 +20,15 @@ import (
 var ErrFluidMismatch = errors.New("forest: multi-target bases must share one fluid set")
 
 // MultiBuilder grows component trees for several targets over one shared,
-// vector-keyed droplet pool.
+// vector-keyed droplet pool. The pool is keyed by the 64-bit CF-vector hash
+// (ratio.Vector.Hash) instead of the fmt-built string key — the hot lookup
+// is a few integer multiplies, no string allocation — and every candidate is
+// confirmed with an exact Equal before reuse, so a (2^-64-odds) hash
+// collision degrades to a miss, never to a wrong droplet.
 type MultiBuilder struct {
 	bases []*mixgraph.Graph
 	f     *Forest
-	pool  map[string][]*Task // CF-vector key -> tasks with a spare output
+	pool  map[uint64][]*Task // CF-vector hash -> tasks with a spare output
 	tasks int
 }
 
@@ -44,8 +48,23 @@ func NewMultiBuilder(bases []*mixgraph.Graph) (*MultiBuilder, error) {
 	return &MultiBuilder{
 		bases: bases,
 		f:     &Forest{Base: bases[0]},
-		pool:  make(map[string][]*Task),
+		pool:  make(map[uint64][]*Task),
 	}, nil
+}
+
+// takeSpare removes and returns the oldest pooled task whose CF vector is
+// exactly v.Vec, searching the bucket for the given hash. FIFO order among
+// equal vectors is preserved: buckets are append-at-tail, and removal shifts
+// the remainder down (buckets are nearly always length 0-2).
+func (b *MultiBuilder) takeSpare(key uint64, v *mixgraph.Node) (*Task, bool) {
+	bucket := b.pool[key]
+	for i, t := range bucket {
+		if t.Vec.Equal(v.Vec) {
+			b.pool[key] = append(bucket[:i], bucket[i+1:]...)
+			return t, true
+		}
+	}
+	return nil, false
 }
 
 // PoolSize returns the number of spare droplets awaiting reuse.
@@ -69,10 +88,8 @@ func (b *MultiBuilder) AddTree(ti int) (*Tree, error) {
 
 	var obtain func(v *mixgraph.Node) Source
 	obtain = func(v *mixgraph.Node) Source {
-		key := v.Vec.Key()
-		if spares := b.pool[key]; len(spares) > 0 {
-			t := spares[0]
-			b.pool[key] = spares[1:]
+		key := v.Vec.Hash()
+		if t, ok := b.takeSpare(key, v); ok {
 			return Source{Kind: FromTask, Task: t, Reused: t.Tree != idx}
 		}
 		if v.IsLeaf() {

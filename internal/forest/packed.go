@@ -1,0 +1,345 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mixgraph"
+)
+
+// Packed mixing forests: the zero-steady-state-allocation twin of the
+// pointer-linked Builder/Forest API.
+//
+// A mixing forest is a static DAG — tasks never change after creation, every
+// task has exactly two inputs and at most two consumers, and base-graph node
+// IDs are dense — so the whole structure packs into flat arrays linked by
+// int32 indices. A PackedBuilder keeps every array (task arena, per-node
+// waste-pool FIFOs, tree roots) across Reset calls, so after the first build
+// of a given size, growing a forest performs zero heap allocations: the
+// arenas are recycled, not reallocated. The engine layer (internal/stream)
+// pools whole builders with sync.Pool.
+//
+// The packed path is certified bit-identical to the legacy builder:
+// Materialize reconstructs a legacy *Forest, and TestPackedGoldenEquivalence
+// proves it equal — task by task, source by source — to forest.Build's
+// output for every protocol and a randomized sweep.
+
+// PSource describes one input droplet of a packed task. For Kind == Input,
+// Ref is the reservoir fluid index; for Kind == FromTask it is the producing
+// task's index in PackedForest.Tasks.
+type PSource struct {
+	Ref    int32
+	Kind   SourceKind
+	Reused bool
+}
+
+// PTask is one (1:1) mix-split step in packed form. Its output CF vector is
+// its base node's vector (tasks instantiate base-graph nodes), so packed
+// tasks carry no vector words of their own — the index into the base graph
+// is the vector.
+type PTask struct {
+	// Base is the base-graph node ID this task instantiates.
+	Base int32
+	// Tree is the 1-based component-tree index.
+	Tree int32
+	// Level is the paper's positional level of the mix.
+	Level int32
+	// Targets is 2 for component-tree roots, 0 otherwise.
+	Targets int8
+	// NCons is the number of live entries in Cons.
+	NCons int8
+	// Cons are the consuming task indices, in consumer-creation order. A
+	// task has at most two output droplets, so two slots always suffice —
+	// this is what removes the per-task consumers slice of the legacy API.
+	Cons [2]int32
+	// In are the two input droplets.
+	In [2]PSource
+}
+
+// InternalInputs counts inputs produced by other tasks (0, 1 or 2).
+func (t *PTask) InternalInputs() int {
+	n := 0
+	for _, s := range t.In {
+		if s.Kind == FromTask {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeOutputs returns the task's final waste contribution: outputs that are
+// neither targets nor consumed.
+func (t *PTask) FreeOutputs() int { return 2 - int(t.Targets) - int(t.NCons) }
+
+// PackedForest is a complete mixing forest in flat index-linked form.
+type PackedForest struct {
+	// Base is the base mixing graph the forest was grown from.
+	Base *mixgraph.Graph
+	// Demand is the requested droplet demand D.
+	Demand int
+	// Tasks is the task arena in topological (creation) order; a task's
+	// index is its ID. Tasks of one component tree are contiguous.
+	Tasks []PTask
+	// Roots holds the root task index of each component tree, in tree order
+	// (tree i+1 has root Roots[i]).
+	Roots []int32
+	// TreeStart[i] is the index of the first task of tree i+1; tree i+1
+	// spans Tasks[TreeStart[i] : TreeStart[i+1]] (the last tree runs to
+	// len(Tasks)). Tasks are created bottom-up, so each tree's root is the
+	// last task of its span.
+	TreeStart []int32
+}
+
+// NumTrees returns |F|, the number of component trees.
+func (f *PackedForest) NumTrees() int { return len(f.Roots) }
+
+// poolFIFO is one base-node waste-pool queue. Spares are appended at the
+// tail and consumed from the head (the legacy builder's FIFO order); head
+// chases tail instead of re-slicing so the backing array is reused forever.
+type poolFIFO struct {
+	items []int32
+	head  int32
+}
+
+func (q *poolFIFO) push(id int32) { q.items = append(q.items, id) }
+
+func (q *poolFIFO) pop() (int32, bool) {
+	if int(q.head) >= len(q.items) {
+		return 0, false
+	}
+	id := q.items[q.head]
+	q.head++
+	return id, true
+}
+
+func (q *poolFIFO) len() int { return len(q.items) - int(q.head) }
+
+func (q *poolFIFO) reset() {
+	q.items = q.items[:0]
+	q.head = 0
+}
+
+// PackedBuilder grows a packed mixing forest incrementally, one component
+// tree at a time, exactly mirroring Builder's recursion and waste-pool
+// discipline. The zero value is usable after Reset; all internal arenas are
+// retained across Reset calls.
+type PackedBuilder struct {
+	base *mixgraph.Graph
+	f    PackedForest
+	pool []poolFIFO // indexed by base-graph node ID
+}
+
+// NewPackedBuilder returns a builder over the given base graph.
+func NewPackedBuilder(base *mixgraph.Graph) *PackedBuilder {
+	b := &PackedBuilder{}
+	b.Reset(base)
+	return b
+}
+
+// Reset rewinds the builder to an empty forest over base, retaining every
+// arena it has grown so far. After the builder has once built a forest of
+// some size, rebuilding any forest up to that size allocates nothing.
+func (b *PackedBuilder) Reset(base *mixgraph.Graph) {
+	b.base = base
+	b.f.Base = base
+	b.f.Demand = 0
+	b.f.Tasks = b.f.Tasks[:0]
+	b.f.Roots = b.f.Roots[:0]
+	b.f.TreeStart = b.f.TreeStart[:0]
+	n := len(base.Nodes)
+	if cap(b.pool) < n {
+		b.pool = make([]poolFIFO, n)
+	} else {
+		b.pool = b.pool[:n]
+		for i := range b.pool {
+			b.pool[i].reset()
+		}
+	}
+}
+
+// PoolSize returns the number of spare droplets awaiting reuse.
+func (b *PackedBuilder) PoolSize() int {
+	n := 0
+	for i := range b.pool {
+		n += b.pool[i].len()
+	}
+	return n
+}
+
+// Forest returns the forest built so far. The returned pointer aliases the
+// builder's arenas: it is valid until the next Reset, and keeps growing with
+// further AddTree calls.
+func (b *PackedBuilder) Forest() *PackedForest {
+	b.f.Demand = 2 * len(b.f.Roots)
+	return &b.f
+}
+
+// AddTree appends the next component tree (two droplets of capacity) and
+// returns its root task index.
+func (b *PackedBuilder) AddTree() int32 {
+	idx := int32(len(b.f.Roots) + 1)
+	b.f.TreeStart = append(b.f.TreeStart, int32(len(b.f.Tasks)))
+	rootNode := b.base.Root
+	l := b.obtain(rootNode.Children[0], idx)
+	r := b.obtain(rootNode.Children[1], idx)
+	root := b.newTask(rootNode, l, r, idx)
+	b.f.Tasks[root].Targets = 2
+	b.f.Roots = append(b.f.Roots, root)
+	return root
+}
+
+// obtain mirrors the legacy builder's recursive procedure: pooled spare
+// first, fresh input droplet for leaves, otherwise a new mix over the
+// children (whose spare output joins the pool).
+func (b *PackedBuilder) obtain(v *mixgraph.Node, tree int32) PSource {
+	if id, ok := b.pool[v.ID].pop(); ok {
+		return PSource{Kind: FromTask, Ref: id, Reused: b.f.Tasks[id].Tree != tree}
+	}
+	if v.IsLeaf() {
+		return PSource{Kind: Input, Ref: int32(v.Fluid)}
+	}
+	l := b.obtain(v.Children[0], tree)
+	r := b.obtain(v.Children[1], tree)
+	t := b.newTask(v, l, r, tree)
+	b.pool[v.ID].push(t)
+	return PSource{Kind: FromTask, Ref: t}
+}
+
+func (b *PackedBuilder) newTask(v *mixgraph.Node, l, r PSource, tree int32) int32 {
+	id := int32(len(b.f.Tasks))
+	b.f.Tasks = append(b.f.Tasks, PTask{
+		Base:  int32(v.ID),
+		Tree:  tree,
+		Level: int32(v.PosLevel),
+		In:    [2]PSource{l, r},
+	})
+	for _, s := range [2]PSource{l, r} {
+		if s.Kind == FromTask {
+			p := &b.f.Tasks[s.Ref]
+			p.Cons[p.NCons] = id
+			p.NCons++
+		}
+	}
+	return id
+}
+
+// ErrArenaOverflow reports a demand whose forest could exceed the packed
+// arena's int32 index space.
+var ErrArenaOverflow = errors.New("forest: demand exceeds packed arena capacity")
+
+// BuildPacked constructs the packed mixing forest for demand D into the
+// given builder (resetting it first). It is the packed twin of Build and
+// counts toward BuildCount like a full build.
+func BuildPacked(b *PackedBuilder, base *mixgraph.Graph, demand int) (*PackedForest, error) {
+	if demand <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDemand, demand)
+	}
+	trees := (demand + 1) / 2
+	// The arena addresses tasks with int32 indices. Each tree materializes at
+	// most one task per base-graph node, so trees*len(Nodes) bounds the arena;
+	// refuse demands that could overflow it rather than corrupt links silently
+	// (the legacy pointer builder has no such representational limit).
+	if int64(trees)*int64(len(base.Nodes)) > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: demand %d needs up to %d tasks", ErrArenaOverflow, demand, int64(trees)*int64(len(base.Nodes)))
+	}
+	buildCount.Add(1)
+	b.Reset(base)
+	for i := 0; i < trees; i++ {
+		b.AddTree()
+	}
+	f := b.Forest()
+	f.Demand = demand
+	return f, nil
+}
+
+// Materialize reconstructs the legacy pointer-linked Forest from a packed
+// one. The result is bit-identical to what Build would have produced for the
+// same base graph and demand (TestPackedGoldenEquivalence certifies this).
+// It allocates a constant number of backing arrays regardless of forest
+// size, and is called once per plan-cache miss — never on a steady-state
+// path.
+func (f *PackedForest) Materialize() *Forest {
+	tasks := make([]Task, len(f.Tasks))
+	ptrs := make([]*Task, len(f.Tasks))
+	consArena := make([]*Task, 0, 2*len(f.Tasks))
+	for i := range tasks {
+		ptrs[i] = &tasks[i]
+	}
+	for i := range f.Tasks {
+		pt := &f.Tasks[i]
+		node := f.Base.Nodes[pt.Base]
+		t := ptrs[i]
+		t.ID = i
+		t.Tree = int(pt.Tree)
+		t.Base = node
+		t.Level = int(pt.Level)
+		t.Vec = node.Vec
+		t.Targets = int(pt.Targets)
+		for s := 0; s < 2; s++ {
+			src := pt.In[s]
+			if src.Kind == Input {
+				t.In[s] = Source{Kind: Input, Fluid: int(src.Ref)}
+			} else {
+				t.In[s] = Source{Kind: FromTask, Task: ptrs[src.Ref], Reused: src.Reused}
+			}
+		}
+		if pt.NCons > 0 {
+			start := len(consArena)
+			for c := int8(0); c < pt.NCons; c++ {
+				consArena = append(consArena, ptrs[pt.Cons[c]])
+			}
+			t.consumers = consArena[start:len(consArena):len(consArena)]
+		}
+	}
+	out := &Forest{Base: f.Base, Demand: f.Demand, Tasks: ptrs}
+	trees := make([]Tree, len(f.Roots))
+	out.Trees = make([]*Tree, len(f.Roots))
+	want := f.Base.Target.Vector()
+	for i := range trees {
+		start := f.TreeStart[i]
+		end := int32(len(f.Tasks))
+		if i+1 < len(f.TreeStart) {
+			end = f.TreeStart[i+1]
+		}
+		trees[i] = Tree{
+			Index: i + 1,
+			Root:  ptrs[f.Roots[i]],
+			Tasks: ptrs[start:end:end],
+			Want:  want,
+		}
+		out.Trees[i] = &trees[i]
+	}
+	return out
+}
+
+// PackedStats computes the forest's aggregate statistics without touching
+// the legacy API. Inputs is written into the caller's slice (len >= fluid
+// count) so the steady-state path allocates nothing; it returns the stats
+// with Inputs aliasing that buffer.
+func (f *PackedForest) PackedStats(inputs []int64) Stats {
+	n := f.Base.Target.N()
+	inputs = inputs[:n]
+	for i := range inputs {
+		inputs[i] = 0
+	}
+	s := Stats{
+		Trees:   len(f.Roots),
+		Mixes:   len(f.Tasks),
+		Inputs:  inputs,
+		Targets: 2 * len(f.Roots),
+	}
+	for i := range f.Tasks {
+		t := &f.Tasks[i]
+		for _, src := range t.In {
+			if src.Kind == Input {
+				inputs[src.Ref]++
+				s.InputTotal++
+			} else if src.Reused {
+				s.Reuses++
+			}
+		}
+		s.Waste += int64(t.FreeOutputs())
+	}
+	return s
+}

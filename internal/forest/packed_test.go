@@ -1,0 +1,266 @@
+package forest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/minmix"
+	"repro/internal/mixgraph"
+	"repro/internal/mtcs"
+	"repro/internal/protocols"
+	"repro/internal/ratio"
+	"repro/internal/rma"
+)
+
+// forestsEqual compares two legacy forests structurally, field by field.
+func forestsEqual(t *testing.T, got, want *Forest) {
+	t.Helper()
+	if got.Demand != want.Demand {
+		t.Fatalf("Demand %d, want %d", got.Demand, want.Demand)
+	}
+	if len(got.Tasks) != len(want.Tasks) {
+		t.Fatalf("%d tasks, want %d", len(got.Tasks), len(want.Tasks))
+	}
+	for i := range want.Tasks {
+		g, w := got.Tasks[i], want.Tasks[i]
+		if g.ID != w.ID || g.Tree != w.Tree || g.Base != w.Base || g.Level != w.Level ||
+			g.Targets != w.Targets || !g.Vec.Equal(w.Vec) {
+			t.Fatalf("task %d header differs: %+v vs %+v", i, g, w)
+		}
+		for s := 0; s < 2; s++ {
+			gs, ws := g.In[s], w.In[s]
+			if gs.Kind != ws.Kind || gs.Reused != ws.Reused {
+				t.Fatalf("task %d input %d differs: %+v vs %+v", i, s, gs, ws)
+			}
+			if gs.Kind == Input && gs.Fluid != ws.Fluid {
+				t.Fatalf("task %d input %d fluid %d, want %d", i, s, gs.Fluid, ws.Fluid)
+			}
+			if gs.Kind == FromTask && gs.Task.ID != ws.Task.ID {
+				t.Fatalf("task %d input %d from task %d, want %d", i, s, gs.Task.ID, ws.Task.ID)
+			}
+		}
+		if len(g.consumers) != len(w.consumers) {
+			t.Fatalf("task %d has %d consumers, want %d", i, len(g.consumers), len(w.consumers))
+		}
+		for c := range w.consumers {
+			if g.consumers[c].ID != w.consumers[c].ID {
+				t.Fatalf("task %d consumer %d is %d, want %d", i, c, g.consumers[c].ID, w.consumers[c].ID)
+			}
+		}
+	}
+	if len(got.Trees) != len(want.Trees) {
+		t.Fatalf("%d trees, want %d", len(got.Trees), len(want.Trees))
+	}
+	for i := range want.Trees {
+		g, w := got.Trees[i], want.Trees[i]
+		if g.Index != w.Index || g.Root.ID != w.Root.ID || !g.Want.Equal(w.Want) {
+			t.Fatalf("tree %d header differs", i)
+		}
+		if len(g.Tasks) != len(w.Tasks) {
+			t.Fatalf("tree %d has %d tasks, want %d", i, len(g.Tasks), len(w.Tasks))
+		}
+		for j := range w.Tasks {
+			if g.Tasks[j].ID != w.Tasks[j].ID {
+				t.Fatalf("tree %d task %d is %d, want %d", i, j, g.Tasks[j].ID, w.Tasks[j].ID)
+			}
+		}
+	}
+}
+
+// bases returns every (protocol, algorithm) base graph the paper evaluates.
+func allBases(t *testing.T) []*mixgraph.Graph {
+	t.Helper()
+	var out []*mixgraph.Graph
+	ratios := []ratio.Ratio{protocols.PCR16().Ratio}
+	for _, p := range protocols.Table2() {
+		ratios = append(ratios, p.Ratio)
+	}
+	for _, r := range ratios {
+		for name, build := range map[string]func(ratio.Ratio) (*mixgraph.Graph, error){
+			"MM": minmix.Build, "RMA": rma.Build, "MTCS": mtcs.Build,
+		} {
+			g, err := build(r)
+			if err != nil {
+				t.Fatalf("%s(%v): %v", name, r, err)
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// TestPackedGoldenEquivalence certifies the tentpole's core promise: the
+// packed arena builder materializes to a forest bit-identical to the legacy
+// pointer builder, for every protocol x algorithm and a sweep of demands.
+func TestPackedGoldenEquivalence(t *testing.T) {
+	pb := &PackedBuilder{}
+	for _, g := range allBases(t) {
+		for _, demand := range []int{1, 2, 3, 4, 7, 8, 16, 20, 31, 64} {
+			want, err := Build(g, demand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf, err := BuildPacked(pb, g, demand)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pf.Materialize()
+			forestsEqual(t, got, want)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("materialized forest invalid: %v", err)
+			}
+		}
+	}
+}
+
+// TestPackedGoldenEquivalenceRandom extends the golden sweep to randomized
+// ratios (random parts, power-of-two sums, random algorithms and demands).
+func TestPackedGoldenEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	builders := []func(ratio.Ratio) (*mixgraph.Graph, error){minmix.Build, rma.Build, mtcs.Build}
+	pb := &PackedBuilder{}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(5)
+		d := 3 + rng.Intn(5)
+		parts := make([]int64, n)
+		total := int64(1) << d
+		ok := true
+		for i := 0; i < n-1; i++ {
+			maxPart := total - int64(n-1-i) // leave at least 1 per later part
+			if maxPart < 1 {
+				ok = false
+				break
+			}
+			v := 1 + rng.Int63n(maxPart)
+			parts[i] = v
+			total -= v
+		}
+		parts[n-1] = total
+		if !ok || total < 1 {
+			continue
+		}
+		r, err := ratio.New(parts...)
+		if err != nil {
+			t.Fatalf("trial %d: ratio %v: %v", trial, parts, err)
+		}
+		g, err := builders[rng.Intn(len(builders))](r)
+		if err != nil {
+			t.Fatalf("trial %d: base build: %v", trial, err)
+		}
+		demand := 1 + rng.Intn(40)
+		want, err := Build(g, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := BuildPacked(pb, g, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forestsEqual(t, pf.Materialize(), want)
+	}
+}
+
+// TestPackedIncrementalMatchesLegacyIncremental checks AddTree-by-AddTree
+// equivalence: the packed builder's pool discipline must track the legacy
+// builder at every step, not just at the end.
+func TestPackedIncrementalMatchesLegacyIncremental(t *testing.T) {
+	g, err := minmix.Build(protocols.PCR16().Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewBuilder(g)
+	pb := NewPackedBuilder(g)
+	for step := 0; step < 16; step++ {
+		lb.AddTree()
+		pb.AddTree()
+		if got, want := pb.PoolSize(), lb.PoolSize(); got != want {
+			t.Fatalf("step %d: packed pool %d, legacy pool %d", step, got, want)
+		}
+		forestsEqual(t, pb.Forest().Materialize(), lb.Forest())
+	}
+}
+
+// TestPackedStatsMatch checks PackedStats against the legacy Stats.
+func TestPackedStatsMatch(t *testing.T) {
+	for _, g := range allBases(t) {
+		pb := NewPackedBuilder(g)
+		pf, err := BuildPacked(pb, g, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Build(g, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := want.Stats()
+		buf := make([]int64, g.Target.N())
+		gs := pf.PackedStats(buf)
+		if gs.Trees != ws.Trees || gs.Mixes != ws.Mixes || gs.Waste != ws.Waste ||
+			gs.InputTotal != ws.InputTotal || gs.Targets != ws.Targets || gs.Reuses != ws.Reuses {
+			t.Fatalf("packed stats %+v, legacy %+v", gs, ws)
+		}
+		for i := range ws.Inputs {
+			if gs.Inputs[i] != ws.Inputs[i] {
+				t.Fatalf("input %d: packed %d, legacy %d", i, gs.Inputs[i], ws.Inputs[i])
+			}
+		}
+	}
+}
+
+// TestPackedBuilderZeroAllocSteadyState proves the tentpole's warm-append
+// criterion: once the arenas have grown to a demand's size, rebuilding that
+// demand (Reset + AddTree*) performs zero heap allocations.
+func TestPackedBuilderZeroAllocSteadyState(t *testing.T) {
+	g, err := minmix.Build(protocols.PCR16().Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewPackedBuilder(g)
+	warm := func() {
+		b.Reset(g)
+		for i := 0; i < 10; i++ {
+			b.AddTree()
+		}
+	}
+	warm() // grow the arenas once
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("warm packed build allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestPackedStatsZeroAlloc proves stats over a packed forest are free.
+func TestPackedStatsZeroAlloc(t *testing.T) {
+	g, err := minmix.Build(protocols.PCR16().Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewPackedBuilder(g)
+	pf, err := BuildPacked(b, g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int64, g.Target.N())
+	allocs := testing.AllocsPerRun(100, func() { pf.PackedStats(buf) })
+	if allocs != 0 {
+		t.Fatalf("PackedStats allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestPackedArenaOverflowGuard proves absurd demands are refused up front
+// instead of silently overflowing the arena's int32 task indices.
+func TestPackedArenaOverflowGuard(t *testing.T) {
+	g, err := minmix.Build(protocols.PCR16().Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewPackedBuilder(g)
+	_, err = BuildPacked(b, g, 2_000_000_000)
+	if !errors.Is(err, ErrArenaOverflow) {
+		t.Fatalf("BuildPacked(D=2e9) err = %v, want ErrArenaOverflow", err)
+	}
+	if _, err := BuildPacked(b, g, 20); err != nil {
+		t.Fatalf("builder unusable after rejected demand: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ package mixgraph
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ratio"
 )
@@ -93,6 +94,15 @@ type Graph struct {
 	Nodes []*Node
 	// Algorithm names the base algorithm that built the graph ("MM", ...).
 	Algorithm string
+
+	// Memoised derived identity (see fingerprint.go). Graphs are immutable
+	// after Build, so both values are computed at most once per graph; the
+	// atomics make lazy computation safe under concurrent readers. The
+	// fields also make Graph uncopyable under `go vet` (copylocks), which
+	// is correct: every holder must share the one memo.
+	fp        atomic.Uint64
+	fpDone    atomic.Bool
+	targetKey atomic.Pointer[string]
 }
 
 // Builder constructs a Graph incrementally. The zero value is not usable;

@@ -1,0 +1,26 @@
+package obs
+
+import "testing"
+
+// TestDisabledMetricsAllocs pins the disabled-path contract: with no active
+// registry, every metric entry point is one atomic pointer load and zero
+// allocations. The planning and execution kernels are instrumented
+// unconditionally, so any garbage here would show up in the zero-alloc
+// steady-state tests across forest, sched and stream.
+func TestDisabledMetricsAllocs(t *testing.T) {
+	Disable()
+	if allocs := testing.AllocsPerRun(100, func() {
+		Inc("audit.counter")
+		Add("audit.counter", 3)
+		Observe("audit.hist", 1.5)
+		StartTimer("audit.timer")()
+		if Enabled() {
+			t.Fatal("observability unexpectedly enabled")
+		}
+		if Counter("audit.counter") != 0 {
+			t.Fatal("disabled counter non-zero")
+		}
+	}); allocs != 0 {
+		t.Fatalf("disabled metric calls allocate %.1f objects, want 0", allocs)
+	}
+}

@@ -56,11 +56,14 @@ const PristinePolicy = ""
 // KeyFor builds the cache key for planning `demand` droplets of g's target
 // on `mixers` mixers under the named scheduler and fault/recovery policy
 // (PristinePolicy for the fault-free planning path).
+// Both identity components are memoised on the graph, so a warm KeyFor is
+// two atomic loads and zero allocations (the serving layer calls it on
+// every plan request).
 func KeyFor(g *mixgraph.Graph, demand, mixers int, scheduler, policy string) Key {
 	return Key{
 		Algo:      g.Algorithm,
-		Ratio:     g.Target.String(),
-		Graph:     Fingerprint(g),
+		Ratio:     g.TargetKey(),
+		Graph:     g.Fingerprint(),
 		Demand:    demand,
 		Mixers:    mixers,
 		Scheduler: scheduler,
@@ -68,35 +71,9 @@ func KeyFor(g *mixgraph.Graph, demand, mixers int, scheduler, policy string) Key
 	}
 }
 
-// Fingerprint returns a structural FNV-1a hash of a base mixing graph: node
-// kinds, fluids and child wiring, in topological order. Graphs built by the
-// deterministic algorithms (MM, RMA, MTCS, RSM) over the same ratio always
-// collide intentionally; structurally different graphs virtually never do.
-func Fingerprint(g *mixgraph.Graph) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for s := 0; s < 64; s += 8 {
-			h ^= (v >> s) & 0xff
-			h *= prime64
-		}
-	}
-	mix(uint64(len(g.Nodes)))
-	for _, n := range g.Nodes {
-		if n.IsLeaf() {
-			mix(1)
-			mix(uint64(n.Fluid))
-			continue
-		}
-		mix(2)
-		mix(uint64(n.Children[0].ID))
-		mix(uint64(n.Children[1].ID))
-	}
-	return h
-}
+// Fingerprint returns the structural hash of a base mixing graph; see
+// mixgraph.Graph.Fingerprint. Kept for callers that key their own tables.
+func Fingerprint(g *mixgraph.Graph) uint64 { return g.Fingerprint() }
 
 // Plan is one cached planning artefact: the forest grown for the demand, the
 // mixer/time assignment, and the two derived quantities every consumer needs

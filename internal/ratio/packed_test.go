@@ -1,0 +1,155 @@
+package ratio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randVector builds a random canonical vector over n fluids at depth d.
+func randVector(rng *rand.Rand, n int, d uint) Vector {
+	num := make([]int64, n)
+	total := int64(1) << d
+	for i := 0; i < n-1; i++ {
+		if total > 0 {
+			v := rng.Int63n(total + 1)
+			num[i] = v
+			total -= v
+		}
+	}
+	num[n-1] = total
+	v, err := NewVector(num, d)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TestMixIntoMatchesMix certifies the packed word path against the boxed
+// golden: for random vector pairs, MixInto produces exactly Mix's canonical
+// numerators and exponent.
+func TestMixIntoMatchesMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randVector(rng, n, uint(1+rng.Intn(8)))
+		b := randVector(rng, n, uint(1+rng.Intn(8)))
+		want := Mix(a, b)
+		dst := make([]int64, n)
+		exp := MixInto(dst, a, b)
+		if !want.EqualWords(dst, exp) {
+			t.Fatalf("trial %d: MixInto(%v, %v) = %v/2^%d, want %v", trial, a, b, dst, exp, want)
+		}
+	}
+}
+
+// TestMixWordsIntoAliasing verifies dst may alias an input.
+func TestMixWordsIntoAliasing(t *testing.T) {
+	a := MustParse("1:3").Vector()
+	b := MustParse("3:1").Vector()
+	want := Mix(a, b)
+	buf := make([]int64, 2)
+	aExp := a.NumsInto(buf)
+	got := make([]int64, 2)
+	bExp := b.NumsInto(got)
+	exp := MixWordsInto(got, buf, aExp, got, bExp)
+	if !want.EqualWords(got, exp) {
+		t.Fatalf("aliased mix = %v/2^%d, want %v", got, exp, want)
+	}
+}
+
+// TestHashAgreement checks Vector.Hash == HashWords over the unboxed
+// content, and that hashing distinguishes a spread of distinct vectors.
+func TestHashAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := map[uint64]Vector{}
+	for trial := 0; trial < 500; trial++ {
+		v := randVector(rng, 2+rng.Intn(6), uint(1+rng.Intn(9)))
+		buf := make([]int64, v.N())
+		exp := v.NumsInto(buf)
+		if v.Hash() != HashWords(buf, exp) {
+			t.Fatalf("Hash mismatch for %v", v)
+		}
+		if prev, ok := seen[v.Hash()]; ok && !prev.Equal(v) {
+			t.Fatalf("hash collision: %v vs %v", prev, v)
+		}
+		seen[v.Hash()] = v
+	}
+	a := MustParse("1:1").Vector()
+	b := MustParse("1:3").Vector()
+	if a.Hash() == b.Hash() {
+		t.Fatal("distinct vectors share a hash")
+	}
+	if a.Hash() != MustParse("2:2").Vector().Hash() {
+		t.Fatal("equal canonical vectors must hash identically")
+	}
+}
+
+// TestReduceWordsCanonical checks ReduceWords matches the boxed reduce.
+func TestReduceWordsCanonical(t *testing.T) {
+	num := []int64{4, 4, 8}
+	exp := ReduceWords(num, 4)
+	want, err := NewVector([]int64{4, 4, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualWords(num, exp) {
+		t.Fatalf("ReduceWords = %v/2^%d, want %v", num, exp, want)
+	}
+}
+
+// TestAtDepthInto checks the in-place rescale against AtDepth.
+func TestAtDepthInto(t *testing.T) {
+	v := MustParse("1:3").Vector()
+	want, err := v.AtDepth(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, v.N())
+	if err := v.AtDepthInto(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("AtDepthInto = %v, want %v", got, want)
+		}
+	}
+	if err := v.AtDepthInto(got, 1); err == nil {
+		t.Fatal("rescale below canonical exponent must fail")
+	}
+}
+
+// TestMixIntoZeroAlloc proves the packed mix is allocation-free: the
+// tentpole's warm-Mix criterion.
+func TestMixIntoZeroAlloc(t *testing.T) {
+	a := MustParse("2:1:1:1:1:1:9").Vector()
+	b := Unit(3, 7)
+	dst := make([]int64, 7)
+	allocs := testing.AllocsPerRun(200, func() {
+		MixInto(dst, a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("MixInto allocates %.1f objects per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		_ = a.Hash()
+	})
+	if allocs != 0 {
+		t.Fatalf("Hash allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestKeyStringUnchanged pins the rendered forms the strconv rewrite must
+// preserve (ledgers and move logs compare these strings byte-for-byte).
+func TestKeyStringUnchanged(t *testing.T) {
+	v := MustParse("2:1:1:1:1:1:9").Vector()
+	if got, want := v.Key(), "e4:2:1:1:1:1:1:9"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	if got, want := v.String(), "<2:1:1:1:1:1:9>/16"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	r := MustParse("2:1:1:1:1:1:9")
+	if got, want := r.String(), "2:1:1:1:1:1:9"; got != want {
+		t.Fatalf("Ratio.String() = %q, want %q", got, want)
+	}
+}

@@ -237,14 +237,14 @@ func (r Ratio) Normalized() Ratio {
 
 // String renders the ratio in the paper's colon notation.
 func (r Ratio) String() string {
-	var b strings.Builder
+	b := make([]byte, 0, 4*len(r.parts))
 	for i, p := range r.parts {
 		if i > 0 {
-			b.WriteByte(':')
+			b = append(b, ':')
 		}
-		fmt.Fprintf(&b, "%d", p)
+		b = strconv.AppendInt(b, p, 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // Vector returns the exact CF vector of the target mixture: fluid i has

@@ -2,7 +2,7 @@ package ratio
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Vector is the exact concentration-factor (CF) vector of a droplet: fluid i
@@ -127,41 +127,52 @@ func (v Vector) Equal(o Vector) bool {
 }
 
 // Key returns a compact string usable as a map key for vector identity.
+// Hot map lookups should prefer the allocation-free uint64 Hash (packed.go);
+// Key remains for human-readable identity (move logs, droplet ledgers).
 func (v Vector) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "e%d", v.exp)
+	b := make([]byte, 0, 4+8*len(v.num))
+	b = append(b, 'e')
+	b = strconv.AppendUint(b, uint64(v.exp), 10)
 	for _, n := range v.num {
-		fmt.Fprintf(&b, ":%d", n)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, n, 10)
 	}
-	return b.String()
+	return string(b)
+}
+
+// errRescale reports a rescale to a coarser denominator than the vector's
+// canonical one.
+func errRescale(have, want uint) error {
+	return fmt.Errorf("ratio: vector needs denominator 2^%d, cannot rescale to 2^%d", have, want)
 }
 
 // AtDepth returns the numerators rescaled to denominator 2^d. It fails if
 // the vector needs a finer scale than 2^d.
 func (v Vector) AtDepth(d uint) ([]int64, error) {
 	if d < v.exp {
-		return nil, fmt.Errorf("ratio: vector needs denominator 2^%d, cannot rescale to 2^%d", v.exp, d)
+		return nil, errRescale(v.exp, d)
 	}
 	if d > MaxDepth {
 		return nil, ErrSumTooLarge
 	}
 	out := make([]int64, len(v.num))
-	for i, n := range v.num {
-		out[i] = n << (d - v.exp)
+	if err := v.AtDepthInto(out, d); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // String renders the vector as "<n1:n2:...:nk>/2^e".
 func (v Vector) String() string {
-	var b strings.Builder
-	b.WriteByte('<')
+	b := make([]byte, 0, 8+8*len(v.num))
+	b = append(b, '<')
 	for i, n := range v.num {
 		if i > 0 {
-			b.WriteByte(':')
+			b = append(b, ':')
 		}
-		fmt.Fprintf(&b, "%d", n)
+		b = strconv.AppendInt(b, n, 10)
 	}
-	fmt.Fprintf(&b, ">/%d", v.Denom())
-	return b.String()
+	b = append(b, '>', '/')
+	b = strconv.AppendInt(b, v.Denom(), 10)
+	return string(b)
 }

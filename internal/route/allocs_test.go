@@ -1,0 +1,55 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// TestMatrixLookupAllocs pins the transport-matrix hot path at zero
+// allocations: the mixer-binding search and the placement annealer issue
+// millions of At/Dist lookups per optimisation run, so a single allocation
+// per call would dominate their profiles. The dense row-major layout makes
+// every lookup an index computation plus one or two map probes — nothing
+// escapes.
+func TestMatrixLookupAllocs(t *testing.T) {
+	m, err := MatrixFor(chip.PCRLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Len()
+	if n < 2 {
+		t.Fatalf("PCR layout matrix covers %d modules", n)
+	}
+	names := m.Names()
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m.At(i, j) < 0 {
+					t.Fatal("negative distance")
+				}
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("Matrix.At allocates %.1f objects per all-pairs sweep, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		for _, name := range names {
+			if _, ok := m.IndexOf(name); !ok {
+				t.Fatalf("module %q missing", name)
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("Matrix.IndexOf allocates %.1f objects per sweep, want 0", allocs)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.Dist(names[0], names[n-1]); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Matrix.Dist (hit) allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -1,7 +1,7 @@
 package sched
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -28,30 +28,47 @@ func Gantt(s *Schedule) string {
 			}
 		}
 	}
-	pad := func(v string) string { return fmt.Sprintf("%*s", width, v) }
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s schedule: Mc=%d, Tc=%d, q=%d\n", s.Algorithm, s.Mixers, s.Cycles, StorageUnits(s))
-	b.WriteString(pad("t"))
+	// One padded cell per grid slot plus header/profile rows and the target
+	// line; sizing up front keeps the builder from re-growing mid-render.
+	b.Grow((s.Mixers + 3) * (s.Cycles + 2) * width)
+	pad := func(v string) {
+		for i := width - len(v); i > 0; i-- {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v)
+	}
+	padInt := func(v int) { pad(strconv.Itoa(v)) }
+
+	b.WriteString(s.Algorithm)
+	b.WriteString(" schedule: Mc=")
+	b.WriteString(strconv.Itoa(s.Mixers))
+	b.WriteString(", Tc=")
+	b.WriteString(strconv.Itoa(s.Cycles))
+	b.WriteString(", q=")
+	b.WriteString(strconv.Itoa(StorageUnits(s)))
+	b.WriteByte('\n')
+	pad("t")
 	for t := 1; t <= s.Cycles; t++ {
-		b.WriteString(pad(fmt.Sprintf("%d", t)))
+		padInt(t)
 	}
 	b.WriteByte('\n')
 	for m := 1; m <= s.Mixers; m++ {
-		b.WriteString(pad(fmt.Sprintf("M%d", m)))
+		pad("M" + strconv.Itoa(m))
 		for t := 1; t <= s.Cycles; t++ {
 			cell := grid[m][t]
 			if cell == "" {
 				cell = "."
 			}
-			b.WriteString(pad(cell))
+			pad(cell)
 		}
 		b.WriteByte('\n')
 	}
 	profile := StorageProfile(s)
-	b.WriteString(pad("store"))
+	pad("store")
 	for t := 1; t <= s.Cycles; t++ {
-		b.WriteString(pad(fmt.Sprintf("%d", profile[t])))
+		padInt(profile[t])
 	}
 	b.WriteByte('\n')
 
@@ -60,7 +77,10 @@ func Gantt(s *Schedule) string {
 	for t := 1; t <= s.Cycles; t++ {
 		for _, tree := range s.Forest.Trees {
 			if s.Slots[tree.Root.ID].Cycle == t {
-				fmt.Fprintf(&b, " t=%d:2x%s", t, labels[tree.Root])
+				b.WriteString(" t=")
+				b.WriteString(strconv.Itoa(t))
+				b.WriteString(":2x")
+				b.WriteString(labels[tree.Root])
 			}
 		}
 	}

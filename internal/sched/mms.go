@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
@@ -75,12 +75,16 @@ func Mlb(base *mixgraph.Graph) int {
 
 // queue abstracts the ready-task policy of a cycle-stepped list scheduler.
 type queue interface {
-	// add offers tasks that became schedulable this cycle.
+	// add offers tasks that became schedulable this cycle. The slice is the
+	// engine's reusable release buffer: policies may reorder it in place but
+	// must not retain it past the call.
 	add(tasks []*forest.Task)
 	// pick removes and returns up to mc tasks to run this cycle.
 	pick(mc int) []*forest.Task
 	// len reports how many tasks are waiting.
 	len() int
+	// reserve pre-grows internal storage for n total tasks.
+	reserve(n int)
 }
 
 // fifoQueue is the MMS policy: FIFO overall, each batch pre-sorted by
@@ -89,19 +93,24 @@ type fifoQueue struct {
 	items []*forest.Task
 }
 
+// levelThenID is the shared batch order: ascending level, ID as tie-break.
+// The comparator is a total order (task IDs are unique), so any correct
+// sort has exactly one fixed point: every queue policy in this package
+// breaks its final tie on ID, which is what makes repeated schedules of the
+// same forest byte-identical (TestScheduleDeterminism).
+func levelThenID(a, b *forest.Task) int {
+	if a.Level != b.Level {
+		return a.Level - b.Level
+	}
+	return a.ID - b.ID
+}
+
 func (q *fifoQueue) add(tasks []*forest.Task) {
-	batch := append([]*forest.Task(nil), tasks...)
-	// The comparator is a total order (task IDs are unique), so the sort —
-	// stable or not — has exactly one fixed point: every queue policy in this
-	// package breaks its final tie on ID, which is what makes repeated
-	// schedules of the same forest byte-identical (TestScheduleDeterminism).
-	sort.SliceStable(batch, func(i, j int) bool {
-		if batch[i].Level != batch[j].Level {
-			return batch[i].Level < batch[j].Level
-		}
-		return batch[i].ID < batch[j].ID
-	})
-	q.items = append(q.items, batch...)
+	// Sorting the engine's release buffer in place (instead of copying it
+	// first) keeps the per-cycle cost at one append into the pre-reserved
+	// ring; the engine resets the buffer right after this call.
+	slices.SortFunc(tasks, levelThenID)
+	q.items = append(q.items, tasks...)
 }
 
 func (q *fifoQueue) pick(mc int) []*forest.Task {
@@ -115,6 +124,12 @@ func (q *fifoQueue) pick(mc int) []*forest.Task {
 }
 
 func (q *fifoQueue) len() int { return len(q.items) }
+
+func (q *fifoQueue) reserve(n int) {
+	if cap(q.items) < n {
+		q.items = make([]*forest.Task, 0, n)
+	}
+}
 
 // run is the shared cycle-stepped engine: at every cycle it releases tasks
 // whose producers have all finished, lets the policy pick up to mc of them,
@@ -136,7 +151,9 @@ func run(f *forest.Forest, mc int, name string, q queue, firstTask int) (*Schedu
 		FirstTask: firstTask,
 	}
 	pendingPreds := make([]int, len(f.Tasks))
-	var initial []*forest.Task
+	window := len(f.Tasks) - firstTask
+	q.reserve(window)
+	initial := make([]*forest.Task, 0, window)
 	for _, t := range f.Tasks {
 		if t.ID < firstTask {
 			continue
@@ -152,8 +169,8 @@ func run(f *forest.Forest, mc int, name string, q queue, firstTask int) (*Schedu
 	}
 	q.add(initial)
 
-	remaining := len(f.Tasks) - firstTask
-	var releasedNext []*forest.Task
+	remaining := window
+	releasedNext := initial[len(initial):] // reuse the spare capacity
 	for t := 1; remaining > 0; t++ {
 		batch := q.pick(mc)
 		if len(batch) == 0 {

@@ -1,0 +1,350 @@
+package sched
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/forest"
+	"repro/internal/obs"
+)
+
+// Packed scheduling: the zero-steady-state-allocation twin of MMS/SRS/OMS,
+// operating directly on forest.PackedForest.
+//
+// Every queue policy in this package orders tasks by a total order over
+// (level, internal-input count, ID) with ID as the final tie-break, so the
+// whole priority can be packed into one uint64 whose integer comparison is
+// the policy's comparator. Ready queues then become flat []uint64 buffers —
+// a head-indexed FIFO for MMS, binary min-heaps for SRS and Hu — that a
+// Kernel retains across runs. After the first schedule of a given size,
+// re-scheduling allocates nothing (TestKernelZeroAllocSteadyState).
+//
+// Because every comparator is a total order, a correct heap pops keys in
+// exactly sorted order regardless of its internal layout, so the packed
+// engine is bit-identical to the container/heap-based legacy path
+// (TestKernelGoldenEquivalence certifies Slots and Cycles match across all
+// protocols, algorithms, mixer counts and scheduling windows).
+
+// Priority-key packing. Positional levels are bounded by ratio.MaxDepth
+// (62), far under the 16-bit field; task IDs occupy the low 32 bits so a
+// popped key yields its task index with a single truncation.
+const levelFieldMax = 1<<16 - 1
+
+// keyAsc orders by ascending level, then ascending ID (MMS batches, SRS
+// leaf queue, Hu's queue).
+func keyAsc(level, id int32) uint64 {
+	return uint64(uint32(level))<<32 | uint64(uint32(id))
+}
+
+// keyInt orders by descending level, then descending internal-input count,
+// then ascending ID (the SRS internal queue) under a MIN-heap: both
+// descending fields are stored complemented.
+func keyInt(level int32, ii int, id int32) uint64 {
+	return uint64(uint32(levelFieldMax-level))<<34 | uint64(uint32(2-ii))<<32 | uint64(uint32(id))
+}
+
+func keyID(k uint64) int32 { return int32(uint32(k)) }
+
+// heapPush inserts k into the min-heap h, reusing h's backing array.
+func heapPush(h []uint64, k uint64) []uint64 {
+	h = append(h, k)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// heapPop removes and returns the minimum key of h.
+func heapPop(h []uint64) (uint64, []uint64) {
+	k := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return k, h
+}
+
+type policy int
+
+const (
+	policyMMS policy = iota // FIFO, batches sorted ascending (level, ID)
+	policySRS               // two-queue storage-reduced rule
+	policyHu                // single highest-level-first queue (OMS)
+)
+
+// Kernel holds every scratch buffer a packed scheduling run needs. The zero
+// value is ready to use; buffers grow to the largest forest scheduled and
+// are retained, so a warm Kernel schedules without heap allocation. A Kernel
+// is not safe for concurrent use; the engine layer pools them.
+type Kernel struct {
+	mixers    int
+	algorithm string
+	firstTask int
+	cycles    int
+
+	slots    []Assignment
+	pending  []int32  // outstanding in-window producers per task
+	fifo     []uint64 // MMS ready queue; head chases tail
+	fifoHead int
+	qint     []uint64 // SRS internal-task min-heap
+	qleaf    []uint64 // SRS leaf min-heap; also Hu's queue
+	rel      []uint64 // keys released this cycle, pre-sort (MMS)
+	profile  []int32  // storage-profile scratch
+}
+
+// MMS runs M_Mixers_Schedule (Algorithm 1) over the packed forest.
+func (k *Kernel) MMS(f *forest.PackedForest, mc int) error {
+	return k.run(f, mc, "MMS", policyMMS, 0)
+}
+
+// SRS runs Storage_Reduced_Scheduling (Algorithm 2) over the packed forest.
+func (k *Kernel) SRS(f *forest.PackedForest, mc int) error {
+	return k.run(f, mc, "SRS", policySRS, 0)
+}
+
+// MMSFrom schedules only tasks with index >= firstTask (the incremental
+// window of a pool-persistent engine), like the legacy MMSFrom.
+func (k *Kernel) MMSFrom(f *forest.PackedForest, mc, firstTask int) error {
+	return k.run(f, mc, "MMS", policyMMS, firstTask)
+}
+
+// SRSFrom is the SRS counterpart of MMSFrom.
+func (k *Kernel) SRSFrom(f *forest.PackedForest, mc, firstTask int) error {
+	return k.run(f, mc, "SRS", policySRS, firstTask)
+}
+
+// Hu runs highest-level-first list scheduling (the OMS rule) over the packed
+// forest. OMS(base, mc) is Hu over BuildPacked(b, base, 2).
+func (k *Kernel) Hu(f *forest.PackedForest, mc int) error {
+	return k.run(f, mc, "OMS", policyHu, 0)
+}
+
+// Cycles returns Tc of the last run.
+func (k *Kernel) Cycles() int { return k.cycles }
+
+// Assignments returns the slot table of the last run, indexed by task. The
+// slice aliases kernel scratch: it is valid until the next run.
+func (k *Kernel) Assignments() []Assignment { return k.slots }
+
+// Materialize copies the last run's result into a legacy Schedule over the
+// given (materialized) forest. Called once per plan-cache miss, never on a
+// steady-state path.
+func (k *Kernel) Materialize(f *forest.Forest) *Schedule {
+	return &Schedule{
+		Forest:    f,
+		Mixers:    k.mixers,
+		Algorithm: k.algorithm,
+		Slots:     append([]Assignment(nil), k.slots...),
+		Cycles:    k.cycles,
+		FirstTask: k.firstTask,
+	}
+}
+
+// StorageUnits runs Counting_Storage_Units (Algorithm 3) over the last
+// schedule of f, reusing the kernel's profile scratch: zero allocations when
+// warm.
+func (k *Kernel) StorageUnits(f *forest.PackedForest) int {
+	k.profile = growInt32(k.profile, k.cycles+1)
+	for i := range k.profile {
+		k.profile[i] = 0
+	}
+	for i := range f.Tasks {
+		t := &f.Tasks[i]
+		produced := k.slots[i].Cycle
+		for c := int8(0); c < t.NCons; c++ {
+			consumed := k.slots[t.Cons[c]].Cycle
+			for j := produced + 1; j < consumed; j++ {
+				k.profile[j]++
+			}
+		}
+	}
+	max := 0
+	for _, v := range k.profile {
+		if v > int32(max) {
+			max = int(v)
+		}
+	}
+	return max
+}
+
+func growAssignments(s []Assignment, n int) []Assignment {
+	if cap(s) < n {
+		return make([]Assignment, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = Assignment{}
+	}
+	return s
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// flush moves this cycle's released batch (rel holds keyAsc keys) into the
+// active policy's ready structure. Releases are batched exactly as the
+// legacy engine batches releasedNext: a task released while cycle t's batch
+// executes cannot join that same batch, which is what keeps a droplet from
+// being consumed in the cycle it was produced.
+func (k *Kernel) flush(f *forest.PackedForest, p policy) {
+	if len(k.rel) == 0 {
+		return
+	}
+	switch p {
+	case policyMMS:
+		// FIFO overall, each batch in ascending (level, ID) order — the
+		// legacy fifoQueue.add contract.
+		slices.Sort(k.rel)
+		if k.fifoHead == len(k.fifo) {
+			// Queue momentarily empty: rewind so the backing array never
+			// grows beyond the high-water mark of simultaneously ready tasks.
+			k.fifo = k.fifo[:0]
+			k.fifoHead = 0
+		}
+		k.fifo = append(k.fifo, k.rel...)
+	case policySRS:
+		for _, key := range k.rel {
+			id := keyID(key)
+			if ii := f.Tasks[id].InternalInputs(); ii > 0 {
+				k.qint = heapPush(k.qint, keyInt(f.Tasks[id].Level, ii, id))
+			} else {
+				k.qleaf = heapPush(k.qleaf, key)
+			}
+		}
+	case policyHu:
+		for _, key := range k.rel {
+			k.qleaf = heapPush(k.qleaf, key)
+		}
+	}
+	k.rel = k.rel[:0]
+}
+
+// run is the packed cycle-stepped engine, mirroring the legacy run: release
+// tasks whose producers finished, let the policy pick up to mc, assign
+// mixers in increasing index order.
+func (k *Kernel) run(f *forest.PackedForest, mc int, algo string, p policy, firstTask int) error {
+	if mc < 1 {
+		return ErrNoMixers
+	}
+	n := len(f.Tasks)
+	if firstTask < 0 || firstTask > n {
+		return fmt.Errorf("sched: first task %d outside [0, %d]", firstTask, n)
+	}
+	k.mixers, k.algorithm, k.firstTask, k.cycles = mc, algo, firstTask, 0
+	k.slots = growAssignments(k.slots, n)
+	k.pending = growInt32(k.pending, n)
+	k.fifo, k.fifoHead = k.fifo[:0], 0
+	k.qint, k.qleaf, k.rel = k.qint[:0], k.qleaf[:0], k.rel[:0]
+
+	for i := firstTask; i < n; i++ {
+		t := &f.Tasks[i]
+		preds := int32(0)
+		for _, src := range t.In {
+			if src.Kind == forest.FromTask && int(src.Ref) >= firstTask {
+				preds++
+			}
+		}
+		k.pending[i] = preds
+		if preds == 0 {
+			k.rel = append(k.rel, keyAsc(t.Level, int32(i)))
+		}
+	}
+	k.flush(f, p)
+
+	remaining := n - firstTask
+	for t := 1; remaining > 0; t++ {
+		picked := 0
+		switch p {
+		case policyMMS:
+			for picked < mc && k.fifoHead < len(k.fifo) {
+				id := keyID(k.fifo[k.fifoHead])
+				k.fifoHead++
+				picked++
+				k.assign(f, id, t, picked, firstTask)
+			}
+		case policySRS:
+			intNodes := len(k.qint) // |Qint| before dequeuing, as in Algorithm 2
+			for picked < mc && len(k.qint) > 0 {
+				var key uint64
+				key, k.qint = heapPop(k.qint)
+				picked++
+				k.assign(f, keyID(key), t, picked, firstTask)
+			}
+			for leafBudget := mc - intNodes; leafBudget > 0 && len(k.qleaf) > 0; leafBudget-- {
+				var key uint64
+				key, k.qleaf = heapPop(k.qleaf)
+				picked++
+				k.assign(f, keyID(key), t, picked, firstTask)
+			}
+		case policyHu:
+			for picked < mc && len(k.qleaf) > 0 {
+				var key uint64
+				key, k.qleaf = heapPop(k.qleaf)
+				picked++
+				k.assign(f, keyID(key), t, picked, firstTask)
+			}
+		}
+		if picked == 0 {
+			return ErrDeadlock
+		}
+		remaining -= picked
+		k.cycles = t
+		k.flush(f, p)
+	}
+	if obs.Enabled() {
+		obs.Inc("sched.schedules")
+		obs.Observe("sched.cycles", float64(k.cycles))
+		if k.cycles > 0 {
+			scheduled := n - firstTask
+			obs.Observe("sched.mixer_utilization", float64(scheduled)/(float64(mc)*float64(k.cycles)))
+		}
+	}
+	return nil
+}
+
+// assign places task id at (cycle, mixer) and stages consumers whose last
+// in-window producer just finished into rel; flush enqueues them after the
+// cycle's batch completes.
+func (k *Kernel) assign(f *forest.PackedForest, id int32, cycle, mixer, firstTask int) {
+	k.slots[id] = Assignment{Cycle: cycle, Mixer: mixer}
+	t := &f.Tasks[id]
+	for c := int8(0); c < t.NCons; c++ {
+		cons := t.Cons[c]
+		if int(cons) < firstTask {
+			continue // consumed in an earlier window
+		}
+		k.pending[cons]--
+		if k.pending[cons] == 0 {
+			k.rel = append(k.rel, keyAsc(f.Tasks[cons].Level, cons))
+		}
+	}
+}

@@ -47,7 +47,8 @@ func (h *taskHeap) Pop() interface{} {
 // to its root is depth minus level). Unlike MMS's FIFO, a critical task that
 // becomes ready late still preempts earlier-queued shallow tasks.
 type huQueue struct {
-	h *taskHeap
+	h   *taskHeap
+	out []*forest.Task // reusable pick batch; valid until the next pick
 }
 
 func newHuQueue() *huQueue {
@@ -66,19 +67,26 @@ func (q *huQueue) add(tasks []*forest.Task) {
 }
 
 func (q *huQueue) pick(mc int) []*forest.Task {
-	var out []*forest.Task
-	for len(out) < mc && q.h.Len() > 0 {
-		out = append(out, heap.Pop(q.h).(*forest.Task))
+	q.out = q.out[:0]
+	for len(q.out) < mc && q.h.Len() > 0 {
+		q.out = append(q.out, heap.Pop(q.h).(*forest.Task))
 	}
-	return out
+	return q.out
 }
 
 func (q *huQueue) len() int { return q.h.Len() }
+
+func (q *huQueue) reserve(n int) {
+	if cap(q.h.items) < n {
+		q.h.items = make([]*forest.Task, 0, n)
+	}
+}
 
 // srsQueue implements Algorithm 2's two-queue policy.
 type srsQueue struct {
 	qint  *taskHeap
 	qleaf *taskHeap
+	out   []*forest.Task // reusable pick batch; valid until the next pick
 }
 
 func newSRSQueue() *srsQueue {
@@ -117,16 +125,25 @@ func (q *srsQueue) add(tasks []*forest.Task) {
 
 func (q *srsQueue) pick(mc int) []*forest.Task {
 	intNodes := q.qint.Len() // |Qint| before dequeuing, as in Algorithm 2
-	var out []*forest.Task
-	for len(out) < mc && q.qint.Len() > 0 {
-		out = append(out, heap.Pop(q.qint).(*forest.Task))
+	q.out = q.out[:0]
+	for len(q.out) < mc && q.qint.Len() > 0 {
+		q.out = append(q.out, heap.Pop(q.qint).(*forest.Task))
 	}
 	leafBudget := mc - intNodes
 	for leafBudget > 0 && q.qleaf.Len() > 0 {
-		out = append(out, heap.Pop(q.qleaf).(*forest.Task))
+		q.out = append(q.out, heap.Pop(q.qleaf).(*forest.Task))
 		leafBudget--
 	}
-	return out
+	return q.out
 }
 
 func (q *srsQueue) len() int { return q.qint.Len() + q.qleaf.Len() }
+
+func (q *srsQueue) reserve(n int) {
+	if cap(q.qint.items) < n {
+		q.qint.items = make([]*forest.Task, 0, n)
+	}
+	if cap(q.qleaf.items) < n {
+		q.qleaf.items = make([]*forest.Task, 0, n)
+	}
+}

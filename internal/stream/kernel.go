@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/forest"
+	"repro/internal/obs"
+	"repro/internal/plancache"
+	"repro/internal/sched"
+)
+
+// planKernel bundles the packed forest builder and the packed scheduling
+// kernel that together compute one single-pass plan without steady-state
+// allocations. Kernels are pooled: a plan-cache miss borrows one, grows the
+// packed forest in its arenas, schedules it in the kernel's scratch, and
+// only then materializes the immutable legacy Forest/Schedule pair that
+// enters the cache. The pooled arenas persist, so repeated misses of
+// similar size allocate only the cached artefacts themselves.
+type planKernel struct {
+	builder forest.PackedBuilder
+	sched   sched.Kernel
+}
+
+var kernelPool = sync.Pool{New: func() any { return new(planKernel) }}
+
+// schedulePacked runs the configured scheme over a packed forest.
+func (k *planKernel) schedulePacked(s Scheduler, f *forest.PackedForest, mc int) error {
+	switch s {
+	case MMS:
+		return k.sched.MMS(f, mc)
+	case SRS:
+		return k.sched.SRS(f, mc)
+	default:
+		return fmt.Errorf("stream: unknown scheduler %d", int(s))
+	}
+}
+
+// buildPlan computes the single-pass plan for demand d on the packed path
+// and materializes it into the immutable cached form. The result is
+// bit-identical to the legacy forest.Build + Scheduler.Schedule pipeline
+// (TestPlanPackedMatchesLegacy); the audit runs on the materialized plan, so
+// exactly what enters the cache is what was verified.
+func buildPlan(cfg Config, d int) (*plancache.Plan, error) {
+	k := kernelPool.Get().(*planKernel)
+	defer kernelPool.Put(k)
+	pf, err := forest.BuildPacked(&k.builder, cfg.Base, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.schedulePacked(cfg.Scheduler, pf, cfg.Mixers); err != nil {
+		return nil, err
+	}
+	f := pf.Materialize()
+	s := k.sched.Materialize(f)
+	// Every plan entering the cache passes the plan-level audit first: a
+	// structurally broken forest or a storage-profile mismatch is a planner
+	// bug and must never be cached, reused, or executed.
+	if rep := audit.CheckPlan(f, s); !rep.Clean() {
+		obs.Add("audit.violations", int64(len(rep.Violations)))
+		return nil, fmt.Errorf("stream: plan audit: %w", rep.Err())
+	}
+	return plancache.NewPlan(f, s), nil
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/audit"
 	"repro/internal/cancel"
@@ -119,25 +120,11 @@ var ErrStorage = errors.New("stream: base tree needs more storage units than ava
 // single-pass plan for demand d: forest, schedule, stats and peak storage.
 // Plans are pure functions of (base graph, d, mixers, scheduler), so cached
 // plans are exactly what a fresh build would produce; see internal/plancache.
+// Misses build on the packed kernel path (kernel.go).
 func plan(cfg Config, d int) (*plancache.Plan, error) {
 	key := plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String(), plancache.PristinePolicy)
 	return plancache.Default().GetOrBuild(key, func() (*plancache.Plan, error) {
-		f, err := forest.Build(cfg.Base, d)
-		if err != nil {
-			return nil, err
-		}
-		s, err := cfg.Scheduler.Schedule(f, cfg.Mixers)
-		if err != nil {
-			return nil, err
-		}
-		// Every plan entering the cache passes the plan-level audit first:
-		// a structurally broken forest or a storage-profile mismatch is a
-		// planner bug and must never be cached, reused, or executed.
-		if rep := audit.CheckPlan(f, s); !rep.Clean() {
-			obs.Add("audit.violations", int64(len(rep.Violations)))
-			return nil, fmt.Errorf("stream: plan audit: %w", rep.Err())
-		}
-		return plancache.NewPlan(f, s), nil
+		return buildPlan(cfg, d)
 	})
 }
 
@@ -150,41 +137,114 @@ func MaxSinglePassDemand(cfg Config, limit int) (int, error) {
 	return MaxSinglePassDemandCtx(context.Background(), cfg, limit)
 }
 
+// scanKey identifies one demand-scan result. D' is a pure function of the
+// base graph's structure (fingerprint + target), the chip resources and the
+// scan limit, so memoised results are exactly what a fresh scan returns —
+// the same soundness argument internal/plancache makes one layer down.
+type scanKey struct {
+	graph     uint64
+	target    string
+	mixers    int
+	storage   int
+	limit     int
+	scheduler Scheduler
+}
+
+// scanMemo caches demand-scan results. The scan is the dominant cost of a
+// storage-limited plan request (O(D²) scheduling work across the candidate
+// demands, per request, since candidate schedules alias the live packed
+// forest and are never plan-cached), so a serving layer hammering one heavy
+// spec would otherwise recompute it on every request.
+var scanMemo = struct {
+	sync.Mutex
+	m map[scanKey]int
+}{m: map[scanKey]int{}}
+
+// scanMemoCapacity bounds the memo. Entries are two words; the bound exists
+// only to keep pathological key churn (population sweeps over thousands of
+// ratios) from growing the map without limit. Eviction clears the whole
+// map: recomputing a scan is cheap and keys rarely churn in practice.
+const scanMemoCapacity = 4096
+
+// PurgeScanMemo empties the demand-scan memo. Scans are pure functions of
+// immutable graphs, so purging is never required for correctness; tests and
+// cold-path benchmarks use it to force recomputation.
+func PurgeScanMemo() {
+	scanMemo.Lock()
+	clear(scanMemo.m)
+	scanMemo.Unlock()
+}
+
 // MaxSinglePassDemandCtx is the context-aware scan behind
-// MaxSinglePassDemand. Cancellation is checked at every candidate-demand
-// boundary; an abandoned scan returns an error wrapping cancel.ErrCanceled.
-//
-// The scan grows ONE incremental forest.Builder across all candidate
-// demands — appending one component tree per step reproduces forest.Build's
-// structure exactly (Build is itself a loop of AddTree calls) — instead of
-// rebuilding the forest from scratch for every even demand, turning the
-// forest-construction cost of the scan from O(D²) tasks into O(D). Cached
-// plans short-circuit the per-candidate scheduling as well. Schedules
-// computed against the growing builder are used immediately and never
-// cached: they alias the live forest, which keeps growing.
+// MaxSinglePassDemand. Repeated scans are served from the memo (a warm
+// lookup allocates nothing); memo misses run the incremental packed scan
+// (demandScan). Cancellation is checked at every candidate-demand boundary
+// of a live scan; an abandoned scan returns an error wrapping
+// cancel.ErrCanceled and caches nothing.
 func MaxSinglePassDemandCtx(ctx context.Context, cfg Config, limit int) (int, error) {
 	if limit < 2 {
 		limit = 2
 	}
+	mk := scanKey{
+		graph:     cfg.Base.Fingerprint(),
+		target:    cfg.Base.TargetKey(),
+		mixers:    cfg.Mixers,
+		storage:   cfg.Storage,
+		limit:     limit,
+		scheduler: cfg.Scheduler,
+	}
+	scanMemo.Lock()
+	best, ok := scanMemo.m[mk]
+	scanMemo.Unlock()
+	if ok {
+		return best, nil
+	}
+	best, err := demandScan(ctx, cfg, limit)
+	if err != nil {
+		return 0, err
+	}
+	scanMemo.Lock()
+	if len(scanMemo.m) >= scanMemoCapacity {
+		clear(scanMemo.m)
+	}
+	scanMemo.m[mk] = best
+	scanMemo.Unlock()
+	return best, nil
+}
+
+// demandScan is the memo-miss path of MaxSinglePassDemandCtx.
+//
+// The scan grows ONE incremental packed forest across all candidate demands
+// — appending one component tree per step reproduces forest.Build's
+// structure exactly (Build is itself a loop of AddTree calls) — instead of
+// rebuilding the forest from scratch for every even demand, turning the
+// forest-construction cost of the scan from O(D²) tasks into O(D). Cached
+// plans short-circuit the per-candidate scheduling as well. The whole scan
+// runs on one pooled planKernel: the growing forest lives in its arenas and
+// every candidate schedule in its scratch, so a warm scan allocates nothing
+// per candidate and no schedule is ever cached (it would alias the live,
+// still-growing forest).
+func demandScan(ctx context.Context, cfg Config, limit int) (int, error) {
 	cache := plancache.Default()
-	b := forest.NewBuilder(cfg.Base)
+	k := kernelPool.Get().(*planKernel)
+	defer kernelPool.Put(k)
+	k.builder.Reset(cfg.Base)
 	best := 0
 	for d := 2; d <= limit; d += 2 {
 		if err := cancel.Check(ctx); err != nil {
 			return 0, fmt.Errorf("stream: demand scan at D=%d: %w", d, err)
 		}
-		b.AddTree()
+		k.builder.AddTree()
 		if p, ok := cache.Get(plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String(), plancache.PristinePolicy)); ok {
 			if p.Storage <= cfg.Storage {
 				best = d
 			}
 			continue
 		}
-		s, err := cfg.Scheduler.Schedule(b.Forest(), cfg.Mixers)
-		if err != nil {
+		if err := k.schedulePacked(cfg.Scheduler, k.builder.Forest(), cfg.Mixers); err != nil {
 			return 0, err
 		}
-		if sched.StorageUnits(s) <= cfg.Storage {
+		if k.sched.StorageUnits(k.builder.Forest()) <= cfg.Storage {
 			best = d
 		}
 	}
