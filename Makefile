@@ -8,9 +8,9 @@ GO ?= go
 # registry, the synchronized engine, the HTTP serving core, the memoised
 # graph fingerprints and the pooled packed planning kernels) — raced
 # explicitly by `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./cmd/dmfbd
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./internal/wal ./internal/fleet ./internal/contam ./cmd/dmfbd
 
-.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve fuzz-smoke audit-smoke serve-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve bench-fleet-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -42,11 +42,13 @@ bench-smoke:
 bench-routing:
 	$(GO) run ./cmd/benchroute -out results/bench_routing.json
 
-# Short fuzzing passes over the parser and the forest builder — enough to
-# replay the corpora and explore a little, not a soak run.
+# Short fuzzing passes over the parser, the forest builder and the WAL
+# replayer — enough to replay the corpora and explore a little, not a soak
+# run.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseRatio -fuzztime=10s ./internal/ratio
 	$(GO) test -fuzz=FuzzBuildForest -fuzztime=10s ./internal/forest
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
 
 # End-to-end audit smoke: drive the CLIs through planning, streaming, fault
 # recovery and dilution with the invariant auditor live (it is always on) and
@@ -81,6 +83,14 @@ bench-plan-smoke:
 bench-serve:
 	$(GO) run ./cmd/benchserve -out results/bench_serve.json
 
+# Fast wiring check for the fleet scenarios only: a small /v1/assay run on a
+# healthy fleet and on one with 25% of its chips degraded, asserting the
+# churn throughput floor. Writes to a throwaway file.
+bench-fleet-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; set -e; \
+	$(GO) run ./cmd/benchserve -requests 0 -assay-requests 150 -out "$$tmp/bench_fleet.json"; \
+	echo "bench-fleet-smoke: churn floor held"
+
 # Serving smoke: boot dmfbd on an ephemeral port, hit every endpoint, then
 # SIGTERM and assert a clean graceful drain — exactly the cmd-level
 # integration test, run with the race detector on.
@@ -88,7 +98,15 @@ serve-smoke:
 	$(GO) test -race -run 'TestServeSmokeAndDrain' ./cmd/dmfbd
 	@echo "serve-smoke: boot, all endpoints, graceful drain OK"
 
-check: build vet fmt-check test race bench-smoke bench-plan-smoke fuzz-smoke audit-smoke serve-smoke
+# Crash-recovery soak: SIGKILL a real dmfbd child mid-stream, restart it on
+# the same WAL, and assert no acknowledged batch is ever silently lost —
+# CHAOS_CYCLES kill/restart rounds, race detector on for the harness side.
+# (`go test ./cmd/dmfbd` runs the same test at 3 cycles.)
+chaos-smoke:
+	CHAOS_CYCLES=50 $(GO) test -race -run 'TestChaosKillRestartRecovery' -timeout 10m ./cmd/dmfbd
+	@echo "chaos-smoke: 50 kill/restart cycles, no acked work lost"
+
+check: build vet fmt-check test race bench-smoke bench-plan-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke bench-fleet-smoke
 
 clean:
 	$(GO) clean

@@ -12,6 +12,15 @@
 //	stream     storage-limited multi-pass /v1/stream plans
 //	execute    small /v1/execute cyberphysical runs, zero fault rate
 //	session    session-routed plans extending shared timelines
+//
+// Fleet scenarios (EXPERIMENTS.md §E11) boot a second server around a
+// simulated chip fleet and drive POST /v1/assay:
+//
+//	assay-healthy  every chip at base fault rate zero
+//	assay-churn    25% of the fleet degraded (elevated fault rate, one dead
+//	               mixer each) — the scheduler must route around them; the
+//	               run fails unless churn throughput stays above
+//	               -churn-floor of the healthy run
 package main
 
 import (
@@ -30,7 +39,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/runtime"
 	"repro/internal/server"
 )
 
@@ -51,6 +62,12 @@ type record struct {
 	MaxInFlight int                       `json:"max_inflight"`
 	Scenarios   map[string]scenarioResult `json:"scenarios"`
 	Counters    map[string]int64          `json:"obs_counters"`
+	// Fleet churn experiment (E11): churn RPS over healthy RPS. The run
+	// aborts below -churn-floor, so a committed record always holds a
+	// passing ratio.
+	FleetChips           int     `json:"fleet_chips,omitempty"`
+	DegradedChips        int     `json:"degraded_chips,omitempty"`
+	ChurnThroughputRatio float64 `json:"churn_throughput_ratio,omitempty"`
 }
 
 func main() {
@@ -59,6 +76,9 @@ func main() {
 		concurrency = flag.Int("concurrency", 64, "concurrent clients per scenario")
 		maxInflight = flag.Int("max-inflight", 64, "server admission slots")
 		out         = flag.String("out", "results/bench_serve.json", "output JSON path")
+		assayReqs   = flag.Int("assay-requests", 400, "requests per fleet scenario (0 skips fleet scenarios)")
+		fleetChips  = flag.Int("fleet-chips", 8, "simulated chips in the fleet scenarios")
+		churnFloor  = flag.Float64("churn-floor", 0.70, "minimum churn/healthy throughput ratio")
 	)
 	flag.Parse()
 
@@ -117,17 +137,83 @@ func main() {
 		Counters:    map[string]int64{},
 	}
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency}}
-	for _, sc := range scenarios {
-		res := drive(client, base, *requests, *concurrency, sc.body)
-		rec.Scenarios[sc.name] = res
-		fmt.Printf("%-10s %6d req @ %3d conc: %8.1f req/s  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  (%d errors)\n",
-			sc.name, res.Requests, res.Concurrency, res.RPS, res.P50Ms, res.P90Ms, res.P99Ms, res.Errors)
-		if res.Errors > 0 {
-			log.Fatalf("scenario %s had %d errors", sc.name, res.Errors)
+	if *requests > 0 {
+		for _, sc := range scenarios {
+			res := drive(client, base, *requests, *concurrency, sc.body)
+			rec.Scenarios[sc.name] = res
+			fmt.Printf("%-10s %6d req @ %3d conc: %8.1f req/s  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  (%d errors)\n",
+				sc.name, res.Requests, res.Concurrency, res.RPS, res.P50Ms, res.P90Ms, res.P99Ms, res.Errors)
+			if res.Errors > 0 {
+				log.Fatalf("scenario %s had %d errors", sc.name, res.Errors)
+			}
+		}
+	}
+	if *assayReqs > 0 {
+		// Each fleet run gets its own server and fleet so wear, residue and
+		// breaker state never leak from the healthy run into the churn run.
+		runFleet := func(name string, degraded int) scenarioResult {
+			// A tight recovery budget makes degraded chips fail for real
+			// (budget overruns → ErrUnrecoverable → breaker + reassignment)
+			// instead of the runtime's recovery ladder absorbing every fault;
+			// healthy chips run fault-free and never touch the budget.
+			fl := fleet.New(fleet.Config{
+				Chips:  fleet.DefaultChips(*fleetChips),
+				Policy: runtime.Policy{RecoveryBudget: 4},
+			})
+			// A degraded chip is genuinely unreliable — a fault rate high
+			// enough to overrun the recovery budget on some runs, so the
+			// scheduler sees real unrecoverable failures, breaker opens and
+			// reassignments, not just slowdown — and is down one mixer.
+			for i, h := 0, fl.Health(); i < degraded && i < len(h); i++ {
+				if err := fl.DegradeChip(h[i].Name, 0.5, 1); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fsrv := server.New(server.Config{
+				MaxInFlight: *maxInflight,
+				MaxQueue:    *assayReqs,
+				Fleet:       fl,
+			})
+			fln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fhs := &http.Server{Handler: fsrv.Handler()}
+			go fhs.Serve(fln)
+			defer fhs.Close()
+			res := drive(client, "http://"+fln.Addr().String(), *assayReqs, *concurrency,
+				func(i int) (string, map[string]any) {
+					return "/v1/assay", map[string]any{
+						"ratio":  ratios[i%len(ratios)],
+						"demand": 4,
+						"class":  fmt.Sprintf("class-%d", i%3),
+					}
+				})
+			rec.Scenarios[name] = res
+			fmt.Printf("%-13s %6d req @ %3d conc: %8.1f req/s  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  (%d errors)\n",
+				name, res.Requests, res.Concurrency, res.RPS, res.P50Ms, res.P90Ms, res.P99Ms, res.Errors)
+			if res.Errors > 0 {
+				log.Fatalf("scenario %s had %d errors", name, res.Errors)
+			}
+			return res
+		}
+		degraded := *fleetChips / 4
+		healthy := runFleet("assay-healthy", 0)
+		churn := runFleet("assay-churn", degraded)
+		rec.FleetChips = *fleetChips
+		rec.DegradedChips = degraded
+		rec.ChurnThroughputRatio = churn.RPS / healthy.RPS
+		fmt.Printf("churn throughput ratio: %.3f (floor %.2f, %d/%d chips degraded)\n",
+			rec.ChurnThroughputRatio, *churnFloor, degraded, *fleetChips)
+		if rec.ChurnThroughputRatio < *churnFloor {
+			log.Fatalf("churn throughput ratio %.3f below floor %.2f",
+				rec.ChurnThroughputRatio, *churnFloor)
 		}
 	}
 	for _, c := range []string{"server.requests", "server.flights.coalesced", "plancache.hits",
-		"plancache.misses", "server.sessions.created", "server.admission.queued"} {
+		"plancache.misses", "server.sessions.created", "server.admission.queued",
+		"fleet.assays", "fleet.assays_failed", "fleet.reassignments", "fleet.washes", "fleet.saturated",
+		"fleet.breaker_opens", "wal.appends", "wal.fsyncs"} {
 		rec.Counters[c] = obs.Counter(c)
 	}
 

@@ -1,18 +1,26 @@
 // Command dmfbd serves the demand-driven mixture-preparation stack over
 // HTTP/JSON: POST /v1/plan, /v1/stream and /v1/execute answer (ratio,
 // demand) requests with MMS/SRS pass plans, emission timelines and
-// cyberphysical runs; GET /healthz and /metrics expose liveness and the
-// observability registry.
+// cyberphysical runs; POST /v1/assay schedules closed-loop assays over a
+// simulated chip fleet (-chips). GET /healthz, /healthz/live and
+// /healthz/ready expose liveness and fleet-aware readiness, /v1/recovery
+// the last boot's WAL replay, and /metrics the observability registry.
 //
 // Usage:
 //
 //	dmfbd -addr :8077
 //	dmfbd -addr :8077 -max-inflight 128 -queue 512 -timeout 10s
+//	dmfbd -addr :8077 -wal /var/lib/dmfbd/session.wal -chips 8
 //	dmfbd -addr :8077 -tracefile server.jsonl -metrics
 //
+// With -wal the daemon journals session lifecycle to a checksummed
+// write-ahead log and, on boot, replays it: sessions survive crashes —
+// SIGKILL included — with their droplet timelines intact (requests answer
+// 503 "recovering", and /healthz/ready reports it, until replay finishes).
+//
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
-// in-flight requests finish (bounded by -drain-grace), and the obs trace
-// and metrics are flushed before exit.
+// in-flight requests finish (bounded by -drain-grace), and the WAL, obs
+// trace and metrics are flushed before exit.
 package main
 
 import (
@@ -28,8 +36,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() { os.Exit(cliMain(os.Args[1:], os.Stderr, nil)) }
@@ -50,6 +60,10 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		tracePath  = fs.String("tracefile", "", "write a JSONL structured event trace to this file")
 		metrics    = fs.Bool("metrics", false, "dump the metrics registry to stderr on exit")
+		walPath    = fs.String("wal", "", "write-ahead session log path (enables crash recovery)")
+		chips      = fs.Int("chips", 0, "simulated chip fleet size (0 disables /v1/assay)")
+		chipFault  = fs.Float64("chip-fault", 0, "base per-event fault rate of every fleet chip")
+		chipWear   = fs.Float64("chip-wear", 0, "per-assay fault-rate wear of every fleet chip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,14 +85,61 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 		}
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		MaxInFlight:    *maxInfl,
 		MaxQueue:       *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Sessions:       *sessions,
-	})
-	err := serve(*addr, srv, *drainGrace, stderr, ready)
+	}
+	if *chips > 0 {
+		specs := fleet.DefaultChips(*chips)
+		for i := range specs {
+			specs[i].BaseFaultRate = *chipFault
+			specs[i].WearPerAssay = *chipWear
+		}
+		cfg.Fleet = fleet.New(fleet.Config{Chips: specs})
+	}
+	var (
+		wlog  *wal.Log
+		winfo *wal.ReplayInfo
+	)
+	if *walPath != "" {
+		var werr error
+		wlog, winfo, werr = wal.Open(*walPath)
+		if werr != nil {
+			fmt.Fprintln(stderr, "dmfbd:", werr)
+			finish()
+			return 1
+		}
+		if winfo.Corrupt != nil {
+			fmt.Fprintf(stderr, "dmfbd: wal repaired torn tail: %v\n", winfo.Corrupt)
+		}
+		cfg.WAL = wlog
+	}
+
+	srv := server.New(cfg)
+	var boot func() error
+	if wlog != nil {
+		// Recovery runs after the listener is up, so load balancers see a
+		// live process whose readiness reports "recovering" during replay.
+		boot = func() error {
+			rep, err := srv.Recover(context.Background(), winfo)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr,
+				"dmfbd: wal recovery: %d sessions, %d batches replayed (%d resumed), %d failed, %d plan keys warmed, %.1fms\n",
+				rep.Sessions, rep.ReplayedBatches, rep.ResumedBatches, len(rep.Failed), rep.PlanKeysWarmed, rep.DurationMS)
+			return nil
+		}
+	}
+	err := serve(*addr, srv, *drainGrace, stderr, ready, boot)
+	if wlog != nil {
+		if cerr := wlog.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
@@ -89,8 +150,10 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 	return 0
 }
 
-// serve runs the HTTP server until SIGINT/SIGTERM, then drains.
-func serve(addr string, srv *server.Server, grace time.Duration, stderr io.Writer, ready chan<- string) error {
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains. boot, when
+// non-nil, runs after the listener is accepting (WAL recovery); its failure
+// shuts the daemon down.
+func serve(addr string, srv *server.Server, grace time.Duration, stderr io.Writer, ready chan<- string, boot func() error) error {
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,6 +169,14 @@ func serve(addr string, srv *server.Server, grace time.Duration, stderr io.Write
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+
+	if boot != nil {
+		if err := boot(); err != nil {
+			hs.Close()
+			<-errc
+			return err
+		}
+	}
 
 	select {
 	case err := <-errc:

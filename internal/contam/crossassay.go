@@ -1,0 +1,77 @@
+package contam
+
+// Cross-assay contamination constraints for fleet scheduling. Analyze
+// (above) quantifies intra-plan residue exposure of one routed plan; a
+// chip farm additionally multiplexes *different* assays over one transport
+// plane, where the washing problem becomes a scheduling constraint: two
+// droplet streams of different composition must not share a chip
+// concurrently, and an assay that follows a different composition needs a
+// wash pass over the shared electrodes before it may dispense.
+//
+// ResidueTracker is that constraint as a tiny state machine, owned by the
+// fleet scheduler (one per chip, externally synchronized): Admit/Release
+// bracket each assay, CanAdmit answers the co-location question, and the
+// wash count feeds the fleet's wash-overhead accounting.
+
+// ResidueTracker tracks the composition classes resident on one chip and
+// the residue the last completed assay left behind.
+type ResidueTracker struct {
+	resident map[string]int
+	class    string // class of the resident assays ("" when idle)
+	residue  string // class of the last assay to run ("" on a virgin chip)
+	washes   int
+}
+
+// NewResidueTracker returns a tracker for a virgin (residue-free) chip.
+func NewResidueTracker() *ResidueTracker {
+	return &ResidueTracker{resident: map[string]int{}}
+}
+
+// CanAdmit reports whether an assay of the given composition class may run
+// now: the chip is idle, or every resident assay shares the class (same
+// composition cannot cross-contaminate itself).
+func (t *ResidueTracker) CanAdmit(class string) bool {
+	return len(t.resident) == 0 || (t.class == class && t.resident[class] > 0)
+}
+
+// Admit places an assay of the class on the chip and reports whether a wash
+// pass is needed first (the previous residue was a different composition).
+// Callers must have checked CanAdmit.
+func (t *ResidueTracker) Admit(class string) (washNeeded bool) {
+	washNeeded = t.residue != "" && t.residue != class
+	if washNeeded {
+		t.washes++
+		// The wash scrubs the old residue; the new class becomes it below.
+	}
+	t.resident[class]++
+	t.class = class
+	t.residue = class
+	return washNeeded
+}
+
+// Release removes one resident assay of the class.
+func (t *ResidueTracker) Release(class string) {
+	if n := t.resident[class]; n > 1 {
+		t.resident[class] = n - 1
+	} else {
+		delete(t.resident, class)
+	}
+	if len(t.resident) == 0 {
+		t.class = ""
+	}
+}
+
+// Resident returns the number of assays currently on the chip.
+func (t *ResidueTracker) Resident() int {
+	n := 0
+	for _, c := range t.resident {
+		n += c
+	}
+	return n
+}
+
+// Residue returns the composition class of the chip's residue ("" if none).
+func (t *ResidueTracker) Residue() string { return t.residue }
+
+// Washes returns the cumulative wash passes the tracker has charged.
+func (t *ResidueTracker) Washes() int { return t.washes }

@@ -1,0 +1,54 @@
+package contam
+
+import "testing"
+
+func TestResidueTrackerCoLocation(t *testing.T) {
+	tr := NewResidueTracker()
+	if !tr.CanAdmit("A") {
+		t.Fatal("virgin chip must admit")
+	}
+	if wash := tr.Admit("A"); wash {
+		t.Fatal("virgin chip must not need a wash")
+	}
+	if !tr.CanAdmit("A") {
+		t.Fatal("same composition class must co-locate")
+	}
+	if tr.CanAdmit("B") {
+		t.Fatal("different composition class must not co-locate")
+	}
+	tr.Admit("A")
+	if tr.Resident() != 2 {
+		t.Fatalf("Resident = %d, want 2", tr.Resident())
+	}
+	tr.Release("A")
+	if tr.CanAdmit("B") {
+		t.Fatal("class B admitted while an A assay is still resident")
+	}
+	tr.Release("A")
+	if !tr.CanAdmit("B") {
+		t.Fatal("idle chip must admit any class")
+	}
+}
+
+func TestResidueTrackerWashOnClassChange(t *testing.T) {
+	tr := NewResidueTracker()
+	tr.Admit("A")
+	tr.Release("A")
+	if tr.Residue() != "A" {
+		t.Fatalf("Residue = %q, want A", tr.Residue())
+	}
+	if wash := tr.Admit("B"); !wash {
+		t.Fatal("B after A residue must need a wash")
+	}
+	if tr.Washes() != 1 {
+		t.Fatalf("Washes = %d, want 1", tr.Washes())
+	}
+	tr.Release("B")
+	// Same class again: no second wash.
+	if wash := tr.Admit("B"); wash {
+		t.Fatal("B after B residue must not wash")
+	}
+	if tr.Washes() != 1 {
+		t.Fatalf("Washes = %d, want 1", tr.Washes())
+	}
+}

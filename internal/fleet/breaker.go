@@ -1,0 +1,111 @@
+package fleet
+
+import "time"
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker guards one chip: repeated unrecoverable failures open it, opening
+// applies a capped exponential cooldown, and after the cooldown a single
+// probe assay is let through (half-open) — its outcome closes or re-opens
+// the breaker. All methods are called under the fleet mutex.
+type breaker struct {
+	threshold   int           // consecutive failures that open the breaker
+	cooldown    time.Duration // first open's cooldown
+	maxCooldown time.Duration // cap for the exponential cooldown
+
+	state       breakerState
+	consecFails int
+	opens       int       // times opened since the last success (backoff exponent)
+	until       time.Time // when an open breaker transitions to half-open
+	probing     bool      // a half-open probe is in flight
+}
+
+// canAdmit reports (without mutating state) whether an assay could be
+// admitted at now.
+func (b *breaker) canAdmit(now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return !now.Before(b.until)
+	case breakerHalfOpen:
+		return !b.probing
+	default:
+		return false
+	}
+}
+
+// admit transitions the breaker for an admitted assay: an expired open
+// breaker becomes half-open with this assay as its probe.
+func (b *breaker) admit(now time.Time) {
+	if b.state == breakerOpen && !now.Before(b.until) {
+		b.state = breakerHalfOpen
+	}
+	if b.state == breakerHalfOpen {
+		b.probing = true
+	}
+}
+
+// success records a completed assay: the breaker closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.consecFails = 0
+	b.opens = 0
+	b.probing = false
+}
+
+// failure records an unrecoverable assay failure, returning true when this
+// failure opened the breaker (for the obs counter). A failed half-open
+// probe re-opens immediately with a doubled cooldown.
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.consecFails++
+	b.probing = false
+	if b.state == breakerHalfOpen || b.consecFails >= b.threshold {
+		b.open(now)
+		return true
+	}
+	return false
+}
+
+func (b *breaker) open(now time.Time) {
+	b.opens++
+	d := b.cooldown
+	for i := 1; i < b.opens && d < b.maxCooldown; i++ {
+		d *= 2
+	}
+	if d > b.maxCooldown {
+		d = b.maxCooldown
+	}
+	b.state = breakerOpen
+	b.until = now.Add(d)
+}
+
+// recoversBy returns the time an open breaker admits again (zero time when
+// it already does).
+func (b *breaker) recoversBy() time.Time {
+	if b.state == breakerOpen {
+		return b.until
+	}
+	return time.Time{}
+}

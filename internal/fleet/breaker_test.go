@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: 100 * time.Millisecond, maxCooldown: time.Second}
+	now := time.Unix(0, 0)
+	if !b.canAdmit(now) {
+		t.Fatal("fresh breaker must admit")
+	}
+	if b.failure(now) {
+		t.Fatal("first failure must not open")
+	}
+	if b.failure(now) {
+		t.Fatal("second failure must not open")
+	}
+	if !b.failure(now) {
+		t.Fatal("third failure must open")
+	}
+	if b.state != breakerOpen {
+		t.Fatalf("state = %v, want open", b.state)
+	}
+	if b.canAdmit(now.Add(50 * time.Millisecond)) {
+		t.Fatal("open breaker admitted inside cooldown")
+	}
+	if !b.canAdmit(now.Add(100 * time.Millisecond)) {
+		t.Fatal("open breaker must admit after cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := breaker{threshold: 1, cooldown: 100 * time.Millisecond, maxCooldown: time.Second}
+	now := time.Unix(0, 0)
+	b.failure(now)
+	after := now.Add(150 * time.Millisecond)
+	b.admit(after)
+	if b.state != breakerHalfOpen || !b.probing {
+		t.Fatalf("admit after cooldown must half-open with probe; state=%v probing=%v", b.state, b.probing)
+	}
+	if b.canAdmit(after) {
+		t.Fatal("half-open breaker with a probe in flight must not admit a second assay")
+	}
+	// Successful probe closes.
+	b.success()
+	if b.state != breakerClosed || b.opens != 0 {
+		t.Fatalf("success must close and reset opens; state=%v opens=%d", b.state, b.opens)
+	}
+}
+
+func TestBreakerExponentialCooldownCapped(t *testing.T) {
+	b := breaker{threshold: 1, cooldown: 100 * time.Millisecond, maxCooldown: 400 * time.Millisecond}
+	now := time.Unix(0, 0)
+	// First open: 100ms.
+	b.failure(now)
+	if got := b.until.Sub(now); got != 100*time.Millisecond {
+		t.Fatalf("open 1 cooldown = %v, want 100ms", got)
+	}
+	// Failed probe: 200ms.
+	now = b.until
+	b.admit(now)
+	b.failure(now)
+	if got := b.until.Sub(now); got != 200*time.Millisecond {
+		t.Fatalf("open 2 cooldown = %v, want 200ms", got)
+	}
+	// Two more failed probes: 400ms then still 400ms (capped).
+	for i, want := range []time.Duration{400 * time.Millisecond, 400 * time.Millisecond} {
+		now = b.until
+		b.admit(now)
+		b.failure(now)
+		if got := b.until.Sub(now); got != want {
+			t.Fatalf("open %d cooldown = %v, want %v", i+3, got, want)
+		}
+	}
+	if b.recoversBy() != b.until {
+		t.Fatal("recoversBy must report the open deadline")
+	}
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/contam"
+)
+
+// ChipSpec describes one simulated chip of the farm: its geometry (mixer
+// modules and storage cells) and its degradation profile. Heterogeneous
+// fleets are the norm — see DefaultChips.
+type ChipSpec struct {
+	Name string
+	// Mixers is the number of mixer modules the chip was built with.
+	Mixers int
+	// Storage is the number of storage cells available for parked droplets.
+	Storage int
+	// BaseFaultRate is the per-event fault probability of the pristine chip
+	// (fed to the deterministic injector of internal/faults).
+	BaseFaultRate float64
+	// WearPerAssay is added to the fault rate after every completed assay —
+	// Poddar et al.'s progressive degradation, not a clean fail-stop.
+	WearPerAssay float64
+}
+
+// chipState classifies a chip's health for readiness reporting.
+const (
+	chipHealthy  = "healthy"
+	chipDegraded = "degraded"
+	chipOpen     = "breaker-open"
+	chipHalfOpen = "breaker-half-open"
+	chipDead     = "dead"
+)
+
+// degradedFaultRate is the live fault rate above which a chip reports
+// "degraded" even while its breaker is closed.
+const degradedFaultRate = 0.02
+
+// Chip is the live state of one chip. All mutable fields are guarded by
+// the fleet mutex.
+type Chip struct {
+	spec ChipSpec
+
+	faultRate   float64
+	deadMixers  int
+	usedMixers  int
+	usedStorage int
+	inflight    int
+
+	tracker *contam.ResidueTracker
+
+	assaysRun int
+	failures  int
+	seq       int64 // per-chip assay ordinal, seeds the fault injector
+
+	breaker breaker
+}
+
+// usableMixers returns the mixers not dead and not reserved.
+func (c *Chip) usableMixers() int { return c.spec.Mixers - c.deadMixers - c.usedMixers }
+
+// dead reports a chip with no working mixers at all.
+func (c *Chip) dead() bool { return c.spec.Mixers-c.deadMixers <= 0 }
+
+// state classifies the chip for health reporting.
+func (c *Chip) state() string {
+	switch {
+	case c.dead():
+		return chipDead
+	case c.breaker.state == breakerOpen:
+		return chipOpen
+	case c.breaker.state == breakerHalfOpen:
+		return chipHalfOpen
+	case c.faultRate > degradedFaultRate || c.deadMixers > 0:
+		return chipDegraded
+	default:
+		return chipHealthy
+	}
+}
+
+// ChipHealth is the JSON-friendly health snapshot of one chip, exported via
+// the readiness endpoint so rolling restarts and load balancers can see the
+// fleet's live state.
+type ChipHealth struct {
+	Name         string  `json:"name"`
+	State        string  `json:"state"`
+	FaultRate    float64 `json:"fault_rate"`
+	Mixers       int     `json:"mixers"`
+	DeadMixers   int     `json:"dead_mixers,omitempty"`
+	Storage      int     `json:"storage"`
+	Inflight     int     `json:"inflight"`
+	AssaysRun    int     `json:"assays_run"`
+	Failures     int     `json:"failures,omitempty"`
+	Washes       int     `json:"washes,omitempty"`
+	BreakerOpens int     `json:"breaker_opens,omitempty"`
+}
+
+// DefaultChips builds a heterogeneous pristine fleet of n chips cycling
+// through four geometries (the paper's PCR-scale module counts up to a
+// larger prep chip), named chip-0..chip-n-1.
+func DefaultChips(n int) []ChipSpec {
+	geoms := []struct{ mixers, storage int }{
+		{4, 8}, {3, 6}, {5, 10}, {2, 4},
+	}
+	specs := make([]ChipSpec, n)
+	for i := range specs {
+		g := geoms[i%len(geoms)]
+		specs[i] = ChipSpec{
+			Name:    fmt.Sprintf("chip-%d", i),
+			Mixers:  g.mixers,
+			Storage: g.storage,
+		}
+	}
+	return specs
+}

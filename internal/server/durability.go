@@ -1,0 +1,441 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Durability: the server journals session lifecycle to a write-ahead log
+// (internal/wal) so a crash — SIGKILL included — loses no accepted work.
+//
+// The protocol, per session:
+//
+//	session-open  (async)  — appended under the pool shard lock at insert,
+//	                         so it precedes every batch record of the session;
+//	batch-accept  (fsync)  — durable before planning starts;
+//	batch-done    (fsync)  — durable before the client sees the response;
+//	batch-fail    (fsync)  — a typed planning failure, so recovery knows the
+//	                         ordinal was consumed without a timeline effect;
+//	session-evict (async)  — advisory, stops recovery resurrecting LRU drops;
+//	plan-key      (async)  — distinct stateless plans, to re-warm the plan
+//	                         cache after a restart.
+//
+// Recovery leans on the determinism of the planning stack: replaying a
+// session's batch demands against a fresh engine rebuilds the exact
+// timeline the clients saw (batch-done records carry start-cycle/emitted so
+// the replay is *verified*, not assumed). A batch-accept without a matching
+// done/fail is an in-flight batch torn by the crash: recovery finishes it —
+// the paper's demand-driven contract survives the restart — or fails it with
+// a typed error surfaced at /v1/recovery. Nothing is dropped silently.
+
+// errRecovering refuses requests while WAL replay runs. Mapped to 503.
+var errRecovering = errors.New("server: recovering session log")
+
+// FailedSession is one session recovery could not resume, with its typed
+// error. Surfaced by /v1/recovery so operators (and the chaos harness) can
+// verify no accepted session vanished silently.
+type FailedSession struct {
+	Session string `json:"session"`
+	Error   string `json:"error"`
+}
+
+// RecoveryReport summarizes one boot-time WAL replay.
+type RecoveryReport struct {
+	WAL     bool `json:"wal"`
+	Records int  `json:"records"`
+	// Corrupt* pinpoint a torn/corrupt tail the log was repaired from.
+	CorruptOffset int64  `json:"corrupt_offset,omitempty"`
+	CorruptReason string `json:"corrupt_reason,omitempty"`
+	// Sessions is the number of live sessions restored into the pool.
+	Sessions int `json:"sessions"`
+	// ReplayedBatches counts completed batches re-planned (and verified
+	// against their logged start-cycle/emitted) during recovery.
+	ReplayedBatches int `json:"replayed_batches"`
+	// ResumedBatches counts accepted-but-unfinished batches the recovery
+	// completed on behalf of the crashed process.
+	ResumedBatches int `json:"resumed_batches"`
+	// Failed lists sessions that could not be resumed, each with its typed
+	// error.
+	Failed []FailedSession `json:"failed,omitempty"`
+	// Evicted counts sessions the log recorded as evicted (not restored).
+	Evicted int `json:"evicted"`
+	// PlanKeysWarmed counts distinct stateless plans re-planned into the
+	// plan cache.
+	PlanKeysWarmed int `json:"plan_keys_warmed"`
+	// CompactedRecords is the record count of the rewritten log.
+	CompactedRecords int     `json:"compacted_records"`
+	DurationMS       float64 `json:"duration_ms"`
+}
+
+// specToWAL converts a validated plan spec to its WAL form.
+func specToWAL(spec *planSpec) *wal.Spec {
+	return &wal.Spec{
+		Ratio:     spec.target.String(),
+		Algorithm: spec.algorithm.String(),
+		Scheduler: spec.scheduler.String(),
+		Mixers:    spec.mixers,
+		Storage:   spec.storage,
+	}
+}
+
+// specFromWAL validates a WAL spec back into a plan spec.
+func specFromWAL(ws *wal.Spec, demand int) (*planSpec, error) {
+	if ws == nil {
+		return nil, fmt.Errorf("wal record without spec")
+	}
+	return parsePlanRequest(&PlanRequest{
+		Ratio:     ws.Ratio,
+		Algorithm: ws.Algorithm,
+		Scheduler: ws.Scheduler,
+		Mixers:    ws.Mixers,
+		Storage:   ws.Storage,
+		Demand:    demand,
+	})
+}
+
+// requestBatch plans one batch on the session's engine. With a WAL attached
+// and a session in play, the plan is bracketed accept → plan → done/fail
+// under the session's request mutex: the accept is durable before planning
+// starts and the done is durable before the caller can acknowledge the
+// client, so a crash at any point leaves a log recovery can act on.
+func (s *Server) requestBatch(ctx context.Context, eng *core.Engine, sess *session, demand int) (*core.Batch, error) {
+	if s.wal == nil || sess == nil {
+		return eng.RequestCtx(ctx, demand)
+	}
+	sess.reqMu.Lock()
+	defer sess.reqMu.Unlock()
+	ord := sess.batches + 1
+	if err := s.wal.Append(wal.Record{
+		Kind: wal.KindBatchAccept, Session: sess.name, Batch: ord, Demand: demand,
+	}); err != nil {
+		return nil, fmt.Errorf("server: wal accept: %w", err)
+	}
+	sess.batches = ord
+	b, err := eng.RequestCtx(ctx, demand)
+	if err != nil {
+		// The failed plan had no timeline effect (RequestCtx is atomic on
+		// error); journal the typed failure so recovery skips the ordinal
+		// instead of re-planning it.
+		if werr := s.wal.Append(wal.Record{
+			Kind: wal.KindBatchFail, Session: sess.name, Batch: ord, Demand: demand, Error: err.Error(),
+		}); werr != nil {
+			return nil, fmt.Errorf("server: wal fail-record: %w (plan error: %w)", werr, err)
+		}
+		return nil, err
+	}
+	if err := s.wal.Append(wal.Record{
+		Kind: wal.KindBatchDone, Session: sess.name, Batch: ord, Demand: demand,
+		StartCycle: b.StartCycle, Emitted: b.Result.Emitted,
+	}); err != nil {
+		return nil, fmt.Errorf("server: wal done: %w", err)
+	}
+	sess.history = append(sess.history, batchSummary{
+		demand: demand, startCycle: b.StartCycle, emitted: b.Result.Emitted,
+	})
+	return b, nil
+}
+
+// notePlanKey journals the first occurrence of a distinct stateless plan so
+// a restart can re-warm the plan cache.
+func (s *Server) notePlanKey(spec *planSpec, demand int) {
+	if s.wal == nil {
+		return
+	}
+	key := fmt.Sprintf("%s|d%d", spec.fingerprint(), demand)
+	s.planKeysMu.Lock()
+	if s.planKeys[key] {
+		s.planKeysMu.Unlock()
+		return
+	}
+	s.planKeys[key] = true
+	s.planKeysMu.Unlock()
+	s.wal.AppendAsync(wal.Record{Kind: wal.KindPlanKey, Spec: specToWAL(spec), Demand: demand})
+}
+
+// recBatch is one batch of a session under recovery.
+type recBatch struct {
+	ord, demand, startCycle, emitted int
+	state                            int // 0 = in-flight (torn), 1 = done, 2 = failed
+}
+
+// recSession accumulates one session's log records.
+type recSession struct {
+	name    string
+	fp      string
+	spec    *wal.Spec
+	batches []recBatch
+	evicted bool
+	broken  string // non-empty: the log itself is inconsistent for this session
+}
+
+const (
+	recInflight = 0
+	recDone     = 1
+	recFailed   = 2
+)
+
+// apply folds one record into the session state, recording the first
+// inconsistency as broken (a broken session is typed-failed, never guessed
+// at).
+func (rs *recSession) apply(rec *wal.Record) {
+	if rs.broken != "" {
+		return
+	}
+	switch rec.Kind {
+	case wal.KindSessionOpen:
+		if rs.evicted || rs.fp != rec.Fingerprint {
+			// Re-opened after an eviction (or with a new config after one):
+			// a fresh timeline.
+			*rs = recSession{name: rec.Session, fp: rec.Fingerprint, spec: rec.Spec}
+		}
+	case wal.KindBatchAccept:
+		if rec.Batch != len(rs.batches)+1 {
+			rs.broken = fmt.Sprintf("batch-accept ordinal %d after %d batches", rec.Batch, len(rs.batches))
+			return
+		}
+		rs.batches = append(rs.batches, recBatch{ord: rec.Batch, demand: rec.Demand})
+	case wal.KindBatchDone, wal.KindBatchFail:
+		state := recDone
+		if rec.Kind == wal.KindBatchFail {
+			state = recFailed
+		}
+		// Normal form: the done/fail closes the last accepted batch.
+		// Compacted form: done records appear without accepts.
+		switch {
+		case len(rs.batches) > 0 && rs.batches[len(rs.batches)-1].ord == rec.Batch &&
+			rs.batches[len(rs.batches)-1].state == recInflight:
+			b := &rs.batches[len(rs.batches)-1]
+			b.state, b.startCycle, b.emitted = state, rec.StartCycle, rec.Emitted
+		case rec.Batch == len(rs.batches)+1:
+			rs.batches = append(rs.batches, recBatch{
+				ord: rec.Batch, demand: rec.Demand, state: state,
+				startCycle: rec.StartCycle, emitted: rec.Emitted,
+			})
+		default:
+			rs.broken = fmt.Sprintf("%s for unexpected batch ordinal %d", rec.Kind, rec.Batch)
+		}
+	case wal.KindSessionEvict:
+		rs.evicted = true
+	}
+}
+
+// Recover replays the WAL into the session pool: every live session is
+// rebuilt by re-planning its logged batch demands (the planner is
+// deterministic, so the timeline is bit-identical — and verified against the
+// logged start-cycle/emitted), torn in-flight batches are completed or
+// typed-failed, distinct stateless plans re-warm the plan cache, and the log
+// is compacted to the surviving state. Until Recover returns, every /v1
+// request is refused with 503 "recovering".
+//
+// A server constructed with a WAL must call Recover (with the ReplayInfo
+// from wal.Open) before serving traffic.
+func (s *Server) Recover(ctx context.Context, info *wal.ReplayInfo) (*RecoveryReport, error) {
+	if s.wal == nil {
+		return nil, fmt.Errorf("server: Recover called without a WAL")
+	}
+	defer s.recovering.Store(false)
+	t0 := time.Now()
+	done := obs.StartTimer("server.recovery_ms")
+	defer done()
+
+	rep := &RecoveryReport{WAL: true, Records: len(info.Records)}
+	if info.Corrupt != nil {
+		rep.CorruptOffset = info.Corrupt.Offset
+		rep.CorruptReason = info.Corrupt.Reason
+		obs.Inc("server.recovery.corrupt_tails")
+	}
+
+	// Fold the log into per-session state plus the distinct plan keys.
+	sessions := map[string]*recSession{}
+	var order []string
+	type planKey struct {
+		spec   *wal.Spec
+		demand int
+	}
+	keySeen := map[string]bool{}
+	var keys []planKey
+	for i := range info.Records {
+		rec := &info.Records[i]
+		if rec.Kind == wal.KindPlanKey {
+			k := fmt.Sprintf("%s|%s|%s|m%d|q%d|d%d", rec.Spec.Ratio, rec.Spec.Algorithm,
+				rec.Spec.Scheduler, rec.Spec.Mixers, rec.Spec.Storage, rec.Demand)
+			if !keySeen[k] {
+				keySeen[k] = true
+				keys = append(keys, planKey{spec: rec.Spec, demand: rec.Demand})
+			}
+			continue
+		}
+		rs, ok := sessions[rec.Session]
+		if !ok {
+			if rec.Kind != wal.KindSessionOpen {
+				// A batch record for a session the log never opened: the open
+				// was lost. Typed-fail it rather than invent a spec.
+				sessions[rec.Session] = &recSession{
+					name: rec.Session, broken: fmt.Sprintf("%s before session-open", rec.Kind),
+				}
+				order = append(order, rec.Session)
+				continue
+			}
+			rs = &recSession{name: rec.Session, fp: rec.Fingerprint, spec: rec.Spec}
+			sessions[rec.Session] = rs
+			order = append(order, rec.Session)
+			continue
+		}
+		rs.apply(rec)
+	}
+
+	// Replay live sessions in log order.
+	for _, name := range order {
+		rs := sessions[name]
+		if rs.evicted {
+			rep.Evicted++
+			continue
+		}
+		if rs.broken != "" {
+			rep.Failed = append(rep.Failed, FailedSession{Session: name, Error: "wal: " + rs.broken})
+			obs.Inc("server.recovery.sessions_failed")
+			continue
+		}
+		_, resumed, replayed, err := s.replaySession(ctx, rs)
+		rep.ReplayedBatches += replayed
+		rep.ResumedBatches += resumed
+		if err != nil {
+			rep.Failed = append(rep.Failed, FailedSession{Session: name, Error: err.Error()})
+			obs.Inc("server.recovery.sessions_failed")
+			continue
+		}
+		rep.Sessions++
+	}
+
+	// Re-warm the plan cache from the distinct stateless plan keys.
+	for _, k := range keys {
+		if err := warmPlanKey(ctx, k.spec, k.demand); err == nil {
+			rep.PlanKeysWarmed++
+		}
+		s.planKeysMu.Lock()
+		s.planKeys[fmt.Sprintf("%s|d%d", fingerprintWAL(k.spec), k.demand)] = true
+		s.planKeysMu.Unlock()
+	}
+
+	// Compact: rewrite the log to exactly the surviving pool state (plus the
+	// plan keys), so boot cost stays proportional to live state, not uptime.
+	var recs []wal.Record
+	for _, sess := range s.pool.snapshot() {
+		if sess.spec == nil {
+			continue
+		}
+		recs = append(recs, wal.Record{
+			Kind: wal.KindSessionOpen, Session: sess.name, Fingerprint: sess.fp, Spec: sess.spec,
+		})
+		for i, h := range sess.history {
+			recs = append(recs, wal.Record{
+				Kind: wal.KindBatchDone, Session: sess.name, Batch: i + 1,
+				Demand: h.demand, StartCycle: h.startCycle, Emitted: h.emitted,
+			})
+		}
+	}
+	for _, k := range keys {
+		recs = append(recs, wal.Record{Kind: wal.KindPlanKey, Spec: k.spec, Demand: k.demand})
+	}
+	if err := s.wal.Rewrite(recs); err != nil {
+		return nil, fmt.Errorf("server: wal compaction: %w", err)
+	}
+	rep.CompactedRecords = len(recs)
+	rep.DurationMS = float64(time.Since(t0).Microseconds()) / 1000
+	s.recovery.Store(rep)
+	if obs.Enabled() {
+		obs.Emit("server.recovery", map[string]any{
+			"records": rep.Records, "sessions": rep.Sessions,
+			"resumed": rep.ResumedBatches, "failed": len(rep.Failed),
+			"warmed": rep.PlanKeysWarmed, "ms": rep.DurationMS,
+		})
+	}
+	return rep, nil
+}
+
+// replaySession rebuilds one session's engine and timeline from its logged
+// batches, restoring it into the pool on success. Failed batches consumed an
+// ordinal but had no timeline effect and are skipped; completed batches are
+// verified against their logged start-cycle/emitted; a torn in-flight batch
+// is completed (resumed) here.
+func (s *Server) replaySession(ctx context.Context, rs *recSession) (history []batchSummary, resumed, replayed int, err error) {
+	spec, err := specFromWAL(rs.spec, 1)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("recovery: bad session spec: %w", err)
+	}
+	eng, err := core.New(core.Config{
+		Target: spec.target, Algorithm: spec.algorithm, Scheduler: spec.scheduler,
+		Mixers: spec.mixers, Storage: spec.storage,
+	})
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("recovery: rebuild engine: %w", err)
+	}
+	// Restore under the canonical fingerprint of the validated spec (the
+	// logged fingerprint is advisory), so post-restart requests match.
+	fp := spec.fingerprint()
+	for _, rb := range rs.batches {
+		if rb.state == recFailed {
+			continue
+		}
+		b, err := eng.RequestCtx(ctx, rb.demand)
+		if err != nil {
+			return nil, resumed, replayed, fmt.Errorf("recovery: re-plan batch %d (demand %d): %w", rb.ord, rb.demand, err)
+		}
+		if rb.state == recDone {
+			if b.StartCycle != rb.startCycle || b.Result.Emitted != rb.emitted {
+				return nil, resumed, replayed, fmt.Errorf(
+					"recovery: batch %d diverged: replayed start=%d emitted=%d, logged start=%d emitted=%d",
+					rb.ord, b.StartCycle, b.Result.Emitted, rb.startCycle, rb.emitted)
+			}
+		} else {
+			resumed++
+		}
+		replayed++
+		history = append(history, batchSummary{
+			demand: rb.demand, startCycle: b.StartCycle, emitted: b.Result.Emitted,
+		})
+	}
+	s.pool.restore(rs.name, fp, rs.spec, eng, history)
+	return history, resumed, replayed, nil
+}
+
+// warmPlanKey re-plans one distinct stateless spec on a throwaway engine,
+// which lands the plan back in the process-wide plan cache.
+func warmPlanKey(ctx context.Context, ws *wal.Spec, demand int) error {
+	spec, err := specFromWAL(ws, demand)
+	if err != nil {
+		return err
+	}
+	eng, err := core.New(core.Config{
+		Target: spec.target, Algorithm: spec.algorithm, Scheduler: spec.scheduler,
+		Mixers: spec.mixers, Storage: spec.storage,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = eng.RequestCtx(ctx, demand)
+	return err
+}
+
+// fingerprintWAL mirrors planSpec.fingerprint for a WAL spec without
+// re-validating it.
+func fingerprintWAL(ws *wal.Spec) string {
+	return fmt.Sprintf("%s|%s|%s|m%d|q%d", ws.Ratio, ws.Algorithm, ws.Scheduler, ws.Mixers, ws.Storage)
+}
+
+// serveRecovery answers GET /v1/recovery with the last recovery report (or
+// a stub when the server runs without a WAL / has not recovered).
+func (s *Server) serveRecovery(w http.ResponseWriter, _ *http.Request) {
+	if rep := s.recovery.Load(); rep != nil {
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	writeJSON(w, http.StatusOK, &RecoveryReport{WAL: s.wal != nil})
+}

@@ -40,10 +40,12 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/forest"
 	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Config tunes the serving layers; zero values select sensible defaults.
@@ -64,6 +66,14 @@ type Config struct {
 	Sessions int
 	// RetryAfter is the hint returned with 429/503 responses. Default 1s.
 	RetryAfter time.Duration
+	// WAL, when non-nil, journals session lifecycle to a write-ahead log;
+	// the server refuses traffic (503 "recovering") until Recover is called
+	// with the log's boot-time ReplayInfo. See durability.go.
+	WAL *wal.Log
+	// Fleet, when non-nil, enables POST /v1/assay: closed-loop assay
+	// execution scheduled over the simulated chip farm, with per-chip
+	// health exported by /healthz/ready.
+	Fleet *fleet.Fleet
 }
 
 func (c Config) withDefaults() Config {
@@ -94,10 +104,18 @@ type Server struct {
 	cfg     Config
 	pool    *sessionPool
 	flights flightGroup
+	wal     *wal.Log
+	fleet   *fleet.Fleet
 
-	slots    chan struct{} // admission slots; buffered to MaxInFlight
-	waiting  atomic.Int64  // requests blocked on a slot
-	draining atomic.Bool
+	slots      chan struct{} // admission slots; buffered to MaxInFlight
+	waiting    atomic.Int64  // requests blocked on a slot
+	draining   atomic.Bool
+	recovering atomic.Bool                    // WAL replay in progress
+	recovery   atomic.Pointer[RecoveryReport] // last boot's recovery report
+
+	// planKeys dedups the stateless plan keys journaled to the WAL.
+	planKeysMu sync.Mutex
+	planKeys   map[string]bool
 
 	// mu guards the in-flight census used by Drain. A WaitGroup cannot
 	// express "stop admitting, then wait": its Add may not race with Wait
@@ -107,14 +125,26 @@ type Server struct {
 	drainDone chan struct{} // non-nil once draining; closed when inflightN hits 0
 }
 
-// New builds a Server from the configuration.
+// New builds a Server from the configuration. A server configured with a
+// WAL starts in the recovering state and must call Recover before it
+// serves; see durability.go.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		pool:  newSessionPool(cfg.Sessions),
-		slots: make(chan struct{}, cfg.MaxInFlight),
+	s := &Server{
+		cfg:      cfg,
+		pool:     newSessionPool(cfg.Sessions),
+		wal:      cfg.WAL,
+		fleet:    cfg.Fleet,
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		planKeys: map[string]bool{},
 	}
+	if s.wal != nil {
+		s.recovering.Store(true)
+		s.pool.onEvict = func(name string) {
+			s.wal.AppendAsync(wal.Record{Kind: wal.KindSessionEvict, Session: name})
+		}
+	}
+	return s
 }
 
 // Handler returns the routed HTTP handler. /healthz and /metrics bypass
@@ -124,7 +154,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/plan", s.handle("plan", s.servePlan))
 	mux.HandleFunc("POST /v1/stream", s.handle("stream", s.serveStream))
 	mux.HandleFunc("POST /v1/execute", s.handle("execute", s.serveExecute))
+	mux.HandleFunc("POST /v1/assay", s.handle("assay", s.serveAssay))
+	mux.HandleFunc("GET /v1/recovery", s.serveRecovery)
 	mux.HandleFunc("GET /healthz", s.serveHealth)
+	mux.HandleFunc("GET /healthz/live", s.serveHealthLive)
+	mux.HandleFunc("GET /healthz/ready", s.serveHealthReady)
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
 	return mux
 }
@@ -265,6 +299,10 @@ func (s *Server) handle(name string, fn handlerFunc) http.HandlerFunc {
 // dispatch runs one admitted request and writes its response, returning the
 // status for the access log.
 func (s *Server) dispatch(name string, w http.ResponseWriter, r *http.Request, fn handlerFunc) (int, error) {
+	if s.recovering.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+		return http.StatusServiceUnavailable, writeError(w, http.StatusServiceUnavailable, errRecovering)
+	}
 	release, err := s.admit(r.Context())
 	if err != nil {
 		var rej *errRejected
@@ -302,6 +340,14 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, errSessionConflict):
 		return http.StatusConflict
+	case errors.Is(err, errFleetDisabled):
+		return http.StatusNotImplemented
+	case errors.Is(err, fleet.ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, fleet.ErrNoChips):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, fleet.ErrAssayFailed):
+		return http.StatusBadGateway
 	case errors.Is(err, cancel.ErrCanceled):
 		// Deadline expiry is the server refusing to plan any longer (504);
 		// anything else canceled means the client hung up.
@@ -343,9 +389,10 @@ func decode(r *http.Request, dst any) error {
 }
 
 // engineFor resolves the engine answering a request: the named session's
-// pooled engine, or a fresh stateless engine. The fingerprint pins session
-// configuration across requests.
-func (s *Server) engineFor(req *PlanRequest, spec *planSpec) (*core.Engine, error) {
+// pooled engine (pinned against eviction until release is called), or a
+// fresh stateless engine. The fingerprint pins session configuration across
+// requests. sess is nil for stateless requests; release is always non-nil.
+func (s *Server) engineFor(req *PlanRequest, spec *planSpec) (eng *core.Engine, sess *session, release func(), err error) {
 	build := func() (*core.Engine, error) {
 		return core.New(core.Config{
 			Target:    spec.target,
@@ -356,30 +403,53 @@ func (s *Server) engineFor(req *PlanRequest, spec *planSpec) (*core.Engine, erro
 		})
 	}
 	if req.Session == "" {
-		return build()
+		eng, err = build()
+		return eng, nil, func() {}, err
 	}
-	return s.pool.get(req.Session, spec.fingerprint(), build)
+	var onInsert func(*session)
+	if s.wal != nil {
+		// Run under the shard lock at insert, so the open record's log
+		// position precedes every batch record of the session.
+		onInsert = func(sess *session) {
+			sess.spec = specToWAL(spec)
+			s.wal.AppendAsync(wal.Record{
+				Kind: wal.KindSessionOpen, Session: req.Session,
+				Fingerprint: spec.fingerprint(), Spec: sess.spec,
+			})
+		}
+	}
+	sess, release, err = s.pool.acquire(req.Session, spec.fingerprint(), build, onInsert)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sess.engine, sess, release, nil
 }
 
 // planBatch validates, resolves the engine and plans one batch under the
-// request deadline. It is the shared front half of every /v1 endpoint.
+// request deadline. It is the shared front half of every /v1 endpoint. The
+// returned done func releases the session pin and the deadline; callers must
+// invoke it exactly once (the engine must not be used after).
 func (s *Server) planBatch(ctx context.Context, req *PlanRequest) (*core.Engine, *core.Batch, *planSpec, context.CancelFunc, error) {
 	spec, err := parsePlanRequest(req)
 	if err != nil {
 		return nil, nil, nil, nil, &errBadRequest{err}
 	}
 	ctx, cancelCtx := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
-	eng, err := s.engineFor(req, spec)
+	eng, sess, release, err := s.engineFor(req, spec)
 	if err != nil {
 		cancelCtx()
 		return nil, nil, nil, nil, err
 	}
-	b, err := eng.RequestCtx(ctx, req.Demand)
-	if err != nil {
+	done := func() {
+		release()
 		cancelCtx()
+	}
+	b, err := s.requestBatch(ctx, eng, sess, req.Demand)
+	if err != nil {
+		done()
 		return nil, nil, nil, nil, err
 	}
-	return eng, b, spec, cancelCtx, nil
+	return eng, b, spec, done, nil
 }
 
 // servePlan answers POST /v1/plan.
@@ -413,6 +483,7 @@ func (s *Server) servePlan(ctx context.Context, r *http.Request) (any, error) {
 			return nil, err
 		}
 		done()
+		s.notePlanKey(spec, req.Demand)
 		resp := planResponse(spec, b.Result, eng.Mixers())
 		resp.StartCycle = b.StartCycle
 		return resp, nil
@@ -460,7 +531,13 @@ func (s *Server) serveStream(ctx context.Context, r *http.Request) (any, error) 
 		return resp, nil
 	}
 	v, err, shared := s.flights.do(ctx, mustFlightKey(&req, "stream"), func() (any, error) {
-		return buildResp()
+		resp, err := buildResp()
+		if err == nil {
+			if spec, perr := parsePlanRequest(&req); perr == nil {
+				s.notePlanKey(spec, req.Demand)
+			}
+		}
+		return resp, err
 	})
 	if err != nil {
 		return nil, err
@@ -551,6 +628,63 @@ type healthResponse struct {
 func (s *Server) serveHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := healthResponse{Status: "ok", Sessions: s.pool.len(), Waiting: s.waiting.Load()}
 	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// serveHealthLive answers GET /healthz/live: 200 whenever the process can
+// run a handler at all — the restart-me signal is its absence, not its body.
+func (s *Server) serveHealthLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// readyResponse is the /healthz/ready body: overall readiness plus the
+// per-chip health of the fleet (when one is configured).
+type readyResponse struct {
+	Status      string             `json:"status"`
+	Sessions    int                `json:"sessions"`
+	Waiting     int64              `json:"waiting"`
+	WAL         bool               `json:"wal"`
+	Chips       []fleet.ChipHealth `json:"chips,omitempty"`
+	FleetQueued int                `json:"fleet_queued,omitempty"`
+}
+
+// serveHealthReady answers GET /healthz/ready: 200 only when the server can
+// accept new work right now. Distinguished not-ready states: "recovering"
+// (WAL replay in progress), "draining" (graceful shutdown has begun) and
+// "fleet-unavailable" (every chip dead or breaker-open). A degraded but
+// serviceable fleet stays ready with status "degraded" and the per-chip
+// detail in the body.
+func (s *Server) serveHealthReady(w http.ResponseWriter, _ *http.Request) {
+	resp := readyResponse{
+		Status:   "ready",
+		Sessions: s.pool.len(),
+		Waiting:  s.waiting.Load(),
+		WAL:      s.wal != nil,
+	}
+	status := http.StatusOK
+	if s.fleet != nil {
+		resp.Chips = s.fleet.Health()
+		resp.FleetQueued = s.fleet.Queued()
+		if !s.fleet.Available() {
+			resp.Status = "fleet-unavailable"
+			status = http.StatusServiceUnavailable
+		} else {
+			for _, c := range resp.Chips {
+				if c.State != "healthy" {
+					resp.Status = "degraded"
+					break
+				}
+			}
+		}
+	}
+	if s.recovering.Load() {
+		resp.Status = "recovering"
+		status = http.StatusServiceUnavailable
+	}
 	if s.Draining() {
 		resp.Status = "draining"
 		status = http.StatusServiceUnavailable

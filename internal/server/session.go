@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // errSessionConflict reports a request that names an existing session but
@@ -25,9 +26,19 @@ const sessionShards = 8
 // off the planning hot path: two requests on different sessions only contend
 // if they hash to the same shard, and even then only for the few list
 // operations, never for the plan itself.
+//
+// Sessions are pinned while a request uses them: eviction skips pinned
+// sessions (temporarily overshooting the shard capacity if every candidate
+// is pinned), so an LRU eviction can never race an in-flight request into a
+// forked timeline — the failure mode being a fresh engine restarting the
+// session at cycle 1 while the old engine still extends the evicted one.
 type sessionPool struct {
 	perShard int // LRU capacity per shard
 	shards   [sessionShards]sessionShard
+
+	// onEvict, when set, observes every eviction (under the shard lock);
+	// the server uses it to journal evictions to the WAL.
+	onEvict func(name string)
 }
 
 type sessionShard struct {
@@ -36,10 +47,33 @@ type sessionShard struct {
 	index map[string]*list.Element
 }
 
+// batchSummary is one completed batch of a session, retained for boot-time
+// WAL compaction (the demands replay the timeline; start/emitted verify it).
+type batchSummary struct {
+	demand     int
+	startCycle int
+	emitted    int
+}
+
 type session struct {
 	name   string
 	fp     string // engine-config fingerprint, guards against silent config drift
 	engine *core.Engine
+
+	// spec is the WAL form of the engine configuration (set when a WAL is
+	// attached), carried so boot-time compaction can re-emit the session.
+	spec *wal.Spec
+
+	// pins counts in-flight requests holding the session; guarded by the
+	// shard mutex. A pinned session is never evicted.
+	pins int
+
+	// reqMu serializes the WAL bracket (accept → plan → done/fail) of this
+	// session so batch ordinals land in the log contiguously. It also guards
+	// batches and history.
+	reqMu   sync.Mutex
+	batches int            // batch ordinals consumed (including failed plans)
+	history []batchSummary // completed batches, for compaction
 }
 
 // newSessionPool builds a pool holding about `capacity` sessions across all
@@ -63,22 +97,25 @@ func (p *sessionPool) shard(name string) *sessionShard {
 	return &p.shards[h.Sum32()%sessionShards]
 }
 
-// get returns the engine for the named session, building it with build on
-// first use. A config-fingerprint mismatch on an existing session returns
-// errSessionConflict. Inserting beyond the shard's capacity evicts the least
-// recently used session of that shard.
-func (p *sessionPool) get(name, fp string, build func() (*core.Engine, error)) (*core.Engine, error) {
+// acquire returns the named session pinned against eviction, building its
+// engine with build on first use. onInsert (may be nil) runs under the shard
+// lock the moment a new session enters the pool — before any request on it
+// can proceed — which is how the WAL's session-open record is guaranteed to
+// precede the session's first batch record. The returned release must be
+// called exactly once when the request is done with the session.
+func (p *sessionPool) acquire(name, fp string, build func() (*core.Engine, error), onInsert func(*session)) (*session, func(), error) {
 	s := p.shard(name)
 	s.mu.Lock()
 	if el, ok := s.index[name]; ok {
 		sess := el.Value.(*session)
 		if sess.fp != fp {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("%w: session %q", errSessionConflict, name)
+			return nil, nil, fmt.Errorf("%w: session %q", errSessionConflict, name)
 		}
 		s.lru.MoveToFront(el)
+		sess.pins++
 		s.mu.Unlock()
-		return sess.engine, nil
+		return sess, p.releaseFunc(s, sess), nil
 	}
 	s.mu.Unlock()
 
@@ -88,7 +125,7 @@ func (p *sessionPool) get(name, fp string, build func() (*core.Engine, error)) (
 	// build; the loser's engine is dropped (engines are pure memory).
 	eng, err := build()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	s.mu.Lock()
@@ -96,21 +133,96 @@ func (p *sessionPool) get(name, fp string, build func() (*core.Engine, error)) (
 	if el, ok := s.index[name]; ok {
 		sess := el.Value.(*session)
 		if sess.fp != fp {
-			return nil, fmt.Errorf("%w: session %q", errSessionConflict, name)
+			return nil, nil, fmt.Errorf("%w: session %q", errSessionConflict, name)
 		}
 		s.lru.MoveToFront(el)
-		return sess.engine, nil
+		sess.pins++
+		return sess, p.releaseFunc(s, sess), nil
 	}
-	el := s.lru.PushFront(&session{name: name, fp: fp, engine: eng})
+	sess := &session{name: name, fp: fp, engine: eng, pins: 1}
+	if onInsert != nil {
+		onInsert(sess)
+	}
+	el := s.lru.PushFront(sess)
 	s.index[name] = el
 	obs.Inc("server.sessions.created")
-	for s.lru.Len() > p.perShard {
-		old := s.lru.Back()
-		s.lru.Remove(old)
-		delete(s.index, old.Value.(*session).name)
-		obs.Inc("server.sessions.evicted")
+	p.evictLocked(s)
+	return sess, p.releaseFunc(s, sess), nil
+}
+
+// releaseFunc unpins the session and retries any eviction the pin deferred.
+func (p *sessionPool) releaseFunc(s *sessionShard, sess *session) func() {
+	return func() {
+		s.mu.Lock()
+		sess.pins--
+		p.evictLocked(s)
+		s.mu.Unlock()
 	}
-	return eng, nil
+}
+
+// evictLocked trims the shard to capacity, skipping pinned sessions. When
+// every over-capacity candidate is pinned the shard temporarily overshoots;
+// the releasing request retries the eviction.
+func (p *sessionPool) evictLocked(s *sessionShard) {
+	for el := s.lru.Back(); el != nil && s.lru.Len() > p.perShard; {
+		sess := el.Value.(*session)
+		prev := el.Prev()
+		if sess.pins == 0 {
+			s.lru.Remove(el)
+			delete(s.index, sess.name)
+			obs.Inc("server.sessions.evicted")
+			if p.onEvict != nil {
+				p.onEvict(sess.name)
+			}
+		} else {
+			obs.Inc("server.sessions.evictions_deferred")
+		}
+		el = prev
+	}
+}
+
+// get resolves the session engine without holding a pin — a convenience for
+// callers that only probe the pool. Request paths must use acquire.
+func (p *sessionPool) get(name, fp string, build func() (*core.Engine, error)) (*core.Engine, error) {
+	sess, release, err := p.acquire(name, fp, build, nil)
+	if err != nil {
+		return nil, err
+	}
+	release()
+	return sess.engine, nil
+}
+
+// restore inserts a recovered session (already replayed to its logged
+// timeline) into the pool. Used only by WAL recovery, before serving starts.
+func (p *sessionPool) restore(name, fp string, spec *wal.Spec, eng *core.Engine, history []batchSummary) {
+	s := p.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[name]; ok {
+		return
+	}
+	sess := &session{
+		name: name, fp: fp, engine: eng, spec: spec,
+		batches: len(history), history: history,
+	}
+	s.index[name] = s.lru.PushFront(sess)
+	obs.Inc("server.sessions.restored")
+	p.evictLocked(s)
+}
+
+// snapshot returns every live session, most recently used first within each
+// shard. Used by boot-time WAL compaction.
+func (p *sessionPool) snapshot() []*session {
+	var out []*session
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*session))
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // len reports the number of live sessions across all shards.
