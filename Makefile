@@ -6,11 +6,11 @@ GO ?= go
 # streaming planner, fault injector, cyberphysical runtime, the parallel
 # mixer-binding search, the transport-matrix cache, the observability
 # registry, the synchronized engine, the HTTP serving core, the memoised
-# graph fingerprints and the pooled packed planning kernels) — raced
-# explicitly by `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./internal/wal ./internal/fleet ./internal/contam ./cmd/dmfbd
+# graph fingerprints, the pooled packed planning kernels and the
+# distributed artifact/cluster tier) — raced explicitly by `make race`.
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./internal/wal ./internal/fleet ./internal/contam ./internal/artifact ./internal/cluster ./cmd/dmfbd
 
-.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve bench-fleet-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve bench-fleet-smoke bench-cluster-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -42,13 +42,14 @@ bench-smoke:
 bench-routing:
 	$(GO) run ./cmd/benchroute -out results/bench_routing.json
 
-# Short fuzzing passes over the parser, the forest builder and the WAL
-# replayer — enough to replay the corpora and explore a little, not a soak
-# run.
+# Short fuzzing passes over the parser, the forest builder, the WAL replayer
+# and the artifact decoder — enough to replay the corpora and explore a
+# little, not a soak run.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseRatio -fuzztime=10s ./internal/ratio
 	$(GO) test -fuzz=FuzzBuildForest -fuzztime=10s ./internal/forest
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
+	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=10s ./internal/artifact
 
 # End-to-end audit smoke: drive the CLIs through planning, streaming, fault
 # recovery and dilution with the invariant auditor live (it is always on) and
@@ -91,6 +92,16 @@ bench-fleet-smoke:
 	$(GO) run ./cmd/benchserve -requests 0 -assay-requests 150 -out "$$tmp/bench_fleet.json"; \
 	echo "bench-fleet-smoke: churn floor held"
 
+# Fast wiring check for the multi-node scenario only: a 3-node in-process
+# cluster shares one pool of plan keys and the harness asserts fleet-wide
+# cold builds stay within the build-ratio ceiling (owner builds once) and
+# that warm cross-node adoption beats a cold build. Writes to a throwaway
+# file.
+bench-cluster-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; set -e; \
+	$(GO) run ./cmd/benchserve -requests 0 -assay-requests 0 -cluster-requests 300 -cluster-keys 20 -out "$$tmp/bench_cluster.json"; \
+	echo "bench-cluster-smoke: cold-build ceiling and warm adoption held"
+
 # Serving smoke: boot dmfbd on an ephemeral port, hit every endpoint, then
 # SIGTERM and assert a clean graceful drain — exactly the cmd-level
 # integration test, run with the race detector on.
@@ -106,7 +117,7 @@ chaos-smoke:
 	CHAOS_CYCLES=50 $(GO) test -race -run 'TestChaosKillRestartRecovery' -timeout 10m ./cmd/dmfbd
 	@echo "chaos-smoke: 50 kill/restart cycles, no acked work lost"
 
-check: build vet fmt-check test race bench-smoke bench-plan-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke bench-fleet-smoke
+check: build vet fmt-check test race bench-smoke bench-plan-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke bench-fleet-smoke bench-cluster-smoke
 
 clean:
 	$(GO) clean

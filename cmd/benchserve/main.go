@@ -16,15 +16,29 @@
 // Fleet scenarios (EXPERIMENTS.md §E11) boot a second server around a
 // simulated chip fleet and drive POST /v1/assay:
 //
-//	assay-healthy  every chip at base fault rate zero
-//	assay-churn    25% of the fleet degraded (elevated fault rate, one dead
-//	               mixer each) — the scheduler must route around them; the
-//	               run fails unless churn throughput stays above
-//	               -churn-floor of the healthy run
+//	assay-healthy    every chip at base fault rate zero
+//	assay-churn      25% of the fleet degraded (elevated fault rate, one dead
+//	                 mixer each) — the scheduler must route around them; the
+//	                 run fails unless churn throughput stays above
+//	                 -churn-floor of the healthy run
+//	assay-saturated  the churn fleet driven past its placement capacity —
+//	                 the load-aware tie-break must admit overflow onto the
+//	                 degraded chips (fleet.overflow_admissions > 0) instead
+//	                 of queueing everything behind the healthy ones
+//
+// The cluster scenario (EXPERIMENTS.md §E12) boots several dmfbd nodes in
+// one process, each with an isolated plan cache and warm disk artifact tier,
+// joined through a consistent-hash ring. A shared key space is driven
+// round-robin across the nodes; because cold plans resolve through the
+// content-addressed artifact tier (disk, then the ring owner's build,
+// exactly once fleet-wide), aggregate cold builds must stay within
+// -cluster-build-ratio of the distinct key count — not keys × nodes — and a
+// warm cross-node artifact adoption must beat a cold local build.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,8 +53,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/cluster"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/plancache"
+	"repro/internal/ratio"
 	"repro/internal/runtime"
 	"repro/internal/server"
 )
@@ -68,6 +86,19 @@ type record struct {
 	FleetChips           int     `json:"fleet_chips,omitempty"`
 	DegradedChips        int     `json:"degraded_chips,omitempty"`
 	ChurnThroughputRatio float64 `json:"churn_throughput_ratio,omitempty"`
+	// Saturated-fleet experiment (E11): overflow admissions prove degraded
+	// chips absorb load once every healthy chip is busy and a queue forms.
+	SaturatedOverflowAdmissions int64 `json:"saturated_overflow_admissions,omitempty"`
+	// Multi-node cluster experiment (E12): fleet-wide cold builds over
+	// distinct plan keys (1.0 is perfect single-flight; nodes× means the
+	// artifact tier did nothing), plus the cold-build vs warm cross-node
+	// adoption latency comparison.
+	ClusterNodes        int     `json:"cluster_nodes,omitempty"`
+	ClusterDistinctKeys int     `json:"cluster_distinct_keys,omitempty"`
+	ClusterColdBuilds   int64   `json:"cluster_cold_builds,omitempty"`
+	ClusterBuildRatio   float64 `json:"cluster_build_ratio,omitempty"`
+	ClusterColdMs       float64 `json:"cluster_cold_ms,omitempty"`
+	ClusterWarmMs       float64 `json:"cluster_warm_ms,omitempty"`
 }
 
 func main() {
@@ -79,6 +110,10 @@ func main() {
 		assayReqs   = flag.Int("assay-requests", 400, "requests per fleet scenario (0 skips fleet scenarios)")
 		fleetChips  = flag.Int("fleet-chips", 8, "simulated chips in the fleet scenarios")
 		churnFloor  = flag.Float64("churn-floor", 0.70, "minimum churn/healthy throughput ratio")
+		clusterReqs = flag.Int("cluster-requests", 1500, "requests in the multi-node scenario (0 skips it)")
+		clusterN    = flag.Int("cluster-nodes", 3, "dmfbd nodes in the multi-node scenario")
+		clusterKeys = flag.Int("cluster-keys", 60, "distinct plan keys shared across the cluster")
+		clusterMax  = flag.Float64("cluster-build-ratio", 1.2, "maximum fleet-wide cold builds per distinct key")
 	)
 	flag.Parse()
 
@@ -151,27 +186,29 @@ func main() {
 	if *assayReqs > 0 {
 		// Each fleet run gets its own server and fleet so wear, residue and
 		// breaker state never leak from the healthy run into the churn run.
-		runFleet := func(name string, degraded int) scenarioResult {
+		runFleet := func(name string, degraded int, faultRate float64, conc, reqs, demand, storageDemand int) scenarioResult {
 			// A tight recovery budget makes degraded chips fail for real
 			// (budget overruns → ErrUnrecoverable → breaker + reassignment)
 			// instead of the runtime's recovery ladder absorbing every fault;
 			// healthy chips run fault-free and never touch the budget.
 			fl := fleet.New(fleet.Config{
-				Chips:  fleet.DefaultChips(*fleetChips),
-				Policy: runtime.Policy{RecoveryBudget: 4},
+				Chips:         fleet.DefaultChips(*fleetChips),
+				Policy:        runtime.Policy{RecoveryBudget: 4},
+				MaxQueue:      reqs, // saturation should queue at the fleet, not 429
+				StorageDemand: storageDemand,
 			})
 			// A degraded chip is genuinely unreliable — a fault rate high
 			// enough to overrun the recovery budget on some runs, so the
 			// scheduler sees real unrecoverable failures, breaker opens and
 			// reassignments, not just slowdown — and is down one mixer.
 			for i, h := 0, fl.Health(); i < degraded && i < len(h); i++ {
-				if err := fl.DegradeChip(h[i].Name, 0.5, 1); err != nil {
+				if err := fl.DegradeChip(h[i].Name, faultRate, 1); err != nil {
 					log.Fatal(err)
 				}
 			}
 			fsrv := server.New(server.Config{
-				MaxInFlight: *maxInflight,
-				MaxQueue:    *assayReqs,
+				MaxInFlight: conc, // admit the whole client pool; the fleet queues
+				MaxQueue:    reqs,
 				Fleet:       fl,
 			})
 			fln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -181,11 +218,11 @@ func main() {
 			fhs := &http.Server{Handler: fsrv.Handler()}
 			go fhs.Serve(fln)
 			defer fhs.Close()
-			res := drive(client, "http://"+fln.Addr().String(), *assayReqs, *concurrency,
+			res := drive(client, "http://"+fln.Addr().String(), reqs, conc,
 				func(i int) (string, map[string]any) {
 					return "/v1/assay", map[string]any{
 						"ratio":  ratios[i%len(ratios)],
-						"demand": 4,
+						"demand": demand,
 						"class":  fmt.Sprintf("class-%d", i%3),
 					}
 				})
@@ -198,8 +235,8 @@ func main() {
 			return res
 		}
 		degraded := *fleetChips / 4
-		healthy := runFleet("assay-healthy", 0)
-		churn := runFleet("assay-churn", degraded)
+		healthy := runFleet("assay-healthy", 0, 0, *concurrency, *assayReqs, 4, 0)
+		churn := runFleet("assay-churn", degraded, 0.5, *concurrency, *assayReqs, 4, 0)
 		rec.FleetChips = *fleetChips
 		rec.DegradedChips = degraded
 		rec.ChurnThroughputRatio = churn.RPS / healthy.RPS
@@ -209,11 +246,46 @@ func main() {
 			log.Fatalf("churn throughput ratio %.3f below floor %.2f",
 				rec.ChurnThroughputRatio, *churnFloor)
 		}
+		// Saturation run (E11): the HTTP path adds ~20ms of client/transport
+		// latency per request — far more than a small assay's sub-millisecond
+		// execution — so no loopback client pool can hold a placement queue
+		// open. This scenario therefore drives fleet.Run directly: every
+		// worker goroutine sits in the fleet's admission path at once, the
+		// placement queue stays standing, and the load-aware tie-break must
+		// admit the overflow onto the degraded chips instead of idling them
+		// behind the healthy ones. The degradation is mild (worn, not broken:
+		// chips stay off-breaker) so the run isolates the admission decision,
+		// not the recovery ladder.
+		overflowBefore := obs.Counter("fleet.overflow_admissions")
+		satRes, satFleet := runSaturated(*fleetChips, degraded, 8**fleetChips, *assayReqs, ratios)
+		rec.Scenarios["assay-saturated"] = satRes
+		fmt.Printf("%-13s %6d req @ %3d conc: %8.1f req/s  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  (%d errors)\n",
+			"assay-saturated", satRes.Requests, satRes.Concurrency, satRes.RPS, satRes.P50Ms, satRes.P90Ms, satRes.P99Ms, satRes.Errors)
+		if satRes.Errors > 0 {
+			log.Fatalf("scenario assay-saturated had %d errors", satRes.Errors)
+		}
+		rec.SaturatedOverflowAdmissions = obs.Counter("fleet.overflow_admissions") - overflowBefore
+		degradedAssays := 0
+		for i, h := range satFleet.Health() {
+			if i < degraded {
+				degradedAssays += h.AssaysRun
+			}
+		}
+		fmt.Printf("saturated overflow admissions: %d, assays on degraded chips: %d\n",
+			rec.SaturatedOverflowAdmissions, degradedAssays)
+		if degraded > 0 && (rec.SaturatedOverflowAdmissions == 0 || degradedAssays == 0) {
+			log.Fatal("assay-saturated: degraded chips idled under a standing queue")
+		}
+	}
+	if *clusterReqs > 0 {
+		runCluster(client, &rec, *clusterReqs, *concurrency, *clusterN, *clusterKeys, *maxInflight, ratios, *clusterMax)
 	}
 	for _, c := range []string{"server.requests", "server.flights.coalesced", "plancache.hits",
-		"plancache.misses", "server.sessions.created", "server.admission.queued",
+		"plancache.misses", "plancache.builds", "server.sessions.created", "server.admission.queued",
 		"fleet.assays", "fleet.assays_failed", "fleet.reassignments", "fleet.washes", "fleet.saturated",
-		"fleet.breaker_opens", "wal.appends", "wal.fsyncs"} {
+		"fleet.breaker_opens", "fleet.overflow_admissions", "wal.appends", "wal.fsyncs",
+		"server.artifact.remote_builds", "server.artifact.disk_promotions", "server.artifact.pushed",
+		"cluster.fetch.ok", "cluster.build.ok", "artifact.disk.hits", "artifact.disk.puts"} {
 		rec.Counters[c] = obs.Counter(c)
 	}
 
@@ -225,6 +297,131 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// runCluster boots an in-process multi-node dmfbd fleet (isolated plan
+// caches, per-node disk artifact tiers, one consistent-hash ring) and proves
+// the distributed tier's two claims: a shared key space driven across every
+// node costs roughly one cold build per distinct key fleet-wide (not per
+// node), and adopting a warm artifact from a peer is cheaper than building
+// cold.
+func runCluster(client *http.Client, rec *record, reqs, conc, nNodes, keys, maxInflight int, ratios []string, buildRatioMax float64) {
+	type benchNode struct {
+		cache *plancache.Cache
+		store *artifact.Store
+		srv   *server.Server
+		url   string
+	}
+	nodes := make([]*benchNode, nNodes)
+	lns := make([]net.Listener, nNodes)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[i] = ln
+		nodes[i] = &benchNode{url: "http://" + ln.Addr().String()}
+	}
+	for i, nd := range nodes {
+		var peers []cluster.Peer
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, cluster.Peer{ID: fmt.Sprintf("node-%d", j), URL: other.url})
+			}
+		}
+		cn, err := cluster.NewNode(cluster.Config{Self: fmt.Sprintf("node-%d", i), Peers: peers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "benchserve-artifacts-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		nd.cache = plancache.New(4 * keys)
+		if nd.store, err = artifact.OpenStore(dir, 4*keys); err != nil {
+			log.Fatal(err)
+		}
+		nd.srv = server.New(server.Config{
+			MaxInFlight: maxInflight,
+			MaxQueue:    reqs,
+			PlanCache:   nd.cache,
+			Artifacts:   nd.store,
+			Cluster:     cn,
+		})
+		hs := &http.Server{Handler: nd.srv.Handler()}
+		go hs.Serve(lns[i])
+		defer hs.Close()
+	}
+
+	// The shared key space, driven round-robin: request i carries key i%keys
+	// to node i%nNodes, so every node serves every key.
+	res := drive(client, "", reqs, conc, func(i int) (string, map[string]any) {
+		k := i % keys
+		return nodes[i%nNodes].url + "/v1/plan", map[string]any{
+			"ratio": ratios[k%len(ratios)], "demand": 2 + 2*(k/len(ratios)),
+		}
+	})
+	rec.Scenarios["cluster"] = res
+	fmt.Printf("%-10s %6d req @ %3d conc: %8.1f req/s  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  (%d errors)\n",
+		"cluster", res.Requests, res.Concurrency, res.RPS, res.P50Ms, res.P90Ms, res.P99Ms, res.Errors)
+	if res.Errors > 0 {
+		log.Fatalf("scenario cluster had %d errors", res.Errors)
+	}
+	for _, nd := range nodes {
+		nd.srv.WaitPublish()
+	}
+	var builds int64
+	for _, nd := range nodes {
+		builds += nd.cache.Stats().Builds
+	}
+	ratio := float64(builds) / float64(keys)
+	rec.ClusterNodes = nNodes
+	rec.ClusterDistinctKeys = keys
+	rec.ClusterColdBuilds = builds
+	rec.ClusterBuildRatio = ratio
+	fmt.Printf("cluster cold builds: %d over %d distinct keys across %d nodes (ratio %.2f, max %.2f)\n",
+		builds, keys, nNodes, ratio, buildRatioMax)
+	if ratio > buildRatioMax {
+		log.Fatalf("cluster build ratio %.2f exceeds %.2f — the artifact tier is not deduplicating builds",
+			ratio, buildRatioMax)
+	}
+
+	// Cold-vs-warm probes over fresh keys: the first request anywhere pays
+	// the build; after the artifact propagates, a different node serves the
+	// same key by fetching and verifying the owner's artifact.
+	timed := func(url string, payload map[string]any) float64 {
+		buf, _ := json.Marshal(payload)
+		t0 := time.Now()
+		resp, err := client.Post(url+"/v1/plan", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("cluster probe: status %d", resp.StatusCode)
+		}
+		return float64(time.Since(t0).Microseconds()) / 1000
+	}
+	const probes = 40
+	var coldMs, warmMs float64
+	for j := 0; j < probes; j++ {
+		payload := map[string]any{"ratio": "2:1:1:1:1:1:9", "demand": 200 + 2*j, "scheduler": "SRS"}
+		coldMs += timed(nodes[j%nNodes].url, payload)
+		for _, nd := range nodes {
+			nd.srv.WaitPublish()
+		}
+		warmMs += timed(nodes[(j+1)%nNodes].url, payload)
+	}
+	rec.ClusterColdMs = coldMs / probes
+	rec.ClusterWarmMs = warmMs / probes
+	fmt.Printf("cluster cold build %.3fms vs warm cross-node adoption %.3fms per plan\n",
+		rec.ClusterColdMs, rec.ClusterWarmMs)
+	if rec.ClusterWarmMs >= rec.ClusterColdMs {
+		log.Fatalf("warm cross-node adoption (%.3fms) not faster than cold build (%.3fms)",
+			rec.ClusterWarmMs, rec.ClusterColdMs)
+	}
 }
 
 // drive fires n requests at the given concurrency and aggregates latency.
@@ -261,7 +458,72 @@ func drive(client *http.Client, base string, n, concurrency int, body func(int) 
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start).Seconds()
+	return summarize(lat, concurrency, int(errors.Load()), time.Since(start).Seconds())
+}
+
+// runSaturated floods a churn fleet with conc in-process assay runners —
+// every worker sits in the fleet's admission path at once, so the placement
+// queue stays standing for the whole run (see the E11 scenario comment).
+func runSaturated(chips, degraded, conc, reqs int, ratios []string) (scenarioResult, *fleet.Fleet) {
+	// An unbounded recovery budget and a mild fault rate keep the degraded
+	// chips genuinely usable — the runtime's recovery ladder absorbs their
+	// faults — so the scenario isolates the admission decision: does the
+	// scheduler hand them work once a queue is standing?
+	fl := fleet.New(fleet.Config{
+		Chips:    fleet.DefaultChips(chips),
+		MaxQueue: reqs,
+	})
+	for i, h := 0, fl.Health(); i < degraded && i < len(h); i++ {
+		if err := fl.DegradeChip(h[i].Name, 0.05, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	targets := make([]ratio.Ratio, len(ratios))
+	for i, s := range ratios {
+		t, err := ratio.Parse(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		targets[i] = t
+	}
+	lat := make([]float64, reqs)
+	var errs atomic.Int32
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= reqs {
+					return
+				}
+				t0 := time.Now()
+				// Storage-limited streaming assays: many passes per run, so
+				// each placement is held for several milliseconds and the
+				// worker pool genuinely overlaps inside the fleet.
+				_, err := fl.Run(context.Background(), fleet.AssaySpec{
+					Target:  targets[i%len(targets)],
+					Demand:  256,
+					Storage: 4,
+					Class:   fmt.Sprintf("class-%d", i%3),
+				})
+				if err != nil {
+					errs.Add(1)
+				}
+				lat[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}()
+	}
+	wg.Wait()
+	return summarize(lat, conc, int(errs.Load()), time.Since(start).Seconds()), fl
+}
+
+// summarize folds per-request latencies into the recorded percentiles.
+func summarize(lat []float64, concurrency, errors int, elapsed float64) scenarioResult {
+	n := len(lat)
 	sort.Float64s(lat)
 	pct := func(p float64) float64 {
 		idx := int(p * float64(n-1))
@@ -270,7 +532,7 @@ func drive(client *http.Client, base string, n, concurrency int, body func(int) 
 	return scenarioResult{
 		Requests:    n,
 		Concurrency: concurrency,
-		Errors:      int(errors.Load()),
+		Errors:      errors,
 		Seconds:     elapsed,
 		RPS:         float64(n) / elapsed,
 		P50Ms:       pct(0.50),

@@ -12,6 +12,13 @@
 //	dmfbd -addr :8077 -max-inflight 128 -queue 512 -timeout 10s
 //	dmfbd -addr :8077 -wal /var/lib/dmfbd/session.wal -chips 8
 //	dmfbd -addr :8077 -tracefile server.jsonl -metrics
+//	dmfbd -addr :8077 -node-id a -peers b=http://node-b:8077,c=http://node-c:8077 \
+//	      -artifact-dir /var/lib/dmfbd/artifacts
+//
+// With -peers every node hashes plan keys onto the same consistent-hash
+// ring: cold stateless plans are fetched from (or built exactly once on)
+// their owning node as verified content-addressed artifacts, and
+// -artifact-dir adds a warm disk tier below the in-process plan cache.
 //
 // With -wal the daemon journals session lifecycle to a checksummed
 // write-ahead log and, on boot, replays it: sessions survive crashes —
@@ -36,6 +43,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/cluster"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -64,6 +73,10 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 		chips      = fs.Int("chips", 0, "simulated chip fleet size (0 disables /v1/assay)")
 		chipFault  = fs.Float64("chip-fault", 0, "base per-event fault rate of every fleet chip")
 		chipWear   = fs.Float64("chip-wear", 0, "per-assay fault-rate wear of every fleet chip")
+		nodeID     = fs.String("node-id", "", "this node's cluster identity (required with -peers)")
+		peersFlag  = fs.String("peers", "", "cluster peers as id=url,id=url (enables the distributed plan tier)")
+		artDir     = fs.String("artifact-dir", "", "warm disk tier for content-addressed plan artifacts")
+		artCap     = fs.Int("artifact-cap", 0, "artifact-dir capacity in artifacts (0 selects the default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,6 +112,31 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 			specs[i].WearPerAssay = *chipWear
 		}
 		cfg.Fleet = fleet.New(fleet.Config{Chips: specs})
+	}
+	if *artDir != "" {
+		st, aerr := artifact.OpenStore(*artDir, *artCap)
+		if aerr != nil {
+			fmt.Fprintln(stderr, "dmfbd:", aerr)
+			finish()
+			return 1
+		}
+		cfg.Artifacts = st
+	}
+	if *peersFlag != "" {
+		peers, perr := cluster.ParsePeers(*peersFlag)
+		if perr == nil && *nodeID == "" {
+			perr = errors.New("-peers requires -node-id")
+		}
+		var node *cluster.Node
+		if perr == nil {
+			node, perr = cluster.NewNode(cluster.Config{Self: *nodeID, Peers: peers})
+		}
+		if perr != nil {
+			fmt.Fprintln(stderr, "dmfbd:", perr)
+			finish()
+			return 1
+		}
+		cfg.Cluster = node
 	}
 	var (
 		wlog  *wal.Log

@@ -1,0 +1,565 @@
+// Package artifact makes plans first-class serializable artifacts: a
+// canonical, versioned binary IR for one cached plan — the base mixing
+// graph, the mixing forest grown over it, the schedule's mixer/time bindings
+// and the plan's claimed aggregates — content-addressed by the plan-cache
+// key and integrity-hashed, so any dmfbd node can execute a plan built
+// elsewhere.
+//
+// The trust posture mirrors the WAL's: artifacts are never trusted silently.
+// Decode re-validates every structural invariant while reassembling (a
+// corrupt byte stream is a typed ErrCorrupt/ErrIntegrity, never a panic or a
+// silently wrong graph), and Verify re-runs the full plan-level audit
+// (audit.CheckPlan) plus the claimed-aggregate and key-consistency checks
+// before the plan is ever cached or executed — a stale or tampered artifact
+// surfaces as ErrVerify, never as a mis-mix.
+//
+// Addresses are derived from the plan-cache key alone (AddressFor), so every
+// node computes the same address for the same plan without seeing its bytes;
+// the integrity hash in the trailer binds the address's content. The wire
+// layout is versioned by the leading magic; a future layout bumps the magic
+// and orphans — never misreads — old stores.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/forest"
+	"repro/internal/mixgraph"
+	"repro/internal/plancache"
+	"repro/internal/ratio"
+	"repro/internal/sched"
+)
+
+// magic identifies the artifact layout; bumping the version changes it.
+const magic = "DMFBART1"
+
+// Decode-side sanity bounds. They exist so a hostile or fuzzed byte stream
+// cannot make the decoder allocate unbounded memory before validation fails;
+// every real plan sits far inside them.
+const (
+	maxParts  = 1 << 12 // input fluids per ratio
+	maxNodes  = 1 << 20 // base-graph nodes
+	maxTasks  = 1 << 20 // forest tasks
+	maxString = 1 << 10 // label/name bytes
+)
+
+// Typed artifact errors.
+var (
+	// ErrCorrupt reports a byte stream that is not a structurally valid
+	// artifact (truncated, out-of-range references, malformed sections).
+	ErrCorrupt = errors.New("artifact: corrupt artifact")
+	// ErrVersion reports an artifact written under a different layout
+	// version (unknown magic).
+	ErrVersion = errors.New("artifact: unsupported artifact version")
+	// ErrIntegrity reports a payload whose integrity hash does not match its
+	// trailer — bytes damaged after encoding.
+	ErrIntegrity = errors.New("artifact: integrity hash mismatch")
+	// ErrVerify reports a decoded artifact that failed verification: the
+	// plan-level audit found a violation, a claimed aggregate disagrees with
+	// recomputation, or the embedded key does not describe the embedded
+	// plan. It wraps the specific failure.
+	ErrVerify = errors.New("artifact: verification failed")
+)
+
+// AddressFor derives the content address of the plan identified by k. The
+// address is a pure function of the plan-cache key — algorithm, ratio, base
+// graph fingerprint, demand, mixers, scheduler, recovery policy — so every
+// node addresses the same plan identically without holding its bytes.
+func AddressFor(k plancache.Key) string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Artifact is one decoded plan artifact.
+type Artifact struct {
+	// Key is the plan-cache identity the artifact was encoded under.
+	Key plancache.Key
+	// Plan is the reassembled plan (forest, schedule, stats, storage).
+	Plan *plancache.Plan
+}
+
+// Address returns the artifact's content address (AddressFor of its key).
+func (a *Artifact) Address() string { return AddressFor(a.Key) }
+
+// Encode serializes the plan under its cache key into the canonical binary
+// IR. Encoding is deterministic: the same (key, plan) always yields the same
+// bytes, so the integrity hash is reproducible across nodes. It fails if the
+// key does not describe the plan (wrong graph fingerprint or demand) — an
+// artifact must never be born inconsistent.
+func Encode(k plancache.Key, p *plancache.Plan) ([]byte, error) {
+	if p == nil || p.Forest == nil || p.Schedule == nil {
+		return nil, fmt.Errorf("%w: nil plan", ErrVerify)
+	}
+	g := p.Forest.Base
+	if k.Graph != g.Fingerprint() || k.Ratio != g.TargetKey() || k.Algo != g.Algorithm {
+		return nil, fmt.Errorf("%w: key does not identify the plan's base graph", ErrVerify)
+	}
+	if k.Demand != p.Forest.Demand {
+		return nil, fmt.Errorf("%w: key demand %d, forest demand %d", ErrVerify, k.Demand, p.Forest.Demand)
+	}
+	buf := make([]byte, 0, 64+16*len(p.Forest.Tasks))
+	buf = append(buf, magic...)
+
+	// Section 1: the plan-cache key.
+	buf = putString(buf, k.Algo)
+	buf = putString(buf, k.Ratio)
+	buf = binary.BigEndian.AppendUint64(buf, k.Graph)
+	buf = putUvarint(buf, uint64(k.Demand))
+	buf = putUvarint(buf, uint64(k.Mixers))
+	buf = putString(buf, k.Scheduler)
+	buf = putString(buf, k.Policy)
+
+	// Section 2: the target ratio.
+	target := g.Target
+	buf = putUvarint(buf, uint64(target.N()))
+	for i := 0; i < target.N(); i++ {
+		buf = putUvarint(buf, uint64(target.Part(i)))
+	}
+	names := target.Names()
+	if names == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		for _, n := range names {
+			buf = putString(buf, n)
+		}
+	}
+
+	// Section 3: the base mixing graph.
+	buf = putString(buf, g.Algorithm)
+	buf = putUvarint(buf, uint64(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		if n.Kind == mixgraph.Leaf {
+			buf = append(buf, 0)
+			buf = putUvarint(buf, uint64(n.Fluid))
+		} else {
+			buf = append(buf, 1)
+			buf = putUvarint(buf, uint64(n.Children[0].ID))
+			buf = putUvarint(buf, uint64(n.Children[1].ID))
+		}
+	}
+	buf = putUvarint(buf, uint64(g.Root.ID))
+
+	// Section 4: the mixing forest.
+	specs := forest.Describe(p.Forest)
+	buf = putUvarint(buf, uint64(len(specs)))
+	for _, s := range specs {
+		buf = putUvarint(buf, uint64(s.Tree))
+		buf = putUvarint(buf, uint64(s.Base))
+		buf = putUvarint(buf, uint64(s.Level))
+		buf = putUvarint(buf, uint64(s.Targets))
+		for _, in := range s.In {
+			if in.Kind == forest.Input {
+				buf = append(buf, 0)
+				buf = putUvarint(buf, uint64(in.Fluid))
+			} else {
+				b := byte(1)
+				if in.Reused {
+					b = 2
+				}
+				buf = append(buf, b)
+				buf = putUvarint(buf, uint64(in.Task))
+			}
+		}
+	}
+
+	// Section 5: the schedule — the per-task (cycle, mixer) bindings the
+	// executor routes droplets by.
+	s := p.Schedule
+	buf = putString(buf, s.Algorithm)
+	buf = putUvarint(buf, uint64(s.Mixers))
+	buf = putUvarint(buf, uint64(s.Cycles))
+	buf = putUvarint(buf, uint64(s.FirstTask))
+	buf = putUvarint(buf, uint64(len(s.Slots)))
+	for _, a := range s.Slots {
+		buf = putUvarint(buf, uint64(a.Cycle))
+		buf = putUvarint(buf, uint64(a.Mixer))
+	}
+
+	// Section 6: claimed aggregates, re-derived and compared on Verify.
+	buf = putUvarint(buf, uint64(p.Storage))
+	buf = putUvarint(buf, uint64(p.Stats.Trees))
+	buf = putUvarint(buf, uint64(p.Stats.Mixes))
+	buf = putUvarint(buf, uint64(p.Stats.Waste))
+	buf = putUvarint(buf, uint64(p.Stats.InputTotal))
+	buf = putUvarint(buf, uint64(p.Stats.Targets))
+	buf = putUvarint(buf, uint64(p.Stats.Reuses))
+	buf = putUvarint(buf, uint64(len(p.Stats.Inputs)))
+	for _, v := range p.Stats.Inputs {
+		buf = putUvarint(buf, uint64(v))
+	}
+
+	// Trailer: integrity hash over everything above.
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+// Decode reassembles an artifact from its binary IR, re-validating every
+// structural invariant on the way: the integrity trailer, the base graph
+// (exact CF arithmetic, topology, target identity — mixgraph.Build runs its
+// full validation), the forest (forest.Restore's consumption and tree
+// checks) and the schedule shape. Semantic verification — the plan-level
+// audit and the claimed aggregates — is Verify's job; callers that execute
+// decoded plans use DecodeVerified.
+func Decode(data []byte) (*Artifact, error) {
+	if len(data) < len(magic)+sha256.Size {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrVersion, data[:len(magic)])
+	}
+	payload, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(trailer) {
+		return nil, ErrIntegrity
+	}
+	r := &reader{buf: payload[len(magic):]}
+
+	// Section 1: the key.
+	var k plancache.Key
+	k.Algo = r.str()
+	k.Ratio = r.str()
+	k.Graph = r.u64()
+	k.Demand = r.count(maxTasks)
+	k.Mixers = r.count(maxTasks)
+	k.Scheduler = r.str()
+	k.Policy = r.str()
+
+	// Section 2: the target ratio.
+	nParts := r.count(maxParts)
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	parts := make([]int64, nParts)
+	for i := range parts {
+		parts[i] = int64(r.uvarint())
+	}
+	hasNames := r.byte()
+	var names []string
+	if hasNames == 1 {
+		names = make([]string, nParts)
+		for i := range names {
+			names[i] = r.str()
+		}
+	} else if hasNames != 0 {
+		r.set(fmt.Errorf("names flag %d", hasNames))
+	}
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	target, err := ratio.New(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if names != nil {
+		if target, err = target.WithNames(names...); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+
+	// Section 3: the base graph, rebuilt node by node with consumption
+	// budgets tracked so the builder's invariants can never panic.
+	algorithm := r.str()
+	nNodes := r.count(maxNodes)
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	gb := mixgraph.NewBuilder(target)
+	nodes := make([]*mixgraph.Node, 0, nNodes)
+	claimed := make([]int, nNodes) // outputs already consumed per node
+	for i := 0; i < nNodes; i++ {
+		switch kind := r.byte(); kind {
+		case 0:
+			fluid := r.count(maxParts)
+			if r.err != nil {
+				return nil, r.fail()
+			}
+			if fluid >= target.N() {
+				return nil, fmt.Errorf("%w: node %d fluid %d out of range", ErrCorrupt, i, fluid)
+			}
+			nodes = append(nodes, gb.Leaf(fluid))
+		case 1:
+			l, lerr := r.nodeRef(nodes, claimed, i)
+			rn, rerr := r.nodeRef(nodes, claimed, i)
+			if r.err != nil {
+				return nil, r.fail()
+			}
+			if lerr != nil {
+				return nil, lerr
+			}
+			if rerr != nil {
+				return nil, rerr
+			}
+			nodes = append(nodes, gb.Mix(l, rn))
+		default:
+			if r.err != nil {
+				return nil, r.fail()
+			}
+			return nil, fmt.Errorf("%w: node %d kind %d", ErrCorrupt, i, kind)
+		}
+	}
+	rootID := r.count(maxNodes)
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	if rootID >= len(nodes) {
+		return nil, fmt.Errorf("%w: root %d of %d nodes", ErrCorrupt, rootID, len(nodes))
+	}
+	if claimed[rootID] != 0 {
+		return nil, fmt.Errorf("%w: root %d has consumed outputs", ErrCorrupt, rootID)
+	}
+	g, err := gb.Build(nodes[rootID], algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	// Section 4: the forest.
+	nTasks := r.count(maxTasks)
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	specs := make([]forest.TaskSpec, nTasks)
+	for i := range specs {
+		specs[i].Tree = r.count(maxTasks)
+		specs[i].Base = r.count(maxNodes)
+		specs[i].Level = r.count(maxNodes)
+		specs[i].Targets = r.count(4)
+		for j := range specs[i].In {
+			switch kind := r.byte(); kind {
+			case 0:
+				specs[i].In[j] = forest.SourceSpec{Kind: forest.Input, Fluid: r.count(maxParts)}
+			case 1, 2:
+				specs[i].In[j] = forest.SourceSpec{Kind: forest.FromTask, Task: r.count(maxTasks), Reused: kind == 2}
+			default:
+				if r.err == nil {
+					r.set(fmt.Errorf("task %d source kind %d", i, kind))
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	f, err := forest.Restore(g, k.Demand, specs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	// Section 5: the schedule bindings.
+	s := &sched.Schedule{Forest: f}
+	s.Algorithm = r.str()
+	s.Mixers = r.count(maxTasks)
+	s.Cycles = r.count(4*nTasks + 4)
+	s.FirstTask = r.count(maxTasks)
+	nSlots := r.count(maxTasks)
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	if nSlots != len(f.Tasks) {
+		return nil, fmt.Errorf("%w: %d slots for %d tasks", ErrCorrupt, nSlots, len(f.Tasks))
+	}
+	s.Slots = make([]sched.Assignment, nSlots)
+	for i := range s.Slots {
+		s.Slots[i].Cycle = r.count(4*nTasks + 4)
+		s.Slots[i].Mixer = r.count(maxTasks)
+	}
+
+	// Section 6: claimed aggregates.
+	p := &plancache.Plan{Forest: f, Schedule: s}
+	p.Storage = r.count(maxTasks)
+	p.Stats.Trees = r.count(maxTasks)
+	p.Stats.Mixes = r.count(maxTasks)
+	p.Stats.Waste = int64(r.count(maxTasks))
+	p.Stats.InputTotal = int64(r.count(maxTasks))
+	p.Stats.Targets = r.count(maxTasks)
+	p.Stats.Reuses = r.count(maxTasks)
+	nInputs := r.count(maxParts)
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	p.Stats.Inputs = make([]int64, nInputs)
+	for i := range p.Stats.Inputs {
+		p.Stats.Inputs[i] = int64(r.count(maxTasks))
+	}
+	if r.err != nil {
+		return nil, r.fail()
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf))
+	}
+	return &Artifact{Key: k, Plan: p}, nil
+}
+
+// Verify proves the decoded artifact safe to cache and execute: the embedded
+// key must describe the embedded plan (graph fingerprint, target, algorithm,
+// demand, mixers, scheduler), the claimed aggregates must equal a fresh
+// recomputation, and the full plan-level audit (audit.CheckPlan — closed
+// forms, conservation, storage occupancy, schedule physicality) must come
+// back clean. Any failure wraps ErrVerify: a decoded plan is never executed
+// on trust.
+func (a *Artifact) Verify() error {
+	g := a.Plan.Forest.Base
+	switch {
+	case a.Key.Graph != g.Fingerprint():
+		return fmt.Errorf("%w: key graph %016x, decoded graph %016x", ErrVerify, a.Key.Graph, g.Fingerprint())
+	case a.Key.Ratio != g.TargetKey():
+		return fmt.Errorf("%w: key ratio %q, decoded target %q", ErrVerify, a.Key.Ratio, g.TargetKey())
+	case a.Key.Algo != g.Algorithm:
+		return fmt.Errorf("%w: key algorithm %q, decoded graph built by %q", ErrVerify, a.Key.Algo, g.Algorithm)
+	case a.Key.Demand != a.Plan.Forest.Demand:
+		return fmt.Errorf("%w: key demand %d, forest demand %d", ErrVerify, a.Key.Demand, a.Plan.Forest.Demand)
+	case a.Key.Mixers != a.Plan.Schedule.Mixers:
+		return fmt.Errorf("%w: key mixers %d, schedule mixers %d", ErrVerify, a.Key.Mixers, a.Plan.Schedule.Mixers)
+	case a.Key.Scheduler != a.Plan.Schedule.Algorithm:
+		return fmt.Errorf("%w: key scheduler %q, schedule algorithm %q", ErrVerify, a.Key.Scheduler, a.Plan.Schedule.Algorithm)
+	}
+	if rep := audit.CheckPlan(a.Plan.Forest, a.Plan.Schedule); !rep.Clean() {
+		return fmt.Errorf("%w: %w", ErrVerify, rep.Err())
+	}
+	st := a.Plan.Forest.Stats()
+	if st.Trees != a.Plan.Stats.Trees || st.Mixes != a.Plan.Stats.Mixes ||
+		st.Waste != a.Plan.Stats.Waste || st.InputTotal != a.Plan.Stats.InputTotal ||
+		st.Targets != a.Plan.Stats.Targets || st.Reuses != a.Plan.Stats.Reuses ||
+		len(st.Inputs) != len(a.Plan.Stats.Inputs) {
+		return fmt.Errorf("%w: claimed stats disagree with recomputation", ErrVerify)
+	}
+	for i := range st.Inputs {
+		if st.Inputs[i] != a.Plan.Stats.Inputs[i] {
+			return fmt.Errorf("%w: claimed input count for fluid %d disagrees with recomputation", ErrVerify, i)
+		}
+	}
+	if storage := sched.StorageUnits(a.Plan.Schedule); storage != a.Plan.Storage {
+		return fmt.Errorf("%w: claimed storage %d, recomputed %d", ErrVerify, a.Plan.Storage, storage)
+	}
+	return nil
+}
+
+// DecodeVerified decodes and verifies in one step — the only entry point the
+// serving layer uses for bytes of any provenance (disk tier, peer fetch,
+// client PUT).
+func DecodeVerified(data []byte) (*Artifact, error) {
+	a, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Verify(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// nodeRef reads one child-node reference, charging its output budget.
+func (r *reader) nodeRef(nodes []*mixgraph.Node, claimed []int, at int) (*mixgraph.Node, error) {
+	id := r.count(maxNodes)
+	if r.err != nil {
+		return nil, nil
+	}
+	if id >= len(nodes) {
+		return nil, fmt.Errorf("%w: node %d references node %d (not topological)", ErrCorrupt, at, id)
+	}
+	limit := 2
+	if nodes[id].Kind == mixgraph.Leaf {
+		limit = 1
+	}
+	if claimed[id] >= limit {
+		return nil, fmt.Errorf("%w: node %d over-consumes node %d", ErrCorrupt, at, id)
+	}
+	claimed[id]++
+	return nodes[id], nil
+}
+
+// putUvarint / putString are the canonical primitive encoders.
+func putUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func putString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// reader decodes the primitive stream with sticky error tracking: after the
+// first failure every read returns zero values and fail() reports the cause.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) set(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) fail() error {
+	return fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.set(errors.New("truncated varint"))
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// count reads a uvarint bounded to [0, limit]; anything larger is corrupt.
+func (r *reader) count(limit int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(limit) {
+		r.set(fmt.Errorf("count %d exceeds bound %d", v, limit))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.set(errors.New("truncated byte"))
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.set(errors.New("truncated u64"))
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.count(maxString)
+	if r.err != nil {
+		return ""
+	}
+	if len(r.buf) < n {
+		r.set(errors.New("truncated string"))
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// Typed cluster errors.
+var (
+	// ErrNotFound reports a peer that answered 404 — alive, but without the
+	// requested artifact.
+	ErrNotFound = errors.New("cluster: artifact not found on peer")
+	// ErrPeerDown reports a peer that cannot be reached right now: its
+	// circuit breaker is open, or the request failed at transport level.
+	ErrPeerDown = errors.New("cluster: peer unavailable")
+	// ErrUnknownPeer reports an owner ID outside the configured membership.
+	ErrUnknownPeer = errors.New("cluster: unknown peer")
+)
+
+// Peer names one remote member: its node ID and HTTP base URL.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses the -peers flag form "id=http://host:port,id2=...".
+func ParsePeers(s string) ([]Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	return peers, nil
+}
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's ID; it joins the ring alongside Peers.
+	Self string
+	// Peers are the other members (Self must not appear among them).
+	Peers []Peer
+	// VirtualNodes tunes ring balance (default DefaultVirtualNodes).
+	VirtualNodes int
+	// Timeout bounds each peer request (default 2s).
+	Timeout time.Duration
+	// BreakerThreshold / BreakerCooldown shape the per-peer circuit breaker
+	// (defaults 3 failures / 250ms with capped doubling, matching the chip
+	// breakers).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Transport overrides the HTTP transport (tests inject in-process
+	// listeners; nil uses http.DefaultTransport).
+	Transport http.RoundTripper
+}
+
+// peerState is one remote member plus its breaker.
+type peerState struct {
+	url     string
+	breaker *fleet.Breaker
+}
+
+// Node is one member's handle on the cluster: the shared ring plus breaker-
+// guarded clients for every peer. Safe for concurrent use (the ring is
+// immutable, breakers self-lock, http.Client is concurrency-safe).
+type Node struct {
+	self   string
+	ring   *Ring
+	peers  map[string]*peerState
+	client *http.Client
+}
+
+// NewNode builds the node. A nil *Node is a valid single-node cluster
+// (every key is local), so call sites can disable clustering by passing nil.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: node needs a non-empty self ID")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	members := []string{cfg.Self}
+	peers := make(map[string]*peerState, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p.ID == cfg.Self {
+			return nil, fmt.Errorf("cluster: peer list contains self (%q)", p.ID)
+		}
+		if p.ID == "" || p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %+v needs both ID and URL", p)
+		}
+		if _, dup := peers[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer ID %q", p.ID)
+		}
+		peers[p.ID] = &peerState{
+			url:     strings.TrimRight(p.URL, "/"),
+			breaker: fleet.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, 0),
+		}
+		members = append(members, p.ID)
+	}
+	return &Node{
+		self:  cfg.Self,
+		ring:  NewRing(members, cfg.VirtualNodes),
+		peers: peers,
+		client: &http.Client{
+			Timeout:   cfg.Timeout,
+			Transport: cfg.Transport,
+		},
+	}, nil
+}
+
+// Self returns this node's ID ("" for a nil node).
+func (n *Node) Self() string {
+	if n == nil {
+		return ""
+	}
+	return n.self
+}
+
+// Size returns the cluster member count (1 for a nil node: just us).
+func (n *Node) Size() int {
+	if n == nil {
+		return 1
+	}
+	return n.ring.Size()
+}
+
+// Owner maps a key (artifact address, session key) to its owning member ID.
+// A nil node owns everything itself.
+func (n *Node) Owner(key string) string {
+	if n == nil {
+		return ""
+	}
+	return n.ring.Owner(key)
+}
+
+// Owns reports whether this node owns the key. Nil nodes own everything.
+func (n *Node) Owns(key string) bool {
+	if n == nil {
+		return true
+	}
+	return n.ring.Owner(key) == n.self
+}
+
+// PeerStates snapshots every peer's breaker state, keyed by peer ID, for
+// health reporting.
+func (n *Node) PeerStates() map[string]string {
+	if n == nil {
+		return nil
+	}
+	states := make(map[string]string, len(n.peers))
+	for id, p := range n.peers {
+		states[id] = p.breaker.State()
+	}
+	return states
+}
+
+// PeerIDs returns the peer IDs, sorted.
+func (n *Node) PeerIDs() []string {
+	if n == nil {
+		return nil
+	}
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Fetch retrieves the artifact bytes stored under addr on the named peer.
+// The caller owns verification: peer bytes are untrusted until
+// artifact.DecodeVerified accepts them.
+func (n *Node) Fetch(ctx context.Context, peerID, addr string) ([]byte, error) {
+	return n.roundTrip(ctx, peerID, http.MethodGet, "/v1/artifact/"+addr, "", nil, "cluster.fetch")
+}
+
+// Push stores artifact bytes under addr on the named peer (best-effort
+// replication toward the key's owner; the peer verifies before storing).
+func (n *Node) Push(ctx context.Context, peerID, addr string, data []byte) error {
+	_, err := n.roundTrip(ctx, peerID, http.MethodPut, "/v1/artifact/"+addr, "application/octet-stream", data, "cluster.push")
+	return err
+}
+
+// BuildOn delegates a plan build to the key's owner: the JSON plan request
+// is POSTed to the owner's build endpoint, which coalesces concurrent
+// builds of the same key through its in-process flight group and answers
+// with the encoded artifact. This is the cross-node single-flight: every
+// non-owner blocks here (bounded by the client timeout) instead of building
+// locally, so a cold key costs the fleet one build, not one per node.
+func (n *Node) BuildOn(ctx context.Context, peerID string, planReq []byte) ([]byte, error) {
+	return n.roundTrip(ctx, peerID, http.MethodPost, "/v1/artifact/build", "application/json", planReq, "cluster.build")
+}
+
+// roundTrip runs one breaker-guarded request against a peer. 2xx returns
+// the body; 404 is ErrNotFound (the peer is alive — breaker success); other
+// statuses and transport failures charge the breaker.
+func (n *Node) roundTrip(ctx context.Context, peerID, method, path, contentType string, body []byte, metric string) ([]byte, error) {
+	if n == nil {
+		return nil, fmt.Errorf("%w: no cluster configured", ErrUnknownPeer)
+	}
+	p, ok := n.peers[peerID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, peerID)
+	}
+	if !p.breaker.Allow() {
+		obs.Inc(metric + ".breaker_rejected")
+		return nil, fmt.Errorf("%w: %s breaker open", ErrPeerDown, peerID)
+	}
+	var reqBody io.Reader
+	if body != nil {
+		reqBody = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, p.url+path, reqBody)
+	if err != nil {
+		p.breaker.Success() // caller bug, not peer health
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		if p.breaker.Failure() {
+			obs.Inc("cluster.breaker_opens")
+		}
+		obs.Inc(metric + ".errors")
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerDown, peerID, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		if p.breaker.Failure() {
+			obs.Inc("cluster.breaker_opens")
+		}
+		obs.Inc(metric + ".errors")
+		return nil, fmt.Errorf("%w: %s: %v", ErrPeerDown, peerID, err)
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		p.breaker.Success()
+		obs.Inc(metric + ".ok")
+		return data, nil
+	case resp.StatusCode == http.StatusNotFound:
+		p.breaker.Success() // alive, just cold
+		obs.Inc(metric + ".not_found")
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, peerID)
+	default:
+		// 4xx/5xx both charge the breaker: a peer rejecting our artifacts
+		// or failing builds is not a peer worth hammering.
+		if p.breaker.Failure() {
+			obs.Inc("cluster.breaker_opens")
+		}
+		obs.Inc(metric + ".errors")
+		return nil, fmt.Errorf("%w: %s answered %d: %s", ErrPeerDown, peerID, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:8080, b=http://h2:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != (Peer{ID: "a", URL: "http://h1:8080"}) ||
+		peers[1] != (Peer{ID: "b", URL: "http://h2:8080"}) {
+		t.Fatalf("peers = %+v", peers)
+	}
+	if p, err := ParsePeers(""); err != nil || p != nil {
+		t.Fatalf("empty flag: %v %v", p, err)
+	}
+	for _, bad := range []string{"a", "=url", "a=", "a=u,b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := NewNode(Config{}); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	if _, err := NewNode(Config{Self: "a", Peers: []Peer{{ID: "a", URL: "http://x"}}}); err == nil {
+		t.Fatal("self among peers accepted")
+	}
+	if _, err := NewNode(Config{Self: "a", Peers: []Peer{{ID: "b", URL: "http://x"}, {ID: "b", URL: "http://y"}}}); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}
+
+func TestNilNodeIsSingleNodeCluster(t *testing.T) {
+	var n *Node
+	if !n.Owns("anything") || n.Owner("k") != "" || n.Size() != 1 || n.Self() != "" {
+		t.Fatal("nil node does not behave as a single-member cluster")
+	}
+	if _, err := n.Fetch(context.Background(), "x", "addr"); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("nil node fetch: %v", err)
+	}
+}
+
+func TestNodeFetchPushBuild(t *testing.T) {
+	var gotPut atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/artifact/"):
+			if strings.HasSuffix(r.URL.Path, "/cold") {
+				http.NotFound(w, r)
+				return
+			}
+			w.Write([]byte("artifact-bytes"))
+		case r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/artifact/"):
+			buf := make([]byte, 64)
+			n, _ := r.Body.Read(buf)
+			gotPut.Store(string(buf[:n]))
+			w.WriteHeader(http.StatusNoContent)
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/artifact/build":
+			w.Write([]byte("built-artifact"))
+		default:
+			http.Error(w, "bad route", http.StatusBadRequest)
+		}
+	}))
+	defer peer.Close()
+
+	n, err := NewNode(Config{Self: "self", Peers: []Peer{{ID: "p1", URL: peer.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	data, err := n.Fetch(ctx, "p1", "warm")
+	if err != nil || string(data) != "artifact-bytes" {
+		t.Fatalf("Fetch: %q, %v", data, err)
+	}
+	if _, err := n.Fetch(ctx, "p1", "cold"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cold fetch: %v, want ErrNotFound", err)
+	}
+	if err := n.Push(ctx, "p1", "warm", []byte("pushed")); err != nil {
+		t.Fatal(err)
+	}
+	if gotPut.Load() != "pushed" {
+		t.Fatalf("peer saw %q", gotPut.Load())
+	}
+	built, err := n.BuildOn(ctx, "p1", []byte(`{"demand":4}`))
+	if err != nil || string(built) != "built-artifact" {
+		t.Fatalf("BuildOn: %q, %v", built, err)
+	}
+	if _, err := n.Fetch(ctx, "ghost", "warm"); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("unknown peer: %v", err)
+	}
+	if st := n.PeerStates(); st["p1"] != "closed" {
+		t.Fatalf("peer states: %v", st)
+	}
+}
+
+// TestNodeBreakerShieldsDownPeer: a dead peer opens its breaker after the
+// threshold, after which calls fail fast (ErrPeerDown) without touching the
+// network; 404s never charge the breaker.
+func TestNodeBreakerShieldsDownPeer(t *testing.T) {
+	var hits atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer peer.Close()
+	n, err := NewNode(Config{
+		Self: "self", Peers: []Peer{{ID: "p1", URL: peer.URL}},
+		BreakerThreshold: 2, BreakerCooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := n.Fetch(ctx, "p1", "addr"); !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("failing fetch %d: %v", i, err)
+		}
+	}
+	if st := n.PeerStates(); st["p1"] != "open" {
+		t.Fatalf("breaker %q after threshold failures", st["p1"])
+	}
+	before := hits.Load()
+	if _, err := n.Fetch(ctx, "p1", "addr"); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("open-breaker fetch: %v", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker still hit the network")
+	}
+}
+
+// TestNodeBreakerHalfOpenRecovery: after the cooldown one probe goes
+// through; success closes the breaker for everyone.
+func TestNodeBreakerHalfOpenRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if healthy.Load() {
+			w.Write([]byte("ok"))
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer peer.Close()
+	n, err := NewNode(Config{
+		Self: "self", Peers: []Peer{{ID: "p1", URL: peer.URL}},
+		BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := n.Fetch(ctx, "p1", "addr"); !errors.Is(err, ErrPeerDown) {
+		t.Fatal(err)
+	}
+	healthy.Store(true)
+	time.Sleep(20 * time.Millisecond)
+	if _, err := n.Fetch(ctx, "p1", "addr"); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if st := n.PeerStates(); st["p1"] != "closed" {
+		t.Fatalf("breaker %q after successful probe", st["p1"])
+	}
+}

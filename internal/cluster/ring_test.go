@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("key-%d", i)
+	}
+	return ks
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	members := []string{"node-b", "node-a", "node-c"}
+	r1 := NewRing(members, 64)
+	r2 := NewRing([]string{"node-c", "node-a", "node-b", "node-a"}, 64) // order/dups must not matter
+	for _, k := range keys(500) {
+		o := r1.Owner(k)
+		if o == "" {
+			t.Fatalf("key %q unowned", k)
+		}
+		if o2 := r2.Owner(k); o2 != o {
+			t.Fatalf("placement not membership-seeded: %q owned by %q vs %q", k, o, o2)
+		}
+	}
+	if (&Ring{}).Owner("x") != "" {
+		t.Fatal("empty ring owns keys")
+	}
+	var nilRing *Ring
+	if nilRing.Owner("x") != "" {
+		t.Fatal("nil ring owns keys")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, DefaultVirtualNodes)
+	counts := map[string]int{}
+	const n = 8000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	// With 128 vnodes per member, each of 4 members should hold its fair
+	// quarter within a factor of two — the balance vnodes exist to provide.
+	for m, c := range counts {
+		if c < n/8 || c > n/2 {
+			t.Fatalf("member %s owns %d of %d keys (gross imbalance): %v", m, c, n, counts)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d members own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingRebalanceBounded pins consistent hashing's defining property: a
+// member joining or leaving an N-member ring moves only the ~1/N key share
+// it gains or held — never a wholesale reshuffle (modulo hashing, which
+// would move nearly everything).
+func TestRingRebalanceBounded(t *testing.T) {
+	base := NewRing([]string{"n0", "n1", "n2", "n3"}, DefaultVirtualNodes)
+	ks := keys(10000)
+
+	t.Run("join", func(t *testing.T) {
+		grown := base.With("n4")
+		moved := 0
+		for _, k := range ks {
+			before, after := base.Owner(k), grown.Owner(k)
+			if before != after {
+				moved++
+				if after != "n4" {
+					t.Fatalf("key %q moved %s→%s, not to the joining member", k, before, after)
+				}
+			}
+		}
+		// Expected share 1/5; assert < 2× expected.
+		if limit := 2 * len(ks) / 5; moved >= limit {
+			t.Fatalf("join moved %d of %d keys (limit %d)", moved, len(ks), limit)
+		}
+		if moved == 0 {
+			t.Fatal("join moved nothing — new member owns no keys")
+		}
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		shrunk := base.Without("n2")
+		moved := 0
+		for _, k := range ks {
+			before, after := base.Owner(k), shrunk.Owner(k)
+			if before != after {
+				moved++
+				if before != "n2" {
+					t.Fatalf("key %q moved %s→%s though its owner stayed", k, before, after)
+				}
+			}
+		}
+		if limit := 2 * len(ks) / 4; moved >= limit {
+			t.Fatalf("leave moved %d of %d keys (limit %d)", moved, len(ks), limit)
+		}
+		if moved == 0 {
+			t.Fatal("leave moved nothing — departed member owned no keys")
+		}
+	})
+}

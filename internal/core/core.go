@@ -19,6 +19,7 @@ import (
 	"repro/internal/mixgraph"
 	"repro/internal/mtcs"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/ratio"
 	"repro/internal/rma"
 	"repro/internal/route"
@@ -122,6 +123,9 @@ type Config struct {
 	// spend recovering from faults in any single pass of a batch executed
 	// with ExecuteBatch; 0 means unbounded. Planning ignores it.
 	RecoveryBudget int
+	// PlanCache overrides the plan cache the engine plans through (nil
+	// selects the process-wide plancache.Default()); see stream.Config.Cache.
+	PlanCache *plancache.Cache
 }
 
 // Engine is a demand-driven droplet-streaming engine. Each Request plans the
@@ -255,6 +259,7 @@ func (e *Engine) RequestCtx(ctx context.Context, n int) (*Batch, error) {
 		Storage:        e.cfg.Storage,
 		Scheduler:      e.cfg.Scheduler,
 		RecoveryBudget: e.cfg.RecoveryBudget,
+		Cache:          e.cfg.PlanCache,
 	}, n)
 	if err != nil {
 		return nil, err

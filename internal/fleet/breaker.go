@@ -1,6 +1,9 @@
 package fleet
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // breakerState is the classic three-state circuit breaker.
 type breakerState int8
@@ -108,4 +111,67 @@ func (b *breaker) recoversBy() time.Time {
 		return b.until
 	}
 	return time.Time{}
+}
+
+// Breaker is the exported, self-locking form of the chip breaker for callers
+// outside the fleet scheduler — the cluster tier guards every peer node with
+// one, so a crashed or partitioned peer costs each caller a handful of
+// failed probes instead of a timeout per request. Semantics are identical to
+// the chip breaker: `threshold` consecutive failures open it, opening backs
+// off with a capped doubling cooldown, and after the cooldown a single probe
+// (Allow admits exactly one caller in half-open) decides closed vs re-open.
+type Breaker struct {
+	mu sync.Mutex
+	b  breaker
+}
+
+// NewBreaker builds a closed breaker. threshold <= 0 defaults to 3;
+// maxCooldown <= cooldown defaults to 16× cooldown.
+func NewBreaker(threshold int, cooldown, maxCooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 250 * time.Millisecond
+	}
+	if maxCooldown < cooldown {
+		maxCooldown = 16 * cooldown
+	}
+	return &Breaker{b: breaker{threshold: threshold, cooldown: cooldown, maxCooldown: maxCooldown}}
+}
+
+// Allow reports whether a call may proceed, admitting it if so (an expired
+// open breaker admits exactly one half-open probe). Every Allow that returns
+// true must be followed by Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if !b.b.canAdmit(now) {
+		return false
+	}
+	b.b.admit(now)
+	return true
+}
+
+// Success records a completed call: the breaker closes, streaks reset.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.b.success()
+}
+
+// Failure records a failed call, returning true when this failure opened the
+// breaker.
+func (b *Breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.failure(time.Now())
+}
+
+// State renders the breaker state ("closed", "open", "half-open").
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.state.String()
 }

@@ -78,3 +78,40 @@ func TestBreakerExponentialCooldownCapped(t *testing.T) {
 		t.Fatal("recoversBy must report the open deadline")
 	}
 }
+
+// TestExportedBreaker covers the self-locking Breaker the cluster tier
+// guards peers with: threshold opens, cooldown half-opens exactly one probe,
+// probe outcome closes or re-opens.
+func TestExportedBreaker(t *testing.T) {
+	b := NewBreaker(2, 10*time.Millisecond, 40*time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("fresh breaker rejects")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("state %q, want closed", b.State())
+	}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		if opened := b.Failure(); opened != (i == 1) {
+			t.Fatalf("failure %d opened=%v", i, opened)
+		}
+	}
+	if b.State() != "open" || b.Allow() {
+		t.Fatalf("breaker not open after threshold (state %q)", b.State())
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("expired breaker rejects its half-open probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	b.Success()
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	b.Success()
+}

@@ -391,7 +391,15 @@ func (f *Fleet) placeLocked(a *AssaySpec, need int, excluded map[*Chip]bool) *pl
 		if c.tracker.Residue() == "" || c.tracker.Residue() == class {
 			score += 10
 		}
-		score -= c.faultRate * 50
+		// The degradation penalty is load-aware: sub-saturation the full
+		// −50·faultRate routes around degraded chips entirely (E11's
+		// route-around finding), but once callers are queued behind
+		// placement, shunning an admissible degraded chip only deepens the
+		// queue — so the penalty decays with admission pressure and the
+		// overflow spills onto degraded chips, which either absorb it or
+		// fail fast into their breakers.
+		pressure := float64(f.queued) / float64(len(f.chips))
+		score -= c.faultRate * 50 / (1 + pressure)
 		score -= float64(c.inflight)
 		if best == nil || score > bestScore {
 			best, bestScore = c, score
@@ -399,6 +407,9 @@ func (f *Fleet) placeLocked(a *AssaySpec, need int, excluded map[*Chip]bool) *pl
 	}
 	if best == nil {
 		return nil
+	}
+	if f.queued > 0 && best.faultRate > degradedFaultRate {
+		obs.Inc("fleet.overflow_admissions")
 	}
 	grant := need
 	if avail := best.usableMixers(); grant > avail {

@@ -250,3 +250,61 @@ func TestFleetCanceledContext(t *testing.T) {
 		t.Fatalf("cancellation must not be blamed on chips: %v", err)
 	}
 }
+
+// TestPlacementLoadAwareTieBreak pins the E11 fix: with an empty admission
+// queue the scheduler routes around a degraded chip (full −50·faultRate
+// penalty), but once callers are queued behind placement the penalty decays
+// and an idle degraded chip beats a busy healthy one — overflow work spills
+// onto degraded capacity instead of deepening the queue.
+func TestPlacementLoadAwareTieBreak(t *testing.T) {
+	cfg := quickCfg(
+		ChipSpec{Name: "healthy", Mixers: 4, Storage: 64},
+		ChipSpec{Name: "degraded", Mixers: 4, Storage: 64, BaseFaultRate: 0.4},
+	)
+	f := New(cfg)
+	spec := &AssaySpec{Target: mustRatio(t, "1:3"), Demand: 4}
+
+	f.mu.Lock()
+	// Load the healthy chip: most mixers reserved, deep inflight.
+	f.chips[0].usedMixers = 3
+	f.chips[0].inflight = 12
+
+	// Sub-saturation: the flat penalty still routes around the degraded chip
+	// even though the healthy chip is down to a 1-mixer partial grant.
+	f.queued = 0
+	pl := f.placeLocked(spec, 4, nil)
+	if pl == nil || pl.chip.spec.Name != "healthy" {
+		t.Fatalf("idle queue: placed on %v, want healthy", placedName(pl))
+	}
+	unplaceLocked(pl)
+
+	// Saturation: queued callers decay the penalty; the idle degraded chip
+	// absorbs the overflow with a full grant.
+	f.queued = 24
+	pl = f.placeLocked(spec, 4, nil)
+	if pl == nil || pl.chip.spec.Name != "degraded" {
+		t.Fatalf("saturated queue: placed on %v, want degraded", placedName(pl))
+	}
+	if pl.mixers != 4 {
+		t.Fatalf("degraded grant = %d mixers, want 4", pl.mixers)
+	}
+	unplaceLocked(pl)
+	f.mu.Unlock()
+}
+
+func placedName(pl *placement) string {
+	if pl == nil {
+		return "<none>"
+	}
+	return pl.chip.spec.Name
+}
+
+// unplaceLocked reverses a placeLocked reservation for test reuse.
+func unplaceLocked(pl *placement) {
+	if pl == nil {
+		return
+	}
+	pl.chip.usedMixers -= pl.mixers
+	pl.chip.usedStorage -= pl.storage
+	pl.chip.inflight--
+}

@@ -1,0 +1,160 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mixgraph"
+)
+
+// ErrBadRestore reports a forest description that cannot be reassembled into
+// a structurally valid forest (dangling task references, out-of-range base
+// nodes, over-consumed outputs). It is the typed decode-side complement of
+// Forest.Validate: a corrupt serialized forest surfaces here, never as a
+// panic or a silently wrong graph.
+var ErrBadRestore = errors.New("forest: invalid forest description")
+
+// SourceSpec is the serializable form of one task input droplet.
+type SourceSpec struct {
+	// Kind discriminates Input (fresh dispense) from FromTask.
+	Kind SourceKind
+	// Fluid is the reservoir fluid index for Kind == Input.
+	Fluid int
+	// Task is the producing task's ID for Kind == FromTask; it must be
+	// smaller than the consuming task's ID (topological order).
+	Task int
+	// Reused marks a cross-tree waste reuse.
+	Reused bool
+}
+
+// TaskSpec is the serializable form of one mix-split task. IDs are implicit:
+// the i-th spec restores task i.
+type TaskSpec struct {
+	// Tree is the 1-based component-tree index the task belongs to.
+	Tree int
+	// Base is the base-graph node ID the task instantiates.
+	Base int
+	// Level is the paper's positional level of the mix.
+	Level int
+	// In are the two input droplets.
+	In [2]SourceSpec
+	// Targets is the number of target-droplet outputs (2 for roots, else 0).
+	Targets int
+}
+
+// Describe projects a forest onto its serializable task list — the inverse
+// of Restore: Restore(f.Base, f.Demand, Describe(f)) rebuilds a forest whose
+// every derived quantity (stats, schedules, audits) matches f.
+func Describe(f *Forest) []TaskSpec {
+	specs := make([]TaskSpec, len(f.Tasks))
+	for i, t := range f.Tasks {
+		s := TaskSpec{Tree: t.Tree, Base: t.Base.ID, Level: t.Level, Targets: t.Targets}
+		for j, in := range t.In {
+			if in.Kind == Input {
+				s.In[j] = SourceSpec{Kind: Input, Fluid: in.Fluid}
+			} else {
+				s.In[j] = SourceSpec{Kind: FromTask, Task: in.Task.ID, Reused: in.Reused}
+			}
+		}
+		specs[i] = s
+	}
+	return specs
+}
+
+// Restore reassembles a forest from its serialized task list over an
+// already-validated base graph. Every structural precondition is checked —
+// task references must be topological, base-node IDs must name mix nodes,
+// output consumption must stay within the two-droplet budget, trees must be
+// contiguous with exactly one two-target root each — and any breach returns
+// an error wrapping ErrBadRestore. Callers still run the full plan audit
+// (audit.CheckForest) on the result; Restore's own checks exist so a corrupt
+// description can never index out of bounds or assemble a cyclic graph on
+// the way there.
+func Restore(base *mixgraph.Graph, demand int, specs []TaskSpec) (*Forest, error) {
+	if demand <= 0 {
+		return nil, fmt.Errorf("%w: demand %d", ErrBadRestore, demand)
+	}
+	wantTrees := (demand + 1) / 2
+	f := &Forest{Base: base, Demand: demand, Tasks: make([]*Task, 0, len(specs))}
+	// spare[id] tracks how many of task id's two outputs remain unclaimed by
+	// targets or consumers — the consumption budget Builder enforces by
+	// construction and a decoder must enforce by checking.
+	spare := make([]int, len(specs))
+	var tree *Tree
+	for i, s := range specs {
+		if s.Base < 0 || s.Base >= len(base.Nodes) {
+			return nil, fmt.Errorf("%w: task %d references base node %d of %d", ErrBadRestore, i, s.Base, len(base.Nodes))
+		}
+		node := base.Nodes[s.Base]
+		if node.Kind != mixgraph.Mix {
+			return nil, fmt.Errorf("%w: task %d instantiates leaf node %d", ErrBadRestore, i, s.Base)
+		}
+		if s.Targets != 0 && s.Targets != 2 {
+			return nil, fmt.Errorf("%w: task %d has %d targets (want 0 or 2)", ErrBadRestore, i, s.Targets)
+		}
+		switch {
+		case tree == nil && s.Tree == 1, tree != nil && s.Tree == tree.Index:
+			// Same tree continues.
+		case tree != nil && s.Tree == tree.Index+1:
+			if tree.Root == nil {
+				return nil, fmt.Errorf("%w: tree %d closed without a root", ErrBadRestore, tree.Index)
+			}
+			tree = nil
+		default:
+			return nil, fmt.Errorf("%w: task %d in tree %d breaks tree contiguity", ErrBadRestore, i, s.Tree)
+		}
+		if tree == nil {
+			tree = &Tree{Index: s.Tree, Want: base.Target.Vector()}
+			f.Trees = append(f.Trees, tree)
+		}
+		t := &Task{
+			ID:      i,
+			Tree:    s.Tree,
+			Base:    node,
+			Level:   s.Level,
+			Vec:     node.Vec,
+			Targets: s.Targets,
+		}
+		for j, in := range s.In {
+			switch in.Kind {
+			case Input:
+				if in.Fluid < 0 || in.Fluid >= base.Target.N() {
+					return nil, fmt.Errorf("%w: task %d input fluid %d out of range", ErrBadRestore, i, in.Fluid)
+				}
+				t.In[j] = Source{Kind: Input, Fluid: in.Fluid}
+			case FromTask:
+				if in.Task < 0 || in.Task >= i {
+					return nil, fmt.Errorf("%w: task %d consumes task %d (not topological)", ErrBadRestore, i, in.Task)
+				}
+				if spare[in.Task] <= 0 {
+					return nil, fmt.Errorf("%w: task %d over-consumes task %d", ErrBadRestore, i, in.Task)
+				}
+				spare[in.Task]--
+				src := f.Tasks[in.Task]
+				t.In[j] = Source{Kind: FromTask, Task: src, Reused: in.Reused}
+				src.consumers = append(src.consumers, t)
+			default:
+				return nil, fmt.Errorf("%w: task %d input %d has unknown kind %d", ErrBadRestore, i, j, in.Kind)
+			}
+		}
+		spare[i] = 2 - s.Targets
+		if s.Targets == 2 {
+			if tree.Root != nil {
+				return nil, fmt.Errorf("%w: tree %d has two roots", ErrBadRestore, s.Tree)
+			}
+			tree.Root = t
+		}
+		tree.Tasks = append(tree.Tasks, t)
+		f.Tasks = append(f.Tasks, t)
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("%w: no tasks", ErrBadRestore)
+	}
+	if tree.Root == nil {
+		return nil, fmt.Errorf("%w: tree %d closed without a root", ErrBadRestore, tree.Index)
+	}
+	if len(f.Trees) != wantTrees {
+		return nil, fmt.Errorf("%w: %d trees for demand %d (want ⌈D/2⌉ = %d)", ErrBadRestore, len(f.Trees), demand, wantTrees)
+	}
+	return f, nil
+}

@@ -1,0 +1,99 @@
+package forest_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+)
+
+func restoreFixture(t *testing.T, demand int) (*forest.Forest, []forest.TaskSpec) {
+	t.Helper()
+	r, err := ratio.New(1, 2, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := minmix.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := forest.Build(g, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, forest.Describe(f)
+}
+
+// TestDescribeRestoreRoundTrip: forest.Restore(forest.Describe(f)) reproduces a forest
+// whose every derived quantity matches the original.
+func TestDescribeRestoreRoundTrip(t *testing.T) {
+	for _, demand := range []int{1, 2, 5, 8} {
+		f, specs := restoreFixture(t, demand)
+		got, err := forest.Restore(f.Base, f.Demand, specs)
+		if err != nil {
+			t.Fatalf("demand %d: Restore: %v", demand, err)
+		}
+		if rep := audit.CheckForest(got); !rep.Clean() {
+			t.Fatalf("demand %d: restored forest fails audit: %v", demand, rep.Err())
+		}
+		if gs, ws := got.Stats(), f.Stats(); gs.Mixes != ws.Mixes || gs.Waste != ws.Waste ||
+			gs.Reuses != ws.Reuses || gs.Trees != ws.Trees || gs.InputTotal != ws.InputTotal {
+			t.Fatalf("demand %d: stats diverge: got %+v, want %+v", demand, gs, ws)
+		}
+		if len(got.Tasks) != len(f.Tasks) {
+			t.Fatalf("demand %d: %d tasks, want %d", demand, len(got.Tasks), len(f.Tasks))
+		}
+	}
+}
+
+// TestRestoreRejectsCorruptSpecs: every structural breach is a typed
+// forest.ErrBadRestore, never a panic.
+func TestRestoreRejectsCorruptSpecs(t *testing.T) {
+	f, specs := restoreFixture(t, 4)
+	cases := map[string]func([]forest.TaskSpec) []forest.TaskSpec{
+		"empty":     func(s []forest.TaskSpec) []forest.TaskSpec { return nil },
+		"bad-base":  func(s []forest.TaskSpec) []forest.TaskSpec { s[0].Base = len(f.Base.Nodes); return s },
+		"leaf-base": func(s []forest.TaskSpec) []forest.TaskSpec { s[0].Base = leafID(f); return s },
+		"forward-ref": func(s []forest.TaskSpec) []forest.TaskSpec {
+			s[0].In[0] = forest.SourceSpec{Kind: forest.FromTask, Task: 5}
+			return s
+		},
+		"bad-targets": func(s []forest.TaskSpec) []forest.TaskSpec { s[0].Targets = 1; return s },
+		"tree-skip":   func(s []forest.TaskSpec) []forest.TaskSpec { s[len(s)-1].Tree += 3; return s },
+		"over-consume": func(s []forest.TaskSpec) []forest.TaskSpec {
+			s[len(s)-1].In[0] = forest.SourceSpec{Kind: forest.FromTask, Task: 0}
+			s[len(s)-1].In[1] = forest.SourceSpec{Kind: forest.FromTask, Task: 0}
+			s[1].In[0] = forest.SourceSpec{Kind: forest.FromTask, Task: 0}
+			return s
+		},
+		"fluid-range": func(s []forest.TaskSpec) []forest.TaskSpec {
+			s[0].In[0] = forest.SourceSpec{Kind: forest.Input, Fluid: 99}
+			return s
+		},
+		"rootless-demand": func(s []forest.TaskSpec) []forest.TaskSpec { return s[:1] },
+	}
+	for name, corrupt := range cases {
+		fresh := append([]forest.TaskSpec(nil), specs...)
+		for i := range fresh {
+			fresh[i].In = specs[i].In
+		}
+		if _, err := forest.Restore(f.Base, f.Demand, corrupt(fresh)); !errors.Is(err, forest.ErrBadRestore) {
+			t.Fatalf("%s: got %v, want forest.ErrBadRestore", name, err)
+		}
+	}
+	if _, err := forest.Restore(f.Base, 0, specs); !errors.Is(err, forest.ErrBadRestore) {
+		t.Fatal("zero demand accepted")
+	}
+}
+
+func leafID(f *forest.Forest) int {
+	for _, n := range f.Base.Nodes {
+		if n.IsLeaf() {
+			return n.ID
+		}
+	}
+	return 0
+}

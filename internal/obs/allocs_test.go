@@ -14,11 +14,15 @@ func TestDisabledMetricsAllocs(t *testing.T) {
 		Add("audit.counter", 3)
 		Observe("audit.hist", 1.5)
 		StartTimer("audit.timer")()
+		SetGauge("audit.gauge", 42)
 		if Enabled() {
 			t.Fatal("observability unexpectedly enabled")
 		}
 		if Counter("audit.counter") != 0 {
 			t.Fatal("disabled counter non-zero")
+		}
+		if Gauge("audit.gauge") != 0 {
+			t.Fatal("disabled gauge non-zero")
 		}
 	}); allocs != 0 {
 		t.Fatalf("disabled metric calls allocate %.1f objects, want 0", allocs)

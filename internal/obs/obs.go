@@ -34,6 +34,7 @@ import (
 type registry struct {
 	mu       sync.RWMutex
 	counters map[string]*atomic.Int64
+	gauges   map[string]*atomic.Int64
 	hists    map[string]*histogram
 
 	traceMu sync.Mutex
@@ -62,6 +63,7 @@ func Enabled() bool { return active.Load() != nil }
 func Enable(opts Options) {
 	active.Store(&registry{
 		counters: map[string]*atomic.Int64{},
+		gauges:   map[string]*atomic.Int64{},
 		hists:    map[string]*histogram{},
 		trace:    opts.Trace,
 		start:    time.Now(),
@@ -100,6 +102,49 @@ func (r *registry) counter(name string) *atomic.Int64 {
 	c = &atomic.Int64{}
 	r.counters[name] = c
 	return c
+}
+
+// SetGauge sets the named gauge to v. Unlike a counter, a gauge is a
+// point-in-time level (cache occupancy, queue depth); each Set replaces the
+// previous value. Disabled: one atomic load, no allocation.
+func SetGauge(name string, v int64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.gauge(name).Store(v)
+}
+
+// Gauge returns the named gauge's value (0 when absent or disabled).
+func Gauge(name string) int64 {
+	r := active.Load()
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return g.Load()
+}
+
+func (r *registry) gauge(name string) *atomic.Int64 {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &atomic.Int64{}
+	r.gauges[name] = g
+	return g
 }
 
 // histogram accumulates a value distribution: count, sum, min, max.
@@ -184,6 +229,7 @@ func (h HistStat) Mean() float64 {
 // Snapshot is a point-in-time copy of every registered metric.
 type Snapshot struct {
 	Counters   map[string]int64
+	Gauges     map[string]int64
 	Histograms map[string]HistStat
 }
 
@@ -205,7 +251,7 @@ func Counter(name string) int64 {
 // TakeSnapshot copies every counter and histogram. Returns an empty
 // snapshot when disabled.
 func TakeSnapshot() Snapshot {
-	s := Snapshot{Counters: map[string]int64{}, Histograms: map[string]HistStat{}}
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}, Histograms: map[string]HistStat{}}
 	r := active.Load()
 	if r == nil {
 		return s
@@ -214,6 +260,9 @@ func TakeSnapshot() Snapshot {
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
 	}
 	for name, h := range r.hists {
 		h.mu.Lock()
@@ -234,6 +283,16 @@ func WriteMetrics(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Gauges[n]); err != nil {
 			return err
 		}
 	}

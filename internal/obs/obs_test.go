@@ -56,6 +56,27 @@ func TestCountersAndHistograms(t *testing.T) {
 	}
 }
 
+func TestGauges(t *testing.T) {
+	resetObs(t)
+	Enable(Options{})
+	SetGauge("g.level", 7)
+	SetGauge("g.level", 3) // a gauge replaces, never accumulates
+	if got := Gauge("g.level"); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	s := TakeSnapshot()
+	if s.Gauges["g.level"] != 3 {
+		t.Fatalf("snapshot gauge = %d, want 3", s.Gauges["g.level"])
+	}
+	var b bytes.Buffer
+	if err := WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "g.level 3\n") {
+		t.Fatalf("gauge missing from WriteMetrics output:\n%s", b.String())
+	}
+}
+
 func TestEnableResetsState(t *testing.T) {
 	resetObs(t)
 	Enable(Options{})

@@ -19,6 +19,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
@@ -52,6 +53,17 @@ type Key struct {
 // PristinePolicy is the Policy value of plans built for a fault-free,
 // fully-provisioned chip.
 const PristinePolicy = ""
+
+// Canonical renders the key in a stable, unambiguous text form. It is the
+// identity the distributed tier content-addresses plan artifacts by: every
+// node rendering the same key produces the same string, so every node derives
+// the same artifact address (see internal/artifact.AddressFor). The layout is
+// versioned by the leading tag; changing it orphans — never corrupts — any
+// artifact store written under the old layout.
+func (k Key) Canonical() string {
+	return fmt.Sprintf("plankey1|%s|%s|g%016x|d%d|m%d|%s|p%s",
+		k.Algo, k.Ratio, k.Graph, k.Demand, k.Mixers, k.Scheduler, k.Policy)
+}
 
 // KeyFor builds the cache key for planning `demand` droplets of g's target
 // on `mixers` mixers under the named scheduler and fault/recovery policy
@@ -97,8 +109,10 @@ func NewPlan(f *forest.Forest, s *sched.Schedule) *Plan {
 type Stats struct {
 	// Lookups counts Get calls; Hits and Misses count their outcomes
 	// (Lookups == Hits + Misses in every snapshot). Puts counts insertions
-	// and Evictions counts LRU displacements.
-	Lookups, Hits, Misses, Puts, Evictions int64
+	// and Evictions counts LRU displacements. Builds counts GetOrBuild
+	// misses that actually ran the build function — the cold-plan cost the
+	// distributed artifact tier exists to amortize fleet-wide.
+	Lookups, Hits, Misses, Puts, Evictions, Builds int64
 	// Size is the current entry count; Capacity the configured bound.
 	Size, Capacity int
 }
@@ -130,8 +144,11 @@ type Cache struct {
 	// Counters live under mu (not as free-running atomics bumped after
 	// unlock) so a Stats snapshot can never observe a lookup whose outcome
 	// has not been recorded yet: lookups == hits + misses is an invariant
-	// of every snapshot, which TestStatsRaceConsistency relies on.
+	// of every snapshot, which TestStatsRaceConsistency relies on. builds
+	// is the exception: GetOrBuild runs the build function outside the lock
+	// (builds are slow), so it is a free-running atomic.
 	lookups, hits, misses, puts, evictions int64
+	builds                                 atomic.Int64
 }
 
 type entry struct {
@@ -231,6 +248,10 @@ func (c *Cache) GetOrBuild(k Key, build func() (*Plan, error)) (*Plan, error) {
 	if p, ok := c.Get(k); ok {
 		return p, nil
 	}
+	if c != nil {
+		c.builds.Add(1)
+	}
+	obs.Inc("plancache.builds")
 	p, err := build()
 	if err != nil {
 		return nil, err
@@ -267,6 +288,7 @@ func (c *Cache) ResetStats() {
 	}
 	c.mu.Lock()
 	c.lookups, c.hits, c.misses, c.puts, c.evictions = 0, 0, 0, 0, 0
+	c.builds.Store(0)
 	c.mu.Unlock()
 }
 
@@ -284,6 +306,7 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses,
 		Puts:      c.puts,
 		Evictions: c.evictions,
+		Builds:    c.builds.Load(),
 		Size:      c.ll.Len(),
 		Capacity:  c.cap,
 	}

@@ -81,6 +81,10 @@ type PlanResponse struct {
 	// where this batch lands on the session's droplet timeline.
 	Session    string `json:"session,omitempty"`
 	StartCycle int    `json:"start_cycle,omitempty"`
+	// SessionOwner names the cluster node the session key hashes to when it
+	// is not this node — a routing hint for fleet-aware clients (the request
+	// was still served locally; session timelines are per-node).
+	SessionOwner string `json:"session_owner,omitempty"`
 	// Coalesced marks a response served from another identical request
 	// that was already in flight.
 	Coalesced bool `json:"coalesced,omitempty"`

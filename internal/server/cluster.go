@@ -1,0 +1,408 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/artifact"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/plancache"
+)
+
+// This file is the server half of the distributed tier: the artifact
+// endpoints peers call on each other, and the ensure-plan hook that turns a
+// local cold plan miss into (in order) a warm-disk decode, a delegated build
+// on the plan key's ring owner, or a local build published back toward the
+// owner. Every byte of any provenance — disk, peer, client PUT — passes
+// artifact.DecodeVerified (structural decode + integrity hash + full plan
+// audit) before it can reach a cache or an executor.
+
+// maxArtifactBody bounds artifact uploads and build responses.
+const maxArtifactBody = 64 << 20
+
+// errArtifactsDisabled reports artifact endpoints on a server without a
+// configured artifact store or cluster. HTTP 501.
+var errArtifactsDisabled = errors.New("server: artifact tier not configured (start with -artifact-dir or -peers)")
+
+// cache resolves the server's plan cache (the process-wide default unless
+// Config.PlanCache isolated one).
+func (s *Server) cache() *plancache.Cache {
+	if s.planCache != nil {
+		return s.planCache
+	}
+	return plancache.Default()
+}
+
+// planKeyFor resolves the plan-cache identity of a stateless single-pass
+// request: the engine resolves the base graph and the Mlb mixer default, so
+// the key here is byte-identical to the one stream.plan will use.
+func (s *Server) planKeyFor(spec *planSpec) (plancache.Key, error) {
+	eng, err := core.New(core.Config{
+		Target:    spec.target,
+		Algorithm: spec.algorithm,
+		Scheduler: spec.scheduler,
+		Mixers:    spec.mixers,
+		PlanCache: s.planCache,
+	})
+	if err != nil {
+		return plancache.Key{}, err
+	}
+	return plancache.KeyFor(eng.Base(), spec.demand, eng.Mixers(), spec.scheduler.String(), plancache.PristinePolicy), nil
+}
+
+// distributable reports whether a request's plan travels through the
+// artifact tier: stateless (no session timeline) and storage-unlimited, so
+// the plan-cache key identifies the entire response-determining plan.
+// Storage-limited requests plan a demand-scan-dependent pass structure and
+// stay local; session requests extend per-node timelines.
+func distributable(req *PlanRequest, spec *planSpec) bool {
+	return req.Session == "" && spec.storage == 0
+}
+
+// ensurePlan warms the plan cache for a distributable request before the
+// planning path runs. The ladder, cheapest first:
+//
+//  1. in-process LRU already warm — nothing to do;
+//  2. warm disk tier: decode + verify + promote to the LRU;
+//  3. cross-node single-flight: the ring owner of the plan key builds once
+//     (coalescing its own concurrent callers), we fetch the artifact;
+//  4. fall through — the caller builds locally (its own flight group
+//     coalesces local duplicates) and publishes the artifact async.
+//
+// Failures are never fatal: a corrupt disk file, a down owner or a verify
+// rejection just drops to the next rung, and the local build remains the
+// floor. ensurePlan returns the key so the caller can publish after a local
+// build.
+func (s *Server) ensurePlan(ctx context.Context, req *PlanRequest, spec *planSpec) (plancache.Key, bool) {
+	if !distributable(req, spec) || (s.artifacts == nil && s.clusterNode == nil) {
+		return plancache.Key{}, false
+	}
+	key, err := s.planKeyFor(spec)
+	if err != nil {
+		return plancache.Key{}, false // the planning path will surface the error
+	}
+	if _, ok := s.cache().Get(key); ok {
+		return key, true
+	}
+	addr := artifact.AddressFor(key)
+	if s.promoteFromDisk(key, addr) {
+		obs.Inc("server.artifact.disk_promotions")
+		return key, true
+	}
+	if s.clusterNode != nil {
+		owner := s.clusterNode.Owner(addr)
+		if owner != s.clusterNode.Self() {
+			if s.adoptFromOwner(ctx, req, key, addr, owner) {
+				obs.Inc("server.artifact.remote_builds")
+				return key, true
+			}
+			obs.Inc("server.artifact.remote_fallbacks")
+		}
+	}
+	return key, true // cold everywhere: caller builds locally, then publishes
+}
+
+// promoteFromDisk loads addr from the warm tier into the plan cache. False
+// on miss or any verification failure (the corrupt file is removed from the
+// serving path by counting, not trusted).
+func (s *Server) promoteFromDisk(key plancache.Key, addr string) bool {
+	data, ok := s.artifacts.Get(addr)
+	if !ok {
+		return false
+	}
+	a, err := artifact.DecodeVerified(data)
+	if err != nil || a.Key != key {
+		obs.Inc("server.artifact.verify_rejected")
+		return false
+	}
+	s.cache().Put(key, a.Plan)
+	return true
+}
+
+// adoptFromOwner runs the follower half of the cross-node single-flight:
+// fetch the owner's artifact, or ask the owner to build it (the owner's
+// flight group coalesces every follower of this key fleet-wide), verify,
+// promote. False sends the caller to the local-build floor.
+func (s *Server) adoptFromOwner(ctx context.Context, req *PlanRequest, key plancache.Key, addr, owner string) bool {
+	data, err := s.clusterNode.Fetch(ctx, owner, addr)
+	if errors.Is(err, cluster.ErrNotFound) {
+		body, merr := json.Marshal(req)
+		if merr != nil {
+			return false
+		}
+		data, err = s.clusterNode.BuildOn(ctx, owner, body)
+	}
+	if err != nil {
+		return false
+	}
+	a, derr := artifact.DecodeVerified(data)
+	if derr != nil || a.Key != key {
+		obs.Inc("server.artifact.verify_rejected")
+		return false
+	}
+	s.cache().Put(key, a.Plan)
+	s.artifacts.Put(addr, data) // warm the disk tier too (nil-safe)
+	return true
+}
+
+// publishPlan encodes the freshly built plan and stores it in the warm tier,
+// pushing it to the ring owner when that is another node. Called async after
+// a local cold build; errors only count (the plan already served).
+func (s *Server) publishPlan(key plancache.Key) {
+	p, ok := s.cache().Get(key)
+	if !ok {
+		return
+	}
+	data, err := artifact.Encode(key, p)
+	if err != nil {
+		obs.Inc("server.artifact.encode_errors")
+		return
+	}
+	addr := artifact.AddressFor(key)
+	if err := s.artifacts.Put(addr, data); err != nil {
+		obs.Inc("server.artifact.store_errors")
+	}
+	if s.clusterNode != nil {
+		if owner := s.clusterNode.Owner(addr); owner != s.clusterNode.Self() {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+			defer cancel()
+			if err := s.clusterNode.Push(ctx, owner, addr, data); err != nil {
+				obs.Inc("server.artifact.push_errors")
+				return
+			}
+			obs.Inc("server.artifact.pushed")
+		}
+	}
+}
+
+// maybePublish spawns the async publish of a locally built distributable
+// plan. waitPublish (tests, drain) can be used to synchronize.
+func (s *Server) maybePublish(key plancache.Key, distributed bool) {
+	if !distributed || (s.artifacts == nil && s.clusterNode == nil) {
+		return
+	}
+	s.publishWG.Add(1)
+	go func() {
+		defer s.publishWG.Done()
+		s.publishPlan(key)
+	}()
+}
+
+// WaitPublish blocks until every in-flight async artifact publish has
+// finished. Tests and the multi-node bench use it to make cross-node state
+// deterministic; Drain does not wait (publishes are best-effort).
+func (s *Server) WaitPublish() { s.publishWG.Wait() }
+
+// sessionOwner resolves the ring owner of a session key ("" when this node
+// owns it or no cluster is configured). Session state lives per-node, so the
+// server serves the request either way; the owner hint in the response tells
+// routing layers where the session's timeline should live, and the counter
+// exposes how much session traffic is landing off-owner.
+func (s *Server) sessionOwner(name string) string {
+	if s.clusterNode == nil || name == "" {
+		return ""
+	}
+	owner := s.clusterNode.Owner("session|" + name)
+	if owner == s.clusterNode.Self() {
+		return ""
+	}
+	obs.Inc("server.sessions.off_owner")
+	return owner
+}
+
+// serveArtifactGet answers GET /v1/artifact/{addr} from the warm disk tier.
+// Bytes are served as stored — the peer verifies on its side (and we
+// verified before storing), so the read path stays one ReadFile.
+func (s *Server) serveArtifactGet(w http.ResponseWriter, r *http.Request) {
+	obs.Inc("server.requests.artifact_get")
+	if s.artifacts == nil {
+		writeError(w, http.StatusNotImplemented, errArtifactsDisabled)
+		return
+	}
+	addr := r.PathValue("addr")
+	data, ok := s.artifacts.Get(addr)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no artifact %s", addr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// serveArtifactPut answers PUT /v1/artifact/{addr}: verify, check the
+// address really is the artifact's content address, store. A corrupt or
+// misaddressed artifact is refused with a typed 422 — the warm tier never
+// holds bytes that failed verification.
+func (s *Server) serveArtifactPut(w http.ResponseWriter, r *http.Request) {
+	obs.Inc("server.requests.artifact_put")
+	if s.artifacts == nil {
+		writeError(w, http.StatusNotImplemented, errArtifactsDisabled)
+		return
+	}
+	addr := r.PathValue("addr")
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxArtifactBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a, err := artifact.DecodeVerified(data)
+	if err != nil {
+		obs.Inc("server.artifact.verify_rejected")
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if got := a.Address(); got != addr {
+		obs.Inc("server.artifact.verify_rejected")
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("%w: body is artifact %s, not %s", artifact.ErrVerify, got, addr))
+		return
+	}
+	if err := s.artifacts.Put(addr, data); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.cache().Put(a.Key, a.Plan) // verified: promote to the LRU as well
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// serveArtifactBuild answers POST /v1/artifact/build — the owner half of the
+// cross-node single-flight. The body is a stateless PlanRequest; the
+// response is the encoded artifact. Concurrent builds of one key coalesce on
+// the flight group under the artifact address, so a thundering herd of
+// followers costs one build. Build requests pass admission control like any
+// planning work.
+func (s *Server) serveArtifactBuild(w http.ResponseWriter, r *http.Request) {
+	obs.Inc("server.requests.artifact_build")
+	if s.recovering.Load() {
+		writeError(w, http.StatusServiceUnavailable, errRecovering)
+		return
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		var rej *errRejected
+		if errors.As(err, &rej) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, rej.status, err)
+			return
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer release()
+
+	var req PlanRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := parsePlanRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &errBadRequest{err})
+		return
+	}
+	if !distributable(&req, spec) {
+		writeError(w, http.StatusBadRequest,
+			&errBadRequest{errors.New("build endpoint takes stateless storage-unlimited plans only")})
+		return
+	}
+	key, err := s.planKeyFor(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	addr := artifact.AddressFor(key)
+	v, err, shared := s.flights.do(r.Context(), "artifact|"+addr, func() (any, error) {
+		// Serve from the warm tiers when possible; otherwise build.
+		if _, ok := s.cache().Get(key); !ok && !s.promoteFromDisk(key, addr) {
+			ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+			defer cancelCtx()
+			eng, bErr := core.New(core.Config{
+				Target:    spec.target,
+				Algorithm: spec.algorithm,
+				Scheduler: spec.scheduler,
+				Mixers:    spec.mixers,
+				PlanCache: s.planCache,
+			})
+			if bErr != nil {
+				return nil, bErr
+			}
+			if _, bErr = eng.RequestCtx(ctx, spec.demand); bErr != nil {
+				return nil, bErr
+			}
+		}
+		p, ok := s.cache().Get(key)
+		if !ok {
+			return nil, fmt.Errorf("server: built plan missing from cache (key %s)", key.Canonical())
+		}
+		data, eErr := artifact.Encode(key, p)
+		if eErr != nil {
+			return nil, eErr
+		}
+		s.artifacts.Put(addr, data) // nil-safe warm-tier write-through
+		return data, nil
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if shared {
+		obs.Inc("server.flights.coalesced")
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v.([]byte))
+}
+
+// clusterReady summarizes the cluster tier for /healthz/ready.
+type clusterReady struct {
+	Self  string            `json:"self"`
+	Size  int               `json:"size"`
+	Peers map[string]string `json:"peers,omitempty"` // peer ID → breaker state
+}
+
+// clusterHealth returns the readiness view of the cluster (nil when not
+// clustered).
+func (s *Server) clusterHealth() *clusterReady {
+	if s.clusterNode == nil {
+		return nil
+	}
+	return &clusterReady{
+		Self:  s.clusterNode.Self(),
+		Size:  s.clusterNode.Size(),
+		Peers: s.clusterNode.PeerStates(),
+	}
+}
+
+// setServingGauges exports the point-in-time occupancy of the plan cache and
+// the warm artifact tier ahead of a /metrics render. Gauges are levels, not
+// flows: entries/capacity are counts, hit_rate_pct is the lifetime hit rate
+// in whole percent (the flow counters plancache.hits/misses carry the exact
+// series).
+func (s *Server) setServingGauges() {
+	if !obs.Enabled() {
+		return
+	}
+	st := s.cache().Stats()
+	obs.SetGauge("plancache.entries", int64(st.Size))
+	obs.SetGauge("plancache.capacity", int64(st.Capacity))
+	obs.SetGauge("plancache.hit_rate_pct", int64(st.HitRate()*100))
+	if s.artifacts != nil {
+		obs.SetGauge("artifact.disk.entries", int64(s.artifacts.Len()))
+		obs.SetGauge("artifact.disk.capacity", int64(s.artifacts.Capacity()))
+	}
+	if s.clusterNode != nil {
+		obs.SetGauge("cluster.size", int64(s.clusterNode.Size()))
+		open := 0
+		for _, state := range s.clusterNode.PeerStates() {
+			if state != "closed" {
+				open++
+			}
+		}
+		obs.SetGauge("cluster.peers_degraded", int64(open))
+	}
+}

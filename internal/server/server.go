@@ -36,13 +36,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/cancel"
 	"repro/internal/chip"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/forest"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/runtime"
 	"repro/internal/stream"
 	"repro/internal/wal"
@@ -74,6 +77,17 @@ type Config struct {
 	// execution scheduled over the simulated chip farm, with per-chip
 	// health exported by /healthz/ready.
 	Fleet *fleet.Fleet
+	// PlanCache, when non-nil, isolates this server's plan cache from the
+	// process-wide default (multi-node tests and benches run several servers
+	// in one process). Nil selects plancache.Default().
+	PlanCache *plancache.Cache
+	// Artifacts, when non-nil, enables the warm disk artifact tier and the
+	// GET/PUT /v1/artifact/{addr} endpoints.
+	Artifacts *artifact.Store
+	// Cluster, when non-nil, enables the distributed tier: plan keys hash to
+	// ring owners, cold plans are fetched from or built on their owner
+	// (cross-node single-flight), and POST /v1/artifact/build serves peers.
+	Cluster *cluster.Node
 }
 
 func (c Config) withDefaults() Config {
@@ -101,11 +115,15 @@ func (c Config) withDefaults() Config {
 // Server is the dmfbd serving core. Create with New, mount Handler on an
 // http.Server, and call Drain before exit.
 type Server struct {
-	cfg     Config
-	pool    *sessionPool
-	flights flightGroup
-	wal     *wal.Log
-	fleet   *fleet.Fleet
+	cfg         Config
+	pool        *sessionPool
+	flights     flightGroup
+	wal         *wal.Log
+	fleet       *fleet.Fleet
+	planCache   *plancache.Cache
+	artifacts   *artifact.Store
+	clusterNode *cluster.Node
+	publishWG   sync.WaitGroup // in-flight async artifact publishes
 
 	slots      chan struct{} // admission slots; buffered to MaxInFlight
 	waiting    atomic.Int64  // requests blocked on a slot
@@ -131,12 +149,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		pool:     newSessionPool(cfg.Sessions),
-		wal:      cfg.WAL,
-		fleet:    cfg.Fleet,
-		slots:    make(chan struct{}, cfg.MaxInFlight),
-		planKeys: map[string]bool{},
+		cfg:         cfg,
+		pool:        newSessionPool(cfg.Sessions),
+		wal:         cfg.WAL,
+		fleet:       cfg.Fleet,
+		planCache:   cfg.PlanCache,
+		artifacts:   cfg.Artifacts,
+		clusterNode: cfg.Cluster,
+		slots:       make(chan struct{}, cfg.MaxInFlight),
+		planKeys:    map[string]bool{},
 	}
 	if s.wal != nil {
 		s.recovering.Store(true)
@@ -156,6 +177,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/execute", s.handle("execute", s.serveExecute))
 	mux.HandleFunc("POST /v1/assay", s.handle("assay", s.serveAssay))
 	mux.HandleFunc("GET /v1/recovery", s.serveRecovery)
+	mux.HandleFunc("GET /v1/artifact/{addr}", s.serveArtifactGet)
+	mux.HandleFunc("PUT /v1/artifact/{addr}", s.serveArtifactPut)
+	mux.HandleFunc("POST /v1/artifact/build", s.serveArtifactBuild)
 	mux.HandleFunc("GET /healthz", s.serveHealth)
 	mux.HandleFunc("GET /healthz/live", s.serveHealthLive)
 	mux.HandleFunc("GET /healthz/ready", s.serveHealthReady)
@@ -360,6 +384,16 @@ func statusFor(err error) int {
 		errors.Is(err, core.ErrPersistStorage),
 		errors.Is(err, forest.ErrBadDemand):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, artifact.ErrCorrupt),
+		errors.Is(err, artifact.ErrIntegrity),
+		errors.Is(err, artifact.ErrVersion),
+		errors.Is(err, artifact.ErrVerify):
+		// A bad artifact is the sender's problem, never grounds to serve it.
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, cluster.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, cluster.ErrPeerDown), errors.Is(err, cluster.ErrUnknownPeer):
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}
@@ -400,6 +434,7 @@ func (s *Server) engineFor(req *PlanRequest, spec *planSpec) (eng *core.Engine, 
 			Scheduler: spec.scheduler,
 			Mixers:    spec.mixers,
 			Storage:   spec.storage,
+			PlanCache: s.planCache,
 		})
 	}
 	if req.Session == "" {
@@ -467,6 +502,7 @@ func (s *Server) servePlan(ctx context.Context, r *http.Request) (any, error) {
 		done()
 		resp := planResponse(spec, b.Result, eng.Mixers())
 		resp.Session = req.Session
+		resp.SessionOwner = s.sessionOwner(req.Session)
 		resp.StartCycle = b.StartCycle
 		return resp, nil
 	}
@@ -478,12 +514,14 @@ func (s *Server) servePlan(ctx context.Context, r *http.Request) (any, error) {
 		return nil, &errBadRequest{err}
 	}
 	v, err, shared := s.flights.do(ctx, spec.flightKey("plan"), func() (any, error) {
+		key, distributed := s.ensurePlan(ctx, &req, spec)
 		eng, b, spec, done, err := s.planBatch(ctx, &req)
 		if err != nil {
 			return nil, err
 		}
 		done()
 		s.notePlanKey(spec, req.Demand)
+		s.maybePublish(key, distributed)
 		resp := planResponse(spec, b.Result, eng.Mixers())
 		resp.StartCycle = b.StartCycle
 		return resp, nil
@@ -528,14 +566,21 @@ func (s *Server) serveStream(ctx context.Context, r *http.Request) (any, error) 
 			return nil, err
 		}
 		resp.Session = req.Session
+		resp.SessionOwner = s.sessionOwner(req.Session)
 		return resp, nil
 	}
 	v, err, shared := s.flights.do(ctx, mustFlightKey(&req, "stream"), func() (any, error) {
+		var key plancache.Key
+		var distributed bool
+		if spec, perr := parsePlanRequest(&req); perr == nil {
+			key, distributed = s.ensurePlan(ctx, &req, spec)
+		}
 		resp, err := buildResp()
 		if err == nil {
 			if spec, perr := parsePlanRequest(&req); perr == nil {
 				s.notePlanKey(spec, req.Demand)
 			}
+			s.maybePublish(key, distributed)
 		}
 		return resp, err
 	})
@@ -650,6 +695,7 @@ type readyResponse struct {
 	WAL         bool               `json:"wal"`
 	Chips       []fleet.ChipHealth `json:"chips,omitempty"`
 	FleetQueued int                `json:"fleet_queued,omitempty"`
+	Cluster     *clusterReady      `json:"cluster,omitempty"`
 }
 
 // serveHealthReady answers GET /healthz/ready: 200 only when the server can
@@ -664,6 +710,7 @@ func (s *Server) serveHealthReady(w http.ResponseWriter, _ *http.Request) {
 		Sessions: s.pool.len(),
 		Waiting:  s.waiting.Load(),
 		WAL:      s.wal != nil,
+		Cluster:  s.clusterHealth(),
 	}
 	status := http.StatusOK
 	if s.fleet != nil {
@@ -697,5 +744,6 @@ func (s *Server) serveHealthReady(w http.ResponseWriter, _ *http.Request) {
 // itself is healthy).
 func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.setServingGauges()
 	obs.WriteMetrics(w)
 }

@@ -73,6 +73,19 @@ type Config struct {
 	// single pass of this plan; 0 means unbounded. Planning itself ignores
 	// it — the budget rides on Result.Config for the executor.
 	RecoveryBudget int
+	// Cache overrides the plan cache (nil selects the process-wide
+	// plancache.Default()). Processes hosting several logical nodes — the
+	// multi-node benchserve scenario, cluster tests — give each node its own
+	// cache so per-node hit rates and the fleet-wide build count stay honest.
+	Cache *plancache.Cache
+}
+
+// cache resolves the effective plan cache.
+func (cfg Config) cache() *plancache.Cache {
+	if cfg.Cache != nil {
+		return cfg.Cache
+	}
+	return plancache.Default()
 }
 
 // Pass is one mixing-forest execution.
@@ -123,7 +136,7 @@ var ErrStorage = errors.New("stream: base tree needs more storage units than ava
 // Misses build on the packed kernel path (kernel.go).
 func plan(cfg Config, d int) (*plancache.Plan, error) {
 	key := plancache.KeyFor(cfg.Base, d, cfg.Mixers, cfg.Scheduler.String(), plancache.PristinePolicy)
-	return plancache.Default().GetOrBuild(key, func() (*plancache.Plan, error) {
+	return cfg.cache().GetOrBuild(key, func() (*plancache.Plan, error) {
 		return buildPlan(cfg, d)
 	})
 }
@@ -225,7 +238,7 @@ func MaxSinglePassDemandCtx(ctx context.Context, cfg Config, limit int) (int, er
 // per candidate and no schedule is ever cached (it would alias the live,
 // still-growing forest).
 func demandScan(ctx context.Context, cfg Config, limit int) (int, error) {
-	cache := plancache.Default()
+	cache := cfg.cache()
 	k := kernelPool.Get().(*planKernel)
 	defer kernelPool.Put(k)
 	k.builder.Reset(cfg.Base)

@@ -280,13 +280,18 @@ func (l *Log) stageLocked(rec *Record) (int64, error) {
 	}
 	l.seq++
 	rec.Seq = l.seq
+	staged := len(l.pending)
 	var err error
 	l.pending, err = frame(l.pending, rec)
 	if err != nil {
 		l.seq--
 		return 0, fmt.Errorf("wal: %w", err)
 	}
-	l.tail = l.durable + int64(len(l.pending))
+	// The tail advances by the framed bytes; it cannot be recomputed as
+	// durable+len(pending), because while a flush leader is in flight the
+	// bytes it took live in neither — that recomputation understated the
+	// target and let Append/Close return before this record was on disk.
+	l.tail += int64(len(l.pending) - staged)
 	return l.tail, nil
 }
 
