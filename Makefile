@@ -6,11 +6,12 @@ GO ?= go
 # streaming planner, fault injector, cyberphysical runtime, the parallel
 # mixer-binding search, the transport-matrix cache, the observability
 # registry, the synchronized engine, the HTTP serving core, the memoised
-# graph fingerprints, the pooled packed planning kernels and the
-# distributed artifact/cluster tier) — raced explicitly by `make race`.
-CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./internal/wal ./internal/fleet ./internal/contam ./internal/artifact ./internal/cluster ./cmd/dmfbd
+# graph fingerprints, the pooled packed planning kernels, the distributed
+# artifact/cluster tier and the error-model analysis shared by concurrent
+# plan requests) — raced explicitly by `make race`.
+CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./internal/wal ./internal/fleet ./internal/contam ./internal/artifact ./internal/cluster ./internal/errormodel ./cmd/dmfbd
 
-.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve bench-fleet-smoke bench-cluster-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve bench-error-smoke bench-fleet-smoke bench-cluster-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -102,6 +103,17 @@ bench-cluster-smoke:
 	$(GO) run ./cmd/benchserve -requests 0 -assay-requests 0 -cluster-requests 300 -cluster-keys 20 -out "$$tmp/bench_cluster.json"; \
 	echo "bench-cluster-smoke: cold-build ceiling and warm adoption held"
 
+# Error-model smoke: the two invariants the error-aware planner rests on —
+# the closed-form bound dominates Monte-Carlo on every protocol × algorithm,
+# and the E13 sweep shows the aware planner beating the blind one at the
+# ι=0.05 acceptance point — plus one iteration of the analysis/selection
+# benchmarks to keep the harness wired.
+bench-error-smoke:
+	$(GO) test -run 'TestAnalyticDominatesMonteCarlo' ./internal/errormodel
+	$(GO) test -run 'TestE13AwareBeatsBlindUnderNoise' ./internal/experiments
+	$(GO) test -run XXX -bench 'BenchmarkAnalyze|BenchmarkErrorAwareSelection' -benchtime 1x ./internal/errormodel ./internal/stream
+	@echo "bench-error-smoke: analytic bound dominates, aware planner beats blind"
+
 # Serving smoke: boot dmfbd on an ephemeral port, hit every endpoint, then
 # SIGTERM and assert a clean graceful drain — exactly the cmd-level
 # integration test, run with the race detector on.
@@ -117,7 +129,7 @@ chaos-smoke:
 	CHAOS_CYCLES=50 $(GO) test -race -run 'TestChaosKillRestartRecovery' -timeout 10m ./cmd/dmfbd
 	@echo "chaos-smoke: 50 kill/restart cycles, no acked work lost"
 
-check: build vet fmt-check test race bench-smoke bench-plan-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke bench-fleet-smoke bench-cluster-smoke
+check: build vet fmt-check test race bench-smoke bench-plan-smoke bench-error-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke bench-fleet-smoke bench-cluster-smoke
 
 clean:
 	$(GO) clean

@@ -12,6 +12,7 @@
 //	dmfbd -addr :8077 -max-inflight 128 -queue 512 -timeout 10s
 //	dmfbd -addr :8077 -wal /var/lib/dmfbd/session.wal -chips 8
 //	dmfbd -addr :8077 -tracefile server.jsonl -metrics
+//	dmfbd -addr :8077 -split-imbalance 0.05 -dispense-error 0.02
 //	dmfbd -addr :8077 -node-id a -peers b=http://node-b:8077,c=http://node-c:8077 \
 //	      -artifact-dir /var/lib/dmfbd/artifacts
 //
@@ -45,6 +46,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/cluster"
+	"repro/internal/errormodel"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -77,8 +79,14 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 		peersFlag  = fs.String("peers", "", "cluster peers as id=url,id=url (enables the distributed plan tier)")
 		artDir     = fs.String("artifact-dir", "", "warm disk tier for content-addressed plan artifacts")
 		artCap     = fs.Int("artifact-cap", 0, "artifact-dir capacity in artifacts (0 selects the default)")
+		splitImb   = fs.Float64("split-imbalance", 0, "chip split-imbalance magnitude ι (e.g. 0.05 for ±5%); default noise model for error-aware requests")
+		dispErr    = fs.Float64("dispense-error", 0, "chip dispense volume-error magnitude δ; default noise model for error-aware requests")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *splitImb < 0 || *splitImb >= 0.5 || *dispErr < 0 || *dispErr >= 0.5 {
+		fmt.Fprintln(stderr, "dmfbd: -split-imbalance and -dispense-error must be in [0, 0.5)")
 		return 2
 	}
 	// The daemon always runs with observability on so /metrics has data.
@@ -104,6 +112,7 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Sessions:       *sessions,
+		Noise:          errormodel.Params{SplitImbalance: *splitImb, DispenseError: *dispErr},
 	}
 	if *chips > 0 {
 		specs := fleet.DefaultChips(*chips)

@@ -36,6 +36,7 @@ func main() {
 		f6         = flag.Bool("fig6", false, "Fig. 6: average Tc and I vs demand")
 		f7         = flag.Bool("fig7", false, "Fig. 7: Tc and q vs mixer count")
 		ext        = flag.Bool("ext", false, "extension experiments E1-E4 (RSM roster, persistence, routing, robustness)")
+		e13        = flag.Bool("e13", false, "E13: error-aware vs error-blind planning across fault magnitudes")
 		quick      = flag.Bool("quick", false, "use the L=16 population for Table 3 / Fig. 6 (fast)")
 		csvdir     = flag.String("csvdir", "", "directory to write CSV files into")
 		sequential = flag.Bool("sequential", false, "disable the parallel sweep fan-out (single-threaded reference path)")
@@ -43,8 +44,8 @@ func main() {
 	)
 	flag.Parse()
 	experiments.Sequential = *sequential
-	all := !(*t2 || *t3 || *t4 || *f5 || *f6 || *f7 || *ext)
-	if err := run(all || *t2, all || *t3, all || *t4, all || *f5, all || *f6, all || *f7, all || *ext, *quick, *csvdir); err != nil {
+	all := !(*t2 || *t3 || *t4 || *f5 || *f6 || *f7 || *ext || *e13)
+	if err := run(all || *t2, all || *t3, all || *t4, all || *f5, all || *f6, all || *f7, all || *ext, all || *e13, *quick, *csvdir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -53,7 +54,7 @@ func main() {
 	}
 }
 
-func run(t2, t3, t4, f5, f6, f7, ext, quick bool, csvdir string) error {
+func run(t2, t3, t4, f5, f6, f7, ext, e13 bool, quick bool, csvdir string) error {
 	writeCSV := func(name, content string) error {
 		if csvdir == "" {
 			return nil
@@ -158,6 +159,18 @@ func run(t2, t3, t4, f5, f6, f7, ext, quick bool, csvdir string) error {
 			return err
 		}
 		fmt.Println(experiments.FormatE5(e5))
+	}
+	if e13 {
+		fmt.Println("=== E13: error-aware vs error-blind planning across fault magnitudes ===")
+		cfg := experiments.DefaultE13Config()
+		rows, err := experiments.E13ErrorAwareSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE13(rows, cfg))
+		if err := writeCSV("e13_error_aware.csv", experiments.CSVE13(rows)); err != nil {
+			return err
+		}
 	}
 	if f7 {
 		fmt.Println("=== Fig. 7: Tc and q vs mixer count (PCR, D=32) ===")

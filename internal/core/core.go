@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/chip"
+	"repro/internal/errormodel"
 	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/minmix"
@@ -126,6 +127,13 @@ type Config struct {
 	// PlanCache overrides the plan cache the engine plans through (nil
 	// selects the process-wide plancache.Default()); see stream.Config.Cache.
 	PlanCache *plancache.Cache
+	// ErrorPolicy makes the engine's planning error-aware: every Request
+	// scores the Config.Algorithm base graph against the other paper
+	// algorithms (MM, RMA, MTCS) by analytic CF-error bound under the
+	// policy's noise parameters and plans with the most robust admissible
+	// one (see stream.Config.ErrorPolicy). Incompatible with PersistPool,
+	// whose single growing forest is pinned to one base graph.
+	ErrorPolicy *errormodel.Policy
 }
 
 // Engine is a demand-driven droplet-streaming engine. Each Request plans the
@@ -139,9 +147,10 @@ type Config struct {
 // are serialized whole (plan included), preserving the engine's promise
 // that batches land on the timeline in Request order.
 type Engine struct {
-	cfg    Config
-	base   *mixgraph.Graph
-	mixers int
+	cfg        Config
+	base       *mixgraph.Graph
+	mixers     int
+	candidates []*mixgraph.Graph // alternative bases for error-aware runs
 
 	// mu guards every field below. cfg, base and mixers are immutable after
 	// New and readable without it.
@@ -202,7 +211,23 @@ func New(cfg Config) (*Engine, error) {
 	if mixers < 1 {
 		return nil, sched.ErrNoMixers
 	}
-	return &Engine{cfg: cfg, base: base, mixers: mixers}, nil
+	e := &Engine{cfg: cfg, base: base, mixers: mixers}
+	if cfg.ErrorPolicy != nil {
+		if err := cfg.ErrorPolicy.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		if cfg.PersistPool {
+			return nil, fmt.Errorf("%w: error-aware selection cannot re-bind a persistent pool's base graph", ErrBadConfig)
+		}
+		for _, alg := range Algorithms() {
+			g, err := cachedBase(alg, cfg.Target)
+			if err != nil {
+				return nil, err
+			}
+			e.candidates = append(e.candidates, g)
+		}
+	}
+	return e, nil
 }
 
 // Base returns the engine's base mixing graph.
@@ -260,6 +285,8 @@ func (e *Engine) RequestCtx(ctx context.Context, n int) (*Batch, error) {
 		Scheduler:      e.cfg.Scheduler,
 		RecoveryBudget: e.cfg.RecoveryBudget,
 		Cache:          e.cfg.PlanCache,
+		ErrorPolicy:    e.cfg.ErrorPolicy,
+		Candidates:     e.candidates,
 	}, n)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/errormodel"
+	"repro/internal/ratio"
+)
+
+func TestEngineErrorAwareRequest(t *testing.T) {
+	eng, err := New(Config{
+		Target: ratio.MustParse("26:21:2:2:3:3:199"),
+		ErrorPolicy: &errormodel.Policy{
+			Params:     errormodel.Params{SplitImbalance: 0.05},
+			CycleSlack: 0.25,
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := eng.Request(8)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	sel := b.Result.Selection
+	if sel == nil {
+		t.Fatal("error-aware engine produced no Selection")
+	}
+	if len(sel.Candidates) < 2 {
+		t.Fatalf("scored %d candidates, want the full MM/RMA/MTCS panel (minus duplicates)", len(sel.Candidates))
+	}
+	if sel.Predicted.Worst <= 0 {
+		t.Error("no predicted error under 5% imbalance")
+	}
+	// The engine timeline must account the winner's cycles, not the
+	// configured algorithm's.
+	if eng.Elapsed() != b.Result.TotalCycles {
+		t.Errorf("engine elapsed %d, batch cycles %d", eng.Elapsed(), b.Result.TotalCycles)
+	}
+}
+
+func TestEngineErrorAwareRejectsPersistPool(t *testing.T) {
+	_, err := New(Config{
+		Target:      ratio.MustParse("2:1:1:1:1:1:9"),
+		PersistPool: true,
+		ErrorPolicy: &errormodel.Policy{Params: errormodel.Params{SplitImbalance: 0.05}},
+	})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("PersistPool+ErrorPolicy error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestEngineErrorAwareRejectsBadPolicy(t *testing.T) {
+	_, err := New(Config{
+		Target:      ratio.MustParse("2:1:1:1:1:1:9"),
+		ErrorPolicy: &errormodel.Policy{Params: errormodel.Params{DispenseError: 0.9}},
+	})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad policy error = %v, want ErrBadConfig", err)
+	}
+}

@@ -17,6 +17,7 @@ package errormodel
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -35,6 +36,21 @@ type Params struct {
 	Trials int
 	// Seed makes runs reproducible.
 	Seed int64
+	// KeepErrors retains the sorted per-target error samples on the Report
+	// (Trials × Targets values) for statistics beyond mean/P95/max, e.g.
+	// the fraction of targets a given CF tolerance would send back for
+	// re-mixing.
+	KeepErrors bool
+	// OrderedHandoff selects the deterministic hand-off in which the larger
+	// half of every split is always consumed first, so the first consumer
+	// (the in-tree parent) systematically inherits the +|ε| volume surplus
+	// and any waste-pool reuse the deficit. The physical executor makes no
+	// such guarantee — which half reaches which consumer depends on routing
+	// — so the default randomizes the hand-off per split. The legacy code
+	// handed the (1+ε) half first, a convention whose sign-symmetry only
+	// accidentally hid this assignment bias; the flag exists for A/B
+	// regression tests of the bias, not for production use.
+	OrderedHandoff bool
 }
 
 // Report summarises the CF error distribution over all target droplets and
@@ -47,6 +63,23 @@ type Report struct {
 	MeanErr, P95Err, MaxErr float64
 	// MinVolume and MaxVolume bound the emitted droplet volumes (ideal 1.0).
 	MinVolume, MaxVolume float64
+	// Errors holds the sorted per-target L∞ error samples when
+	// Params.KeepErrors is set, and is nil otherwise.
+	Errors []float64
+}
+
+// ExceedRate returns the fraction of error samples strictly above tol — the
+// re-mix rate a checkpoint sensor with that CF tolerance would impose. The
+// Report must have been produced with Params.KeepErrors.
+func (r *Report) ExceedRate(tol float64) float64 {
+	if len(r.Errors) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(r.Errors, tol)
+	for i < len(r.Errors) && r.Errors[i] == tol {
+		i++
+	}
+	return float64(len(r.Errors)-i) / float64(len(r.Errors))
 }
 
 // Simulation errors.
@@ -149,6 +182,13 @@ func Simulate(f *forest.Forest, p Params) (*Report, error) {
 		for _, t := range f.Tasks {
 			merged := Mix(take(t.In[0]), take(t.In[1]))
 			hi, lo := Split(merged, uniform(p.SplitImbalance))
+			if p.OrderedHandoff {
+				if hi.Volume < lo.Volume {
+					hi, lo = lo, hi
+				}
+			} else if rng.Int63()&1 == 1 {
+				hi, lo = lo, hi
+			}
 			outputs[t.ID] = []Droplet{hi, lo}
 		}
 		// Collect target droplets: the unconsumed outputs of tree roots.
@@ -178,8 +218,30 @@ func Simulate(f *forest.Forest, p Params) (*Report, error) {
 	}
 	rep.MeanErr = sum / float64(len(errs))
 	rep.MaxErr = errs[len(errs)-1]
-	rep.P95Err = errs[int(float64(len(errs))*0.95)]
+	rep.P95Err = nearestRank(errs, 0.95)
+	if p.KeepErrors {
+		rep.Errors = errs
+	}
 	return rep, nil
+}
+
+// nearestRank returns the q-quantile of a sorted sample by the nearest-rank
+// method: the ⌈q·n⌉-th smallest value, clamped into the sample. Unlike the
+// truncating index n·q this never reads past the end and degrades sensibly
+// on tiny samples (a single observation is every quantile of itself).
+func nearestRank(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
 }
 
 // RoundingErrorBound returns the paper's analytic bound on the CF error

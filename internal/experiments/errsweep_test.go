@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestE13AwareBeatsBlindUnderNoise pins the PR's acceptance criterion: at
+// ≥5% split imbalance the error-aware planner must reduce the emitted CF
+// error or the re-mix rate versus the error-blind planner on every
+// protocol. The re-mix improvement is structural — the derived tolerance is
+// the plan's analytic worst case, which no healthy realization exceeds,
+// while the fixed 1/64 tolerance sits below the P95 noise floor at ι=0.05.
+func TestE13AwareBeatsBlindUnderNoise(t *testing.T) {
+	cfg := DefaultE13Config()
+	cfg.Trials = 120
+	rows, err := E13ErrorAwareSweep(cfg)
+	if err != nil {
+		t.Fatalf("E13ErrorAwareSweep: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	sawNoisy := false
+	for _, r := range rows {
+		if r.Imbalance < 0.05 {
+			continue
+		}
+		sawNoisy = true
+		if r.Aware.RemixRate >= r.Blind.RemixRate && r.Aware.MeanErr >= r.Blind.MeanErr {
+			t.Errorf("%s ι=%g: aware planner improved neither re-mix rate (%.3f vs %.3f) nor mean error (%g vs %g)",
+				r.Key, r.Imbalance, r.Aware.RemixRate, r.Blind.RemixRate, r.Aware.MeanErr, r.Blind.MeanErr)
+		}
+		if r.Blind.RemixRate == 0 {
+			t.Errorf("%s ι=%g: fixed 1/64 tolerance triggered no re-mixes — comparison is vacuous", r.Key, r.Imbalance)
+		}
+	}
+	if !sawNoisy {
+		t.Fatal("sweep has no rows at the ι=0.05 acceptance point")
+	}
+	// Zero-noise rows must agree on a clean chip: no re-mixes on either side.
+	for _, r := range rows {
+		if r.Imbalance == 0 && (r.Blind.RemixRate != 0 || r.Aware.RemixRate != 0) {
+			t.Errorf("%s ι=0: clean chip re-mixed (blind %.3f, aware %.3f)", r.Key, r.Blind.RemixRate, r.Aware.RemixRate)
+		}
+	}
+}

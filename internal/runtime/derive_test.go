@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/errormodel"
+	"repro/internal/forest"
+	"repro/internal/minmix"
+	"repro/internal/ratio"
+)
+
+func pcrAnalysis(t *testing.T, p errormodel.Params) *errormodel.Analysis {
+	t.Helper()
+	g, err := minmix.Build(ratio.MustParse("2:1:1:1:1:1:9"))
+	if err != nil {
+		t.Fatalf("minmix.Build: %v", err)
+	}
+	f, err := forest.Build(g, 16)
+	if err != nil {
+		t.Fatalf("forest.Build: %v", err)
+	}
+	an, err := errormodel.Analyze(f, p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return an
+}
+
+func TestDeriveFromModelScalesWithNoise(t *testing.T) {
+	prevSensor, prevCF, prevBudget := 0.0, 0.0, 0
+	for _, iota := range []float64{0.01, 0.03, 0.08} {
+		p := errormodel.Params{SplitImbalance: iota, DispenseError: iota / 2}
+		pol, err := DeriveFromModel(p, pcrAnalysis(t, p))
+		if err != nil {
+			t.Fatalf("DeriveFromModel(ι=%g): %v", iota, err)
+		}
+		if pol.SensorThreshold <= prevSensor || pol.CFTolerance <= prevCF || pol.RecoveryBudget <= prevBudget {
+			t.Errorf("ι=%g: thresholds did not grow: sensor %g (prev %g), cf %g (prev %g), budget %d (prev %d)",
+				iota, pol.SensorThreshold, prevSensor, pol.CFTolerance, prevCF, pol.RecoveryBudget, prevBudget)
+		}
+		if pol.SensorThreshold < iota {
+			t.Errorf("ι=%g: sensor threshold %g rejects legitimate imbalance", iota, pol.SensorThreshold)
+		}
+		prevSensor, prevCF, prevBudget = pol.SensorThreshold, pol.CFTolerance, pol.RecoveryBudget
+	}
+}
+
+func TestDeriveFromModelCoversAnalyticBound(t *testing.T) {
+	// The tolerance equals the plan's analytic worst case: a healthy chip
+	// (every Monte-Carlo realization) stays within it.
+	p := errormodel.Params{SplitImbalance: 0.05, DispenseError: 0.02}
+	an := pcrAnalysis(t, p)
+	pol, err := DeriveFromModel(p, an)
+	if err != nil {
+		t.Fatalf("DeriveFromModel: %v", err)
+	}
+	if pol.CFTolerance < an.WorstTarget {
+		t.Errorf("CF tolerance %g below analytic bound %g: healthy chips would trigger replays",
+			pol.CFTolerance, an.WorstTarget)
+	}
+	if pol.SensorThreshold < an.VolDev {
+		t.Errorf("sensor threshold %g below volume envelope %g", pol.SensorThreshold, an.VolDev)
+	}
+}
+
+func TestDeriveFromModelFloorsAndDefaults(t *testing.T) {
+	// Zero noise must still produce nonzero thresholds — a zero field would
+	// be silently replaced by the hand-tuned default downstream.
+	pol, err := DeriveFromModel(errormodel.Params{}, pcrAnalysis(t, errormodel.Params{}))
+	if err != nil {
+		t.Fatalf("DeriveFromModel: %v", err)
+	}
+	if pol.SensorThreshold == 0 || pol.CFTolerance == 0 {
+		t.Errorf("zero-noise policy has zero thresholds: %+v", pol)
+	}
+	if pol.RecoveryBudget < 16 {
+		t.Errorf("budget floor lost: %d", pol.RecoveryBudget)
+	}
+	// Without an analysis only the sensing side is derived.
+	pol, err = DeriveFromModel(errormodel.Params{SplitImbalance: 0.07}, nil)
+	if err != nil {
+		t.Fatalf("DeriveFromModel(nil analysis): %v", err)
+	}
+	if pol.SensorThreshold != 0.07 {
+		t.Errorf("sensor threshold %g, want 0.07", pol.SensorThreshold)
+	}
+	if pol.CFTolerance != 0 || pol.RecoveryBudget != 0 {
+		t.Errorf("nil analysis should leave CF/budget to defaults, got %+v", pol)
+	}
+}
+
+func TestDeriveFromModelFingerprintsDistinct(t *testing.T) {
+	a, err := DeriveFromModel(errormodel.Params{SplitImbalance: 0.02}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveFromModel(errormodel.Params{SplitImbalance: 0.08}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different noise models derived identical policy fingerprints")
+	}
+}
+
+func TestDeriveFromModelBadParams(t *testing.T) {
+	if _, err := DeriveFromModel(errormodel.Params{SplitImbalance: 0.6}, nil); !errors.Is(err, errormodel.ErrBadParams) {
+		t.Errorf("err = %v, want ErrBadParams", err)
+	}
+	if _, err := DeriveFromModel(errormodel.Params{DispenseError: -0.1}, nil); !errors.Is(err, errormodel.ErrBadParams) {
+		t.Errorf("err = %v, want ErrBadParams", err)
+	}
+}

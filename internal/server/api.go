@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/errormodel"
 	"repro/internal/ratio"
 	"repro/internal/stream"
 )
@@ -34,6 +35,22 @@ type PlanRequest struct {
 	// TimeoutMS bounds this request's planning time; it is clamped to the
 	// server's max timeout. 0 uses the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// ErrorAware asks the planner to select the base graph (MM vs RMA vs
+	// MTCS) by predicted CF error under the chip's noise model instead of
+	// honouring Algorithm — the two are mutually exclusive. Error-aware
+	// plans are stateless (no Session): the selection may re-bind the base
+	// graph per request, which a pinned session timeline cannot express.
+	ErrorAware bool `json:"error_aware,omitempty"`
+	// SplitImbalance and DispenseError are the chip's physical noise
+	// magnitudes (relative, e.g. 0.05 for ±5%). They drive error-aware
+	// selection and, on /v1/execute, the model-derived sensor thresholds.
+	// Zero falls back to the server's configured noise model.
+	SplitImbalance float64 `json:"split_imbalance,omitempty"`
+	DispenseError  float64 `json:"dispense_error,omitempty"`
+	// CycleSlack is the fraction of extra schedule cycles an error-aware
+	// selection may trade for a lower predicted error (0 keeps the plan
+	// cycle-optimal).
+	CycleSlack float64 `json:"cycle_slack,omitempty"`
 }
 
 // ExecuteRequest is the JSON body of POST /v1/execute: a plan request plus
@@ -88,6 +105,13 @@ type PlanResponse struct {
 	// Coalesced marks a response served from another identical request
 	// that was already in flight.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// ErrorAware echoes an error-aware request; Algorithm then names the
+	// base graph the selection chose, and the Predicted* fields carry the
+	// plan's closed-form CF-error bound and expected magnitude over the
+	// emitted targets.
+	ErrorAware           bool    `json:"error_aware,omitempty"`
+	PredictedWorstErr    float64 `json:"predicted_worst_err,omitempty"`
+	PredictedExpectedErr float64 `json:"predicted_expected_err,omitempty"`
 }
 
 // StreamResponse is the JSON body answering /v1/stream: the plan summary
@@ -128,6 +152,8 @@ type planSpec struct {
 	mixers    int
 	storage   int
 	demand    int
+	// errPolicy is non-nil for error-aware requests.
+	errPolicy *errormodel.Policy
 }
 
 // parsePlanRequest validates a PlanRequest into a planSpec; every error is a
@@ -161,20 +187,42 @@ func parsePlanRequest(req *PlanRequest) (*planSpec, error) {
 	default:
 		return nil, fmt.Errorf("unknown scheduler %q (want MMS or SRS)", req.Scheduler)
 	}
-	return &planSpec{
+	noise := errormodel.Params{SplitImbalance: req.SplitImbalance, DispenseError: req.DispenseError}
+	if noise.SplitImbalance < 0 || noise.SplitImbalance >= 0.5 ||
+		noise.DispenseError < 0 || noise.DispenseError >= 0.5 || req.CycleSlack < 0 {
+		return nil, fmt.Errorf("split_imbalance and dispense_error must be in [0, 0.5) and cycle_slack non-negative")
+	}
+	spec := &planSpec{
 		target:    target,
 		algorithm: alg,
 		scheduler: sch,
 		mixers:    req.Mixers,
 		storage:   req.Storage,
 		demand:    req.Demand,
-	}, nil
+	}
+	if req.ErrorAware {
+		if req.Algorithm != "" {
+			return nil, fmt.Errorf("error_aware selects the base algorithm; leave algorithm unset")
+		}
+		if req.Session != "" {
+			return nil, fmt.Errorf("error_aware plans are stateless; drop the session or the error_aware flag")
+		}
+		spec.errPolicy = &errormodel.Policy{Params: noise, CycleSlack: req.CycleSlack}
+	}
+	return spec, nil
 }
 
 // fingerprint canonicalizes a spec for session pinning and in-flight
 // coalescing: two requests with the same fingerprint are the same plan.
+// Error-aware specs append their policy so plans selected under different
+// noise models never coalesce (error-blind fingerprints are unchanged).
 func (s *planSpec) fingerprint() string {
-	return fmt.Sprintf("%s|%s|%s|m%d|q%d", s.target, s.algorithm, s.scheduler, s.mixers, s.storage)
+	fp := fmt.Sprintf("%s|%s|%s|m%d|q%d", s.target, s.algorithm, s.scheduler, s.mixers, s.storage)
+	if s.errPolicy != nil {
+		fp += fmt.Sprintf("|ea:i%g,d%g,s%g",
+			s.errPolicy.Params.SplitImbalance, s.errPolicy.Params.DispenseError, s.errPolicy.CycleSlack)
+	}
+	return fp
 }
 
 // flightKey extends the fingerprint with the demand (session-less plans of
@@ -183,11 +231,17 @@ func (s *planSpec) flightKey(endpoint string) string {
 	return fmt.Sprintf("%s|%s|d%d", endpoint, s.fingerprint(), s.demand)
 }
 
-// planResponse summarizes a stream.Result.
+// planResponse summarizes a stream.Result. Error-aware plans report the
+// selected base algorithm and the analytic error prediction of the plan
+// actually returned.
 func planResponse(spec *planSpec, res *stream.Result, mixers int) PlanResponse {
+	algorithm := spec.algorithm.String()
+	if res.Selection != nil {
+		algorithm = res.Selection.Algorithm
+	}
 	resp := PlanResponse{
 		Ratio:         spec.target.String(),
-		Algorithm:     spec.algorithm.String(),
+		Algorithm:     algorithm,
 		Scheduler:     spec.scheduler.String(),
 		Mixers:        mixers,
 		Storage:       spec.storage,
@@ -197,6 +251,11 @@ func planResponse(spec *planSpec, res *stream.Result, mixers int) PlanResponse {
 		TotalInputs:   res.TotalInputs,
 		TotalWaste:    res.TotalWaste,
 		FirstEmission: res.FirstEmission(),
+	}
+	if res.Selection != nil {
+		resp.ErrorAware = true
+		resp.PredictedWorstErr = res.Selection.Predicted.Worst
+		resp.PredictedExpectedErr = res.Selection.Predicted.Expected
 	}
 	for _, p := range res.Passes {
 		resp.Passes = append(resp.Passes, PassSummary{

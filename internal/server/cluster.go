@@ -60,9 +60,11 @@ func (s *Server) planKeyFor(spec *planSpec) (plancache.Key, error) {
 // artifact tier: stateless (no session timeline) and storage-unlimited, so
 // the plan-cache key identifies the entire response-determining plan.
 // Storage-limited requests plan a demand-scan-dependent pass structure and
-// stay local; session requests extend per-node timelines.
+// stay local; session requests extend per-node timelines. Error-aware
+// requests also stay local: the base graph — and hence the plan key — is
+// not known until the selection itself has planned every candidate.
 func distributable(req *PlanRequest, spec *planSpec) bool {
-	return req.Session == "" && spec.storage == 0
+	return req.Session == "" && spec.storage == 0 && spec.errPolicy == nil
 }
 
 // ensurePlan warms the plan cache for a distributable request before the

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/errormodel"
+)
+
+func TestPlanErrorAware(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp PlanResponse
+	code := post(t, ts.URL+"/v1/plan", PlanRequest{
+		Ratio: "26:21:2:2:3:3:199", Demand: 8, Mixers: 4,
+		ErrorAware: true, SplitImbalance: 0.05, CycleSlack: 0.5,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if !resp.ErrorAware {
+		t.Error("response does not echo error_aware")
+	}
+	switch resp.Algorithm {
+	case "MM", "RMA", "MTCS":
+	default:
+		t.Errorf("selected algorithm %q is not a candidate", resp.Algorithm)
+	}
+	if resp.PredictedWorstErr <= 0 || resp.PredictedExpectedErr <= 0 {
+		t.Errorf("predictions missing: worst %g expected %g", resp.PredictedWorstErr, resp.PredictedExpectedErr)
+	}
+	if resp.PredictedExpectedErr > resp.PredictedWorstErr {
+		t.Errorf("expected %g exceeds worst %g", resp.PredictedExpectedErr, resp.PredictedWorstErr)
+	}
+	if resp.Emitted < 8 || resp.TotalCycles <= 0 {
+		t.Errorf("degenerate plan: %+v", resp)
+	}
+}
+
+func TestPlanErrorAwareValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  PlanRequest
+	}{
+		{"with explicit algorithm", PlanRequest{Ratio: "1:3", Demand: 4, ErrorAware: true, Algorithm: "RMA"}},
+		{"with session", PlanRequest{Ratio: "1:3", Demand: 4, ErrorAware: true, Session: "s1"}},
+		{"imbalance out of range", PlanRequest{Ratio: "1:3", Demand: 4, ErrorAware: true, SplitImbalance: 0.7}},
+		{"negative dispense error", PlanRequest{Ratio: "1:3", Demand: 4, DispenseError: -0.1}},
+		{"negative cycle slack", PlanRequest{Ratio: "1:3", Demand: 4, ErrorAware: true, CycleSlack: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e errorResponse
+			if code := post(t, ts.URL+"/v1/plan", tc.req, &e); code != http.StatusBadRequest {
+				t.Fatalf("status = %d (error %q), want 400", code, e.Error)
+			}
+			if e.Error == "" {
+				t.Error("error body is empty")
+			}
+		})
+	}
+}
+
+func TestPlanErrorAwareServerNoiseDefault(t *testing.T) {
+	// A daemon started with -split-imbalance supplies the noise model for
+	// requests that do not carry their own.
+	_, ts := newTestServer(t, Config{Noise: errormodel.Params{SplitImbalance: 0.05, DispenseError: 0.02}})
+	var resp PlanResponse
+	code := post(t, ts.URL+"/v1/plan", PlanRequest{
+		Ratio: "2:1:1:1:1:1:9", Demand: 8, ErrorAware: true, CycleSlack: 0.25,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if !resp.ErrorAware || resp.PredictedWorstErr <= 0 {
+		t.Errorf("server noise default not applied: %+v", resp)
+	}
+	// Error-blind requests are untouched by the configured noise model.
+	var blind PlanResponse
+	if code := post(t, ts.URL+"/v1/plan", PlanRequest{Ratio: "2:1:1:1:1:1:9", Demand: 8}, &blind); code != http.StatusOK {
+		t.Fatalf("blind status = %d, want 200", code)
+	}
+	if blind.ErrorAware || blind.PredictedWorstErr != 0 {
+		t.Errorf("blind request picked up predictions: %+v", blind)
+	}
+}
+
+func TestExecuteDerivedPolicy(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp ExecuteResponse
+	code := post(t, ts.URL+"/v1/execute", ExecuteRequest{
+		PlanRequest: PlanRequest{Ratio: "2:1:1:1:1:1:9", Demand: 4, SplitImbalance: 0.05, DispenseError: 0.02},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if resp.RunEmitted < 4 {
+		t.Errorf("run emitted %d, want >= 4", resp.RunEmitted)
+	}
+	// The derived CF tolerance equals the analytic worst case of this plan
+	// under the declared noise, so a fault-free run never trips it and every
+	// emitted droplet stays within the bound.
+	if resp.Replays != 0 {
+		t.Errorf("fault-free run replayed %d times under derived policy", resp.Replays)
+	}
+	// An explicit recovery budget still overrides the derived one and the
+	// request must succeed the same way.
+	var capped ExecuteResponse
+	code = post(t, ts.URL+"/v1/execute", ExecuteRequest{
+		PlanRequest:    PlanRequest{Ratio: "2:1:1:1:1:1:9", Demand: 4, SplitImbalance: 0.05},
+		RecoveryBudget: 3,
+	}, &capped)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", code)
+	}
+}
+
+func TestErrorAwareFingerprintsDistinct(t *testing.T) {
+	base := PlanRequest{Ratio: "1:3", Demand: 4}
+	specBlind, err := parsePlanRequest(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware := PlanRequest{Ratio: "1:3", Demand: 4, ErrorAware: true, SplitImbalance: 0.05}
+	specAware, err := parsePlanRequest(&aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specBlind.fingerprint() == specAware.fingerprint() {
+		t.Error("error-aware and error-blind specs share a fingerprint")
+	}
+	aware2 := aware
+	aware2.SplitImbalance = 0.08
+	specAware2, err := parsePlanRequest(&aware2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specAware.fingerprint() == specAware2.fingerprint() {
+		t.Error("different noise magnitudes share a fingerprint")
+	}
+}

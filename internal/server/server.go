@@ -41,6 +41,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/errormodel"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/forest"
@@ -88,6 +89,13 @@ type Config struct {
 	// ring owners, cold plans are fetched from or built on their owner
 	// (cross-node single-flight), and POST /v1/artifact/build serves peers.
 	Cluster *cluster.Node
+	// Noise is the chip's default physical noise model (split imbalance and
+	// dispense error magnitudes, dmfbd's -split-imbalance/-dispense-error
+	// flags). Requests that carry no noise fields of their own inherit it:
+	// error-aware plans select under it and /v1/execute derives its sensor
+	// thresholds from it (runtime.DeriveFromModel). The zero value keeps
+	// the hand-tuned policy defaults.
+	Noise errormodel.Params
 }
 
 func (c Config) withDefaults() Config {
@@ -422,6 +430,17 @@ func decode(r *http.Request, dst any) error {
 	return nil
 }
 
+// applyNoiseDefaults fills a decoded request's noise fields from the
+// server's configured chip model when the client supplied none, so a
+// daemon booted with -split-imbalance/-dispense-error applies its chip's
+// physics to every error-aware plan and every execute run by default.
+func (s *Server) applyNoiseDefaults(req *PlanRequest) {
+	if req.SplitImbalance == 0 && req.DispenseError == 0 {
+		req.SplitImbalance = s.cfg.Noise.SplitImbalance
+		req.DispenseError = s.cfg.Noise.DispenseError
+	}
+}
+
 // engineFor resolves the engine answering a request: the named session's
 // pooled engine (pinned against eviction until release is called), or a
 // fresh stateless engine. The fingerprint pins session configuration across
@@ -429,12 +448,13 @@ func decode(r *http.Request, dst any) error {
 func (s *Server) engineFor(req *PlanRequest, spec *planSpec) (eng *core.Engine, sess *session, release func(), err error) {
 	build := func() (*core.Engine, error) {
 		return core.New(core.Config{
-			Target:    spec.target,
-			Algorithm: spec.algorithm,
-			Scheduler: spec.scheduler,
-			Mixers:    spec.mixers,
-			Storage:   spec.storage,
-			PlanCache: s.planCache,
+			Target:      spec.target,
+			Algorithm:   spec.algorithm,
+			Scheduler:   spec.scheduler,
+			Mixers:      spec.mixers,
+			Storage:     spec.storage,
+			PlanCache:   s.planCache,
+			ErrorPolicy: spec.errPolicy,
 		})
 	}
 	if req.Session == "" {
@@ -493,6 +513,7 @@ func (s *Server) servePlan(ctx context.Context, r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
+	s.applyNoiseDefaults(&req)
 	if req.Session != "" {
 		// Session requests extend a shared timeline; each must plan.
 		eng, b, spec, done, err := s.planBatch(ctx, &req)
@@ -544,6 +565,7 @@ func (s *Server) serveStream(ctx context.Context, r *http.Request) (any, error) 
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
+	s.applyNoiseDefaults(&req)
 	buildResp := func() (StreamResponse, error) {
 		eng, b, spec, done, err := s.planBatch(ctx, &req)
 		if err != nil {
@@ -617,6 +639,7 @@ func (s *Server) serveExecute(ctx context.Context, r *http.Request) (any, error)
 	if req.FaultRate < 0 || req.FaultRate >= 1 {
 		return nil, &errBadRequest{fmt.Errorf("fault_rate must be in [0,1), got %g", req.FaultRate)}
 	}
+	s.applyNoiseDefaults(&req.PlanRequest)
 	eng, b, spec, done, err := s.planBatch(ctx, &req.PlanRequest)
 	if err != nil {
 		return nil, err
@@ -639,7 +662,11 @@ func (s *Server) serveExecute(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, &errBadRequest{err}
 	}
-	rep, err := eng.ExecuteBatchCtx(ctx, b, layout, inj, runtime.Policy{RecoveryBudget: req.RecoveryBudget})
+	pol, err := s.executePolicy(&req, b)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.ExecuteBatchCtx(ctx, b, layout, inj, pol)
 	if err != nil {
 		return nil, err
 	}
@@ -660,6 +687,32 @@ func (s *Server) serveExecute(ctx context.Context, r *http.Request) (any, error)
 	resp.Session = req.Session
 	resp.StartCycle = b.StartCycle
 	return resp, nil
+}
+
+// executePolicy resolves the closed-loop policy of one /v1/execute run.
+// With a noise model in play — the request's own noise fields, else the
+// server's configured chip model — the sensor thresholds and recovery
+// budget are derived from the closed-form error analysis of the plan about
+// to run (runtime.DeriveFromModel) instead of the hand-tuned defaults; the
+// reused full-size pass is the largest forest of the plan, so its analysis
+// bounds every pass. An explicit recovery_budget always wins.
+func (s *Server) executePolicy(req *ExecuteRequest, b *core.Batch) (runtime.Policy, error) {
+	noise := errormodel.Params{SplitImbalance: req.SplitImbalance, DispenseError: req.DispenseError}
+	if noise.SplitImbalance == 0 && noise.DispenseError == 0 {
+		return runtime.Policy{RecoveryBudget: req.RecoveryBudget}, nil
+	}
+	an, err := errormodel.Analyze(b.Result.Passes[0].Schedule.Forest, noise)
+	if err != nil {
+		return runtime.Policy{}, &errBadRequest{err}
+	}
+	pol, err := runtime.DeriveFromModel(noise, an)
+	if err != nil {
+		return runtime.Policy{}, &errBadRequest{err}
+	}
+	if req.RecoveryBudget > 0 {
+		pol.RecoveryBudget = req.RecoveryBudget
+	}
+	return pol, nil
 }
 
 // healthResponse is the /healthz body.

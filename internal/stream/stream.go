@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/cancel"
+	"repro/internal/errormodel"
 	"repro/internal/forest"
 	"repro/internal/mixgraph"
 	"repro/internal/obs"
@@ -78,6 +79,17 @@ type Config struct {
 	// multi-node benchserve scenario, cluster tests — give each node its own
 	// cache so per-node hit rates and the fleet-wide build count stay honest.
 	Cache *plancache.Cache
+	// ErrorPolicy, when set, makes planning error-aware (errselect.go): the
+	// engine plans Base and every graph in Candidates, bounds each plan's
+	// emitted CF error analytically under the policy's noise parameters,
+	// and returns the plan with the lowest expected error among those
+	// within the policy's cycle budget. Result.Selection records the
+	// choice. Nil plans error-blind, exactly as before.
+	ErrorPolicy *errormodel.Policy
+	// Candidates are the alternative base graphs of the same target an
+	// error-aware run may select instead of Base. Ignored without
+	// ErrorPolicy.
+	Candidates []*mixgraph.Graph
 }
 
 // cache resolves the effective plan cache.
@@ -123,6 +135,9 @@ type Result struct {
 	// Emitted is the number of target droplets actually produced; it is
 	// Demand rounded up to even per pass, so Emitted >= Demand.
 	Emitted int
+	// Selection records the error-aware base-graph choice (nil for
+	// error-blind plans).
+	Selection *Selection
 }
 
 // ErrStorage reports that even a minimal two-droplet pass exceeds the
@@ -276,8 +291,19 @@ func Run(cfg Config, demand int) (*Result, error) {
 // error wrapping cancel.ErrCanceled. The repeated full-size pass is planned
 // once and reused for all ⌈D/D'⌉ occurrences (every full pass is the same
 // forest and schedule — only StartCycle differs); only a final short pass,
-// when the demand is not a multiple of D', is planned separately.
+// when the demand is not a multiple of D', is planned separately. With
+// Config.ErrorPolicy set the plan is additionally selected across the
+// candidate base graphs by predicted CF error (errselect.go).
 func RunCtx(ctx context.Context, cfg Config, demand int) (*Result, error) {
+	if cfg.ErrorPolicy != nil {
+		return runErrorAware(ctx, cfg, demand)
+	}
+	return runPlain(ctx, cfg, demand)
+}
+
+// runPlain is the error-blind planning path shared by direct requests and
+// every candidate of an error-aware selection.
+func runPlain(ctx context.Context, cfg Config, demand int) (*Result, error) {
 	if demand <= 0 {
 		return nil, fmt.Errorf("stream: %w: %d", forest.ErrBadDemand, demand)
 	}
