@@ -11,7 +11,7 @@ GO ?= go
 # plan requests) — raced explicitly by `make race`.
 CONCURRENT_PKGS := ./internal/parallel ./internal/plancache ./internal/experiments ./internal/stream ./internal/synth ./internal/faults ./internal/runtime ./internal/exec ./internal/route ./internal/obs ./internal/audit ./internal/core ./internal/server ./internal/mixgraph ./internal/forest ./internal/sched ./internal/wal ./internal/fleet ./internal/contam ./internal/artifact ./internal/cluster ./internal/errormodel ./cmd/dmfbd
 
-.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve bench-error-smoke bench-fleet-smoke bench-cluster-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke check clean
+.PHONY: build test race vet fmt-check bench-smoke bench-routing bench-plan bench-plan-smoke bench-serve bench-error-smoke bench-fleet-smoke bench-cluster-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke chaos-migrate-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -90,18 +90,20 @@ bench-serve:
 # churn throughput floor. Writes to a throwaway file.
 bench-fleet-smoke:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; set -e; \
-	$(GO) run ./cmd/benchserve -requests 0 -assay-requests 150 -out "$$tmp/bench_fleet.json"; \
+	$(GO) run ./cmd/benchserve -requests 0 -assay-requests 150 -churn-sessions 0 -out "$$tmp/bench_fleet.json"; \
 	echo "bench-fleet-smoke: churn floor held"
 
-# Fast wiring check for the multi-node scenario only: a 3-node in-process
+# Fast wiring check for the multi-node scenarios only: a 3-node in-process
 # cluster shares one pool of plan keys and the harness asserts fleet-wide
 # cold builds stay within the build-ratio ceiling (owner builds once) and
-# that warm cross-node adoption beats a cold build. Writes to a throwaway
-# file.
+# that warm cross-node adoption beats a cold build; then the membership-churn
+# scenario takes one member out of the ring mid-run and asserts zero lost
+# batches, zero artifact rebuilds and zero background errors. Writes to a
+# throwaway file.
 bench-cluster-smoke:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; set -e; \
 	$(GO) run ./cmd/benchserve -requests 0 -assay-requests 0 -cluster-requests 300 -cluster-keys 20 -out "$$tmp/bench_cluster.json"; \
-	echo "bench-cluster-smoke: cold-build ceiling and warm adoption held"
+	echo "bench-cluster-smoke: cold-build ceiling, warm adoption, churn invariants held"
 
 # Error-model smoke: the two invariants the error-aware planner rests on —
 # the closed-form bound dominates Monte-Carlo on every protocol × algorithm,
@@ -129,7 +131,15 @@ chaos-smoke:
 	CHAOS_CYCLES=50 $(GO) test -race -run 'TestChaosKillRestartRecovery' -timeout 10m ./cmd/dmfbd
 	@echo "chaos-smoke: 50 kill/restart cycles, no acked work lost"
 
-check: build vet fmt-check test race bench-smoke bench-plan-smoke bench-error-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke bench-fleet-smoke bench-cluster-smoke
+# Cluster-migration chaos: a 3-node dmfbd fleet of real processes, the
+# session's ring owner SIGKILLed mid-stream, restarted on its WAL, and the
+# recovered session migrated to a survivor — the continued timeline must be
+# bit-identical and the old owner must redirect. Race detector on.
+chaos-migrate-smoke:
+	$(GO) test -race -run 'TestChaosMigrateKillOwner' -timeout 5m ./cmd/dmfbd
+	@echo "chaos-migrate-smoke: owner killed, session migrated, timeline bit-identical"
+
+check: build vet fmt-check test race bench-smoke bench-plan-smoke bench-error-smoke fuzz-smoke audit-smoke serve-smoke chaos-smoke chaos-migrate-smoke bench-fleet-smoke bench-cluster-smoke
 
 clean:
 	$(GO) clean

@@ -99,6 +99,18 @@ type record struct {
 	ClusterBuildRatio   float64 `json:"cluster_build_ratio,omitempty"`
 	ClusterColdMs       float64 `json:"cluster_cold_ms,omitempty"`
 	ClusterWarmMs       float64 `json:"cluster_warm_ms,omitempty"`
+	// Membership-churn experiment: one ring member is decommissioned (its
+	// sessions migrated to their new owners) and killed mid-run. The run
+	// aborts unless every session continues bit-identically on its new owner
+	// (zero lost batches), every published artifact stays servable without a
+	// rebuild, and background traffic at the survivors sees zero errors.
+	ChurnNodes            int   `json:"churn_nodes,omitempty"`
+	ChurnSessions         int   `json:"churn_sessions,omitempty"`
+	ChurnMigratedSessions int   `json:"churn_migrated_sessions,omitempty"`
+	ChurnLostBatches      int   `json:"churn_lost_batches"`
+	ChurnArtifactRebuilds int64 `json:"churn_artifact_rebuilds"`
+	ChurnBackgroundReqs   int64 `json:"churn_background_requests,omitempty"`
+	ChurnBackgroundErrors int64 `json:"churn_background_errors"`
 }
 
 func main() {
@@ -114,6 +126,7 @@ func main() {
 		clusterN    = flag.Int("cluster-nodes", 3, "dmfbd nodes in the multi-node scenario")
 		clusterKeys = flag.Int("cluster-keys", 60, "distinct plan keys shared across the cluster")
 		clusterMax  = flag.Float64("cluster-build-ratio", 1.2, "maximum fleet-wide cold builds per distinct key")
+		churnSess   = flag.Int("churn-sessions", 12, "sessions in the membership-churn scenario (0 skips it)")
 	)
 	flag.Parse()
 
@@ -280,6 +293,9 @@ func main() {
 	if *clusterReqs > 0 {
 		runCluster(client, &rec, *clusterReqs, *concurrency, *clusterN, *clusterKeys, *maxInflight, ratios, *clusterMax)
 	}
+	if *churnSess > 0 {
+		runChurn(client, &rec, *clusterN, *churnSess, *maxInflight, ratios)
+	}
 	for _, c := range []string{"server.requests", "server.flights.coalesced", "plancache.hits",
 		"plancache.misses", "plancache.builds", "server.sessions.created", "server.admission.queued",
 		"fleet.assays", "fleet.assays_failed", "fleet.reassignments", "fleet.washes", "fleet.saturated",
@@ -421,6 +437,269 @@ func runCluster(client *http.Client, rec *record, reqs, conc, nNodes, keys, maxI
 	if rec.ClusterWarmMs >= rec.ClusterColdMs {
 		log.Fatalf("warm cross-node adoption (%.3fms) not faster than cold build (%.3fms)",
 			rec.ClusterWarmMs, rec.ClusterColdMs)
+	}
+}
+
+// runChurn boots an in-process multi-node fleet and takes one member out of
+// the ring mid-run: its resident sessions are migrated to their new owners
+// (POST /v1/session/{id}/migrate), the survivors drop it from their rings
+// (POST /v1/cluster/members), and its listener is closed — the in-process
+// stand-in for a kill. The invariants gate the record:
+//
+//   - every session's next batch lands exactly one cycle after everything the
+//     client was acked (the migrated replay was bit-identical, nothing lost);
+//   - a session request at the wrong survivor redirects to the holder and
+//     still continues the same timeline;
+//   - every artifact published before the churn stays servable by the
+//     survivors without a single rebuild (the replica fan-out covered it);
+//   - background stateless traffic at the survivors sees zero errors through
+//     the whole membership change.
+//
+// (The process-level sibling — SIGKILL the owner mid-stream, recover from
+// the WAL, migrate — is `make chaos-migrate-smoke`.)
+func runChurn(client *http.Client, rec *record, nNodes, nSessions, maxInflight int, ratios []string) {
+	type churnNode struct {
+		id    string
+		cache *plancache.Cache
+		store *artifact.Store
+		srv   *server.Server
+		url   string
+		hs    *http.Server
+	}
+	nodes := make([]*churnNode, nNodes)
+	lns := make([]net.Listener, nNodes)
+	ids := make([]string, nNodes)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[i] = ln
+		ids[i] = fmt.Sprintf("churn-node-%d", i)
+		nodes[i] = &churnNode{id: ids[i], url: "http://" + ln.Addr().String()}
+	}
+	urlOf := map[string]*churnNode{}
+	for i, nd := range nodes {
+		var peers []cluster.Peer
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, cluster.Peer{ID: other.id, URL: other.url})
+			}
+		}
+		cn, err := cluster.NewNode(cluster.Config{Self: nd.id, Peers: peers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "benchserve-churn-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		nd.cache = plancache.New(256)
+		if nd.store, err = artifact.OpenStore(dir, 256); err != nil {
+			log.Fatal(err)
+		}
+		nd.srv = server.New(server.Config{
+			MaxInFlight: maxInflight,
+			MaxQueue:    1024,
+			PlanCache:   nd.cache,
+			Artifacts:   nd.store,
+			Cluster:     cn,
+		})
+		nd.hs = &http.Server{Handler: nd.srv.Handler()}
+		go nd.hs.Serve(lns[i])
+		defer nd.hs.Close()
+		urlOf[nd.id] = nd
+	}
+	victim, survivors := nodes[nNodes-1], nodes[:nNodes-1]
+	ring := cluster.NewRing(ids, 0)
+
+	type planReply struct {
+		StartCycle  int    `json:"start_cycle"`
+		TotalCycles int    `json:"total_cycles"`
+		Error       string `json:"error"`
+	}
+	plan := func(url string, payload map[string]any) planReply {
+		buf, _ := json.Marshal(payload)
+		resp, err := client.Post(url+"/v1/plan", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out planReply
+		jerr := json.NewDecoder(resp.Body).Decode(&out)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if jerr != nil {
+			log.Fatalf("churn: decode plan reply: %v", jerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("churn: plan status %d: %s", resp.StatusCode, out.Error)
+		}
+		return out
+	}
+
+	// Acked session work, every batch on its ring owner. Name generation
+	// continues until the victim owns at least one session — otherwise the
+	// churn would not move anything.
+	type churnSession struct {
+		name    string
+		owner   string
+		elapsed int
+	}
+	var sessions []*churnSession
+	victimOwns := 0
+	for i := 0; len(sessions) < nSessions || victimOwns == 0; i++ {
+		name := fmt.Sprintf("churn-s-%d", i)
+		owner := ring.Owner("session|" + name)
+		if len(sessions) >= nSessions && owner != victim.id {
+			continue
+		}
+		if owner == victim.id {
+			victimOwns++
+		}
+		sessions = append(sessions, &churnSession{name: name, owner: owner})
+	}
+	sessionBatch := func(cs *churnSession, url string) {
+		r := plan(url, map[string]any{"ratio": "2:1:1:1:1:1:9", "demand": 8, "scheduler": "SRS", "session": cs.name})
+		if r.StartCycle != cs.elapsed+1 {
+			rec.ChurnLostBatches++
+			log.Printf("churn: session %s batch starts at %d, want %d", cs.name, r.StartCycle, cs.elapsed+1)
+		}
+		cs.elapsed = r.StartCycle + r.TotalCycles - 1
+	}
+	for _, cs := range sessions {
+		for b := 0; b < 3; b++ {
+			sessionBatch(cs, urlOf[cs.owner].url)
+		}
+	}
+
+	// Artifacts published before the churn — the replica fan-out must keep
+	// every one servable after the victim is gone.
+	const churnKeys = 8
+	keyPayload := func(k int) map[string]any {
+		return map[string]any{"ratio": ratios[k%len(ratios)], "demand": 100 + 2*k}
+	}
+	for k := 0; k < churnKeys; k++ {
+		plan(nodes[k%nNodes].url, keyPayload(k))
+	}
+	for _, nd := range nodes {
+		nd.srv.WaitPublish()
+	}
+
+	// Background stateless traffic at the survivors, running through the
+	// whole membership change — availability during churn.
+	stop := make(chan struct{})
+	var bgReqs, bgErrs atomic.Int64
+	var bg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			buf, _ := json.Marshal(map[string]any{"ratio": "2:1:1:1:1:1:9", "demand": 20, "scheduler": "SRS"})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(survivors[(w+i)%len(survivors)].url+"/v1/plan", "application/json", bytes.NewReader(buf))
+				bgReqs.Add(1)
+				if err != nil {
+					bgErrs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					bgErrs.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Decommission: ship every victim-resident session to its new owner,
+	// drop the victim from the survivors' rings, then close its listener.
+	newRing := ring.Without(victim.id)
+	for _, cs := range sessions {
+		if cs.owner != victim.id {
+			continue
+		}
+		target := newRing.Owner("session|" + cs.name)
+		resp, err := client.Post(victim.url+"/v1/session/"+cs.name+"/migrate?target="+target, "application/json", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("churn: migrate %s to %s: status %d", cs.name, target, resp.StatusCode)
+		}
+		cs.owner = target
+		rec.ChurnMigratedSessions++
+	}
+	for _, nd := range survivors {
+		buf, _ := json.Marshal(map[string]any{"action": "leave", "id": victim.id})
+		resp, err := client.Post(nd.url+"/v1/cluster/members", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("churn: leave on %s: status %d", nd.id, resp.StatusCode)
+		}
+	}
+	victim.hs.Close()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	bg.Wait()
+
+	// Invariant 1: every session continues exactly where the client left it,
+	// served by its (possibly new) owner.
+	for _, cs := range sessions {
+		sessionBatch(cs, urlOf[cs.owner].url)
+	}
+	// Invariant 2: the wrong survivor redirects to the holder — still the
+	// same timeline.
+	for _, cs := range sessions {
+		other := survivors[0]
+		if other.id == cs.owner {
+			other = survivors[len(survivors)-1]
+		}
+		sessionBatch(cs, other.url)
+	}
+	// Invariant 3: every pre-churn artifact serves from the survivors'
+	// replica tiers without a rebuild (caches purged, so the disk/replica
+	// rungs must answer).
+	var buildsBefore int64
+	for _, nd := range survivors {
+		buildsBefore += nd.cache.Stats().Builds
+		nd.cache.Purge()
+	}
+	for k := 0; k < churnKeys; k++ {
+		plan(survivors[k%len(survivors)].url, keyPayload(k))
+	}
+	var buildsAfter int64
+	for _, nd := range survivors {
+		buildsAfter += nd.cache.Stats().Builds
+	}
+	rec.ChurnNodes = nNodes
+	rec.ChurnSessions = len(sessions)
+	rec.ChurnArtifactRebuilds = buildsAfter - buildsBefore
+	rec.ChurnBackgroundReqs = bgReqs.Load()
+	rec.ChurnBackgroundErrors = bgErrs.Load()
+	fmt.Printf("churn: %d sessions (%d migrated off %s), %d lost batches, %d artifact rebuilds, %d background requests (%d errors)\n",
+		len(sessions), rec.ChurnMigratedSessions, victim.id, rec.ChurnLostBatches,
+		rec.ChurnArtifactRebuilds, rec.ChurnBackgroundReqs, rec.ChurnBackgroundErrors)
+	if rec.ChurnLostBatches > 0 {
+		log.Fatalf("churn: %d batches lost across the membership change", rec.ChurnLostBatches)
+	}
+	if rec.ChurnArtifactRebuilds > 0 {
+		log.Fatalf("churn: %d artifacts had to be rebuilt after the member left", rec.ChurnArtifactRebuilds)
+	}
+	if rec.ChurnBackgroundErrors > 0 {
+		log.Fatalf("churn: %d background requests failed during the membership change", rec.ChurnBackgroundErrors)
 	}
 }
 

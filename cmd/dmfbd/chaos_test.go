@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -14,6 +15,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // The chaos harness kills the daemon with SIGKILL mid-stream — no drain, no
@@ -45,15 +48,17 @@ type chaosDaemon struct {
 }
 
 // startChaosDaemon re-execs the test binary as the daemon and waits until
-// /healthz/ready answers 200 (recovery finished).
-func startChaosDaemon(t *testing.T, walPath string) *chaosDaemon {
+// /healthz/ready answers 200 (recovery finished). extra flags append after
+// the defaults; a repeated flag takes its last value, so extra can override
+// -addr for fixed-port cluster members.
+func startChaosDaemon(t *testing.T, walPath string, extra ...string) *chaosDaemon {
 	t.Helper()
+	args := []string{"-addr", "127.0.0.1:0", "-wal", walPath, "-chips", "2"}
+	args = append(args, extra...)
 	cmd := exec.Command(os.Args[0], "-test.run=^TestDmfbdHelper$")
 	cmd.Env = append(os.Environ(),
 		"DMFBD_CHAOS_HELPER=1",
-		"DMFBD_CHAOS_ARGS="+strings.Join([]string{
-			"-addr", "127.0.0.1:0", "-wal", walPath, "-chips", "2",
-		}, "\x1f"),
+		"DMFBD_CHAOS_ARGS="+strings.Join(args, "\x1f"),
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -271,5 +276,135 @@ func TestChaosKillRestartRecovery(t *testing.T) {
 	}
 	if err := d.cmd.Wait(); err != nil {
 		t.Fatalf("graceful shutdown after chaos: %v", err)
+	}
+}
+
+// TestChaosMigrateKillOwner is the cluster half of the chaos contract: a
+// 3-node fleet of real dmfbd processes, the session's ring owner SIGKILLed
+// mid-stream, restarted on its WAL, and the recovered session migrated to a
+// survivor — whose continued timeline must be bit-identical (every acked
+// batch exactly where the client left it), with the old owner redirecting.
+func TestChaosMigrateKillOwner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness spawns real processes")
+	}
+	// Cluster members need each other's URLs at construction, so the ports
+	// are pre-allocated (bind :0, note the address, release it).
+	ids := []string{"node-0", "node-1", "node-2"}
+	addrs := make([]string, len(ids))
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	dir := t.TempDir()
+	start := func(i int) *chaosDaemon {
+		var peers []string
+		for j := range ids {
+			if j != i {
+				peers = append(peers, ids[j]+"=http://"+addrs[j])
+			}
+		}
+		return startChaosDaemon(t, filepath.Join(dir, ids[i]+".wal"),
+			"-addr", addrs[i],
+			"-node-id", ids[i],
+			"-peers", strings.Join(peers, ","),
+			"-artifact-dir", filepath.Join(dir, ids[i]+"-artifacts"),
+			"-heartbeat", "250ms",
+		)
+	}
+	ds := make([]*chaosDaemon, len(ids))
+	for i := range ds {
+		ds[i] = start(i)
+	}
+
+	// A session the shared ring places on node-0 — the node we will kill.
+	ring := cluster.NewRing(ids, 0)
+	var name string
+	for i := 0; i < 100000; i++ {
+		cand := fmt.Sprintf("chaos-mig-%d", i)
+		if ring.Owner("session|"+cand) == ids[0] {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no session name owned by node-0")
+	}
+
+	// Acked traffic on the owner.
+	cs := &chaosSession{name: name}
+	for i := 0; i < 3; i++ {
+		got, cyc := chaosPlan(t, ds[0].base, name, chaosDemand)
+		if got != cs.elapsed+1 {
+			t.Fatalf("batch %d start=%d, want %d", i+1, got, cs.elapsed+1)
+		}
+		cs.elapsed += cyc
+		cs.batchCycles = cyc
+		cs.batches++
+	}
+
+	// SIGKILL the owner mid-stream: one request races the kill, so whether
+	// its accept reached the log is exactly the ambiguity verify tolerates.
+	go func() {
+		body := fmt.Sprintf(`{"ratio":"2:1:1:1:1:1:9","demand":%d,"scheduler":"SRS","session":%q}`, chaosDemand, name)
+		resp, err := http.Post(ds[0].base+"/v1/plan", "application/json", strings.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	if err := ds[0].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	ds[0].cmd.Wait()
+
+	// Restart the owner on its WAL: recovery must hand back the timeline.
+	ds[0] = start(0)
+	if why, ok := recoveryFailed(t, ds[0].base)[name]; ok {
+		t.Fatalf("session %s typed-failed in recovery: %s", name, why)
+	}
+	cs.verify(t, ds[0].base)
+
+	// Migrate the recovered session to a survivor. The ship replays the
+	// snapshot on node-1 and verifies it batch by batch before acking.
+	resp, err := http.Post(ds[0].base+"/v1/session/"+name+"/migrate?target="+ids[1], "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate after recovery: status %d", resp.StatusCode)
+	}
+
+	// Bit-identical continuation on the new owner: the next batch starts
+	// exactly one cycle after everything the client was acked.
+	got, cyc := chaosPlan(t, ds[1].base, name, chaosDemand)
+	if got != cs.elapsed+1 {
+		t.Fatalf("migrated timeline diverged: next batch starts at %d, want %d", got, cs.elapsed+1)
+	}
+	cs.elapsed += cyc
+
+	// The old owner tombstoned the session and redirects (307, followed by
+	// the client) to the new holder — still the same timeline.
+	got, cyc = chaosPlan(t, ds[0].base, name, chaosDemand)
+	if got != cs.elapsed+1 {
+		t.Fatalf("redirected batch starts at %d, want %d", got, cs.elapsed+1)
+	}
+	cs.elapsed += cyc
+
+	// Every node drains gracefully with its WAL cleanly closed.
+	for i, d := range ds {
+		if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.cmd.Wait(); err != nil {
+			t.Fatalf("graceful shutdown of %s: %v", ids[i], err)
+		}
 	}
 }

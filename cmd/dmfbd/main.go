@@ -20,6 +20,14 @@
 // ring: cold stateless plans are fetched from (or built exactly once on)
 // their owning node as verified content-addressed artifacts, and
 // -artifact-dir adds a warm disk tier below the in-process plan cache.
+// Artifacts replicate to the owner's ring successors and the fetch ladder
+// read-repairs an owner that lost its copy. Sessions route to their ring
+// owner with 307 redirects, POST /v1/session/{id}/migrate ships a live
+// timeline between nodes (verified replay, never lossy), and POST
+// /v1/cluster/members changes membership at runtime — joins and leaves swap
+// the ring atomically and migrate the sessions whose owner moved. A
+// -heartbeat probe (default 5s) keeps per-peer breaker state honest even
+// when no request traffic flows.
 //
 // With -wal the daemon journals session lifecycle to a checksummed
 // write-ahead log and, on boot, replays it: sessions survive crashes —
@@ -77,6 +85,7 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 		chipWear   = fs.Float64("chip-wear", 0, "per-assay fault-rate wear of every fleet chip")
 		nodeID     = fs.String("node-id", "", "this node's cluster identity (required with -peers)")
 		peersFlag  = fs.String("peers", "", "cluster peers as id=url,id=url (enables the distributed plan tier)")
+		heartbeat  = fs.Duration("heartbeat", 5*time.Second, "peer liveness probe interval with -peers (0 disables)")
 		artDir     = fs.String("artifact-dir", "", "warm disk tier for content-addressed plan artifacts")
 		artCap     = fs.Int("artifact-cap", 0, "artifact-dir capacity in artifacts (0 selects the default)")
 		splitImb   = fs.Float64("split-imbalance", 0, "chip split-imbalance magnitude ι (e.g. 0.05 for ±5%); default noise model for error-aware requests")
@@ -145,6 +154,10 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 			finish()
 			return 1
 		}
+		// Heartbeat keeps breaker state honest even with no request traffic:
+		// a dead peer turns suspect within one interval, and a recovered one
+		// heals through the breaker's half-open probe.
+		node.StartHeartbeat(*heartbeat)
 		cfg.Cluster = node
 	}
 	var (
@@ -182,6 +195,9 @@ func cliMain(args []string, stderr io.Writer, ready chan<- string) int {
 		}
 	}
 	err := serve(*addr, srv, *drainGrace, stderr, ready, boot)
+	if cfg.Cluster != nil {
+		cfg.Cluster.StopHeartbeat()
+	}
 	if wlog != nil {
 		if cerr := wlog.Close(); err == nil {
 			err = cerr

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
@@ -26,6 +29,12 @@ var (
 	// ErrUnknownPeer reports an owner ID outside the configured membership.
 	ErrUnknownPeer = errors.New("cluster: unknown peer")
 )
+
+// ReplicaHeader marks an artifact PUT as originating from the replication
+// protocol (Push) rather than a client: the receiver stores the verified
+// bytes without fanning out to its own successors, which is what keeps
+// owner→successor replication from cascading forever.
+const ReplicaHeader = "X-Dmfbd-Replica"
 
 // Peer names one remote member: its node ID and HTTP base URL.
 type Peer struct {
@@ -80,13 +89,24 @@ type peerState struct {
 }
 
 // Node is one member's handle on the cluster: the shared ring plus breaker-
-// guarded clients for every peer. Safe for concurrent use (the ring is
-// immutable, breakers self-lock, http.Client is concurrency-safe).
+// guarded clients for every peer. Safe for concurrent use: the ring is an
+// immutable value swapped atomically on membership change, the peer map is
+// guarded by mu, breakers self-lock and http.Client is concurrency-safe.
 type Node struct {
 	self   string
-	ring   *Ring
-	peers  map[string]*peerState
+	vnodes int
+	ring   atomic.Pointer[Ring]
 	client *http.Client
+
+	// breaker shape inherited by peers added at runtime.
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	mu    sync.RWMutex
+	peers map[string]*peerState
+
+	hbMu   sync.Mutex
+	hbStop chan struct{}
 }
 
 // NewNode builds the node. A nil *Node is a valid single-node cluster
@@ -98,8 +118,18 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
+	n := &Node{
+		self:             cfg.Self,
+		vnodes:           cfg.VirtualNodes,
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerCooldown:  cfg.BreakerCooldown,
+		peers:            make(map[string]*peerState, len(cfg.Peers)),
+		client: &http.Client{
+			Timeout:   cfg.Timeout,
+			Transport: cfg.Transport,
+		},
+	}
 	members := []string{cfg.Self}
-	peers := make(map[string]*peerState, len(cfg.Peers))
 	for _, p := range cfg.Peers {
 		if p.ID == cfg.Self {
 			return nil, fmt.Errorf("cluster: peer list contains self (%q)", p.ID)
@@ -107,24 +137,90 @@ func NewNode(cfg Config) (*Node, error) {
 		if p.ID == "" || p.URL == "" {
 			return nil, fmt.Errorf("cluster: peer %+v needs both ID and URL", p)
 		}
-		if _, dup := peers[p.ID]; dup {
+		if _, dup := n.peers[p.ID]; dup {
 			return nil, fmt.Errorf("cluster: duplicate peer ID %q", p.ID)
 		}
-		peers[p.ID] = &peerState{
+		n.peers[p.ID] = &peerState{
 			url:     strings.TrimRight(p.URL, "/"),
 			breaker: fleet.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, 0),
 		}
 		members = append(members, p.ID)
 	}
-	return &Node{
-		self:  cfg.Self,
-		ring:  NewRing(members, cfg.VirtualNodes),
-		peers: peers,
-		client: &http.Client{
-			Timeout:   cfg.Timeout,
-			Transport: cfg.Transport,
-		},
-	}, nil
+	n.ring.Store(NewRing(members, cfg.VirtualNodes))
+	return n, nil
+}
+
+// Ring returns the node's current view of the consistent-hash ring (nil for
+// a nil node). The ring is immutable; membership changes swap in a new one.
+func (n *Node) Ring() *Ring {
+	if n == nil {
+		return nil
+	}
+	return n.ring.Load()
+}
+
+// AddPeer joins a member to the ring at runtime: the peer gains a breaker-
+// guarded client and the ring is atomically replaced by its With-derived
+// successor, so concurrent lookups see either the old or the new placement,
+// never a torn one. Rejoining an existing peer ID only updates its URL.
+func (n *Node) AddPeer(p Peer) error {
+	if n == nil {
+		return errors.New("cluster: no cluster configured")
+	}
+	if p.ID == "" || p.URL == "" {
+		return fmt.Errorf("cluster: peer %+v needs both ID and URL", p)
+	}
+	if p.ID == n.self {
+		return fmt.Errorf("cluster: cannot join self (%q)", p.ID)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ps, ok := n.peers[p.ID]; ok {
+		ps.url = strings.TrimRight(p.URL, "/")
+		return nil
+	}
+	n.peers[p.ID] = &peerState{
+		url:     strings.TrimRight(p.URL, "/"),
+		breaker: fleet.NewBreaker(n.breakerThreshold, n.breakerCooldown, 0),
+	}
+	n.ring.Store(n.ring.Load().With(p.ID))
+	obs.Inc("cluster.members_joined")
+	return nil
+}
+
+// RemovePeer removes a member from the ring at runtime (atomic ring swap,
+// peer client dropped). Removing an unknown peer is an error; the node can
+// never remove itself.
+func (n *Node) RemovePeer(id string) error {
+	if n == nil {
+		return errors.New("cluster: no cluster configured")
+	}
+	if id == n.self {
+		return fmt.Errorf("cluster: cannot remove self (%q)", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.peers[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, id)
+	}
+	delete(n.peers, id)
+	n.ring.Store(n.ring.Load().Without(id))
+	obs.Inc("cluster.members_left")
+	return nil
+}
+
+// PeerURL resolves a peer's base URL ("" when unknown). Routing layers use
+// it to build 307 redirect targets for migrated sessions.
+func (n *Node) PeerURL(id string) string {
+	if n == nil {
+		return ""
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if p, ok := n.peers[id]; ok {
+		return p.url
+	}
+	return ""
 }
 
 // Self returns this node's ID ("" for a nil node).
@@ -140,7 +236,7 @@ func (n *Node) Size() int {
 	if n == nil {
 		return 1
 	}
-	return n.ring.Size()
+	return n.ring.Load().Size()
 }
 
 // Owner maps a key (artifact address, session key) to its owning member ID.
@@ -149,7 +245,7 @@ func (n *Node) Owner(key string) string {
 	if n == nil {
 		return ""
 	}
-	return n.ring.Owner(key)
+	return n.ring.Load().Owner(key)
 }
 
 // Owns reports whether this node owns the key. Nil nodes own everything.
@@ -157,7 +253,17 @@ func (n *Node) Owns(key string) bool {
 	if n == nil {
 		return true
 	}
-	return n.ring.Owner(key) == n.self
+	return n.ring.Load().Owner(key) == n.self
+}
+
+// Successors returns the key's replica set: up to count distinct members
+// clockwise from the key, owner first. A nil node returns nil (everything is
+// local anyway).
+func (n *Node) Successors(key string, count int) []string {
+	if n == nil {
+		return nil
+	}
+	return n.ring.Load().Successors(key, count)
 }
 
 // PeerStates snapshots every peer's breaker state, keyed by peer ID, for
@@ -166,6 +272,8 @@ func (n *Node) PeerStates() map[string]string {
 	if n == nil {
 		return nil
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	states := make(map[string]string, len(n.peers))
 	for id, p := range n.peers {
 		states[id] = p.breaker.State()
@@ -178,25 +286,104 @@ func (n *Node) PeerIDs() []string {
 	if n == nil {
 		return nil
 	}
+	n.mu.RLock()
 	ids := make([]string, 0, len(n.peers))
 	for id := range n.peers {
 		ids = append(ids, id)
 	}
+	n.mu.RUnlock()
 	sort.Strings(ids)
 	return ids
+}
+
+// SuspectPeers returns the peers whose breaker is not closed — peers that
+// failed recently and have not yet answered a half-open probe. The heartbeat
+// keeps this fresh without any request traffic.
+func (n *Node) SuspectPeers() []string {
+	if n == nil {
+		return nil
+	}
+	var out []string
+	for id, state := range n.PeerStates() {
+		if state != "closed" {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ping probes a peer's liveness endpoint through its circuit breaker: a
+// reachable peer closes the breaker (Success), an unreachable one charges it
+// exactly like a failed artifact round trip. An open breaker admits one
+// probe per cooldown (the fleet breaker's half-open contract), so a dead
+// peer costs one connection attempt per interval, not one per request.
+func (n *Node) Ping(ctx context.Context, peerID string) error {
+	_, err := n.roundTrip(ctx, peerID, http.MethodGet, "/healthz/live", "", nil, nil, "cluster.ping")
+	return err
+}
+
+// StartHeartbeat probes every peer each interval until StopHeartbeat (or a
+// second StartHeartbeat) is called. It replaces "the static -peers list is
+// assumed alive forever": breaker state — surfaced by PeerStates,
+// SuspectPeers and /healthz/ready — converges to the truth within one
+// interval even when no request traffic flows toward a peer.
+func (n *Node) StartHeartbeat(interval time.Duration) {
+	if n == nil || interval <= 0 {
+		return
+	}
+	n.hbMu.Lock()
+	defer n.hbMu.Unlock()
+	if n.hbStop != nil {
+		close(n.hbStop)
+	}
+	stop := make(chan struct{})
+	n.hbStop = stop
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			for _, id := range n.PeerIDs() {
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				n.Ping(ctx, id)
+				cancel()
+			}
+		}
+	}()
+}
+
+// StopHeartbeat stops the heartbeat loop started by StartHeartbeat.
+func (n *Node) StopHeartbeat() {
+	if n == nil {
+		return
+	}
+	n.hbMu.Lock()
+	defer n.hbMu.Unlock()
+	if n.hbStop != nil {
+		close(n.hbStop)
+		n.hbStop = nil
+	}
 }
 
 // Fetch retrieves the artifact bytes stored under addr on the named peer.
 // The caller owns verification: peer bytes are untrusted until
 // artifact.DecodeVerified accepts them.
 func (n *Node) Fetch(ctx context.Context, peerID, addr string) ([]byte, error) {
-	return n.roundTrip(ctx, peerID, http.MethodGet, "/v1/artifact/"+addr, "", nil, "cluster.fetch")
+	return n.roundTrip(ctx, peerID, http.MethodGet, "/v1/artifact/"+addr, "", nil, nil, "cluster.fetch")
 }
 
 // Push stores artifact bytes under addr on the named peer (best-effort
-// replication toward the key's owner; the peer verifies before storing).
+// replication within the key's replica set; the peer verifies before
+// storing). The replica header tells the receiver this copy already comes
+// from the replication protocol, so it stores without fanning out again —
+// otherwise owner→successor pushes would cascade.
 func (n *Node) Push(ctx context.Context, peerID, addr string, data []byte) error {
-	_, err := n.roundTrip(ctx, peerID, http.MethodPut, "/v1/artifact/"+addr, "application/octet-stream", data, "cluster.push")
+	_, err := n.roundTrip(ctx, peerID, http.MethodPut, "/v1/artifact/"+addr, "application/octet-stream", data, map[string]string{ReplicaHeader: "1"}, "cluster.push")
 	return err
 }
 
@@ -207,17 +394,32 @@ func (n *Node) Push(ctx context.Context, peerID, addr string, data []byte) error
 // non-owner blocks here (bounded by the client timeout) instead of building
 // locally, so a cold key costs the fleet one build, not one per node.
 func (n *Node) BuildOn(ctx context.Context, peerID string, planReq []byte) ([]byte, error) {
-	return n.roundTrip(ctx, peerID, http.MethodPost, "/v1/artifact/build", "application/json", planReq, "cluster.build")
+	return n.roundTrip(ctx, peerID, http.MethodPost, "/v1/artifact/build", "application/json", planReq, nil, "cluster.build")
+}
+
+// Adopt ships a migrating session's WAL-frame snapshot to the named peer,
+// which replays it onto a verified bit-identical timeline before answering
+// 2xx. The source must not delete its copy until Adopt returns nil.
+func (n *Node) Adopt(ctx context.Context, peerID, session string, frames []byte) error {
+	_, err := n.roundTrip(ctx, peerID, http.MethodPost,
+		"/v1/session/"+url.PathEscape(session)+"/adopt", "application/octet-stream", frames, nil, "cluster.adopt")
+	return err
 }
 
 // roundTrip runs one breaker-guarded request against a peer. 2xx returns
 // the body; 404 is ErrNotFound (the peer is alive — breaker success); other
 // statuses and transport failures charge the breaker.
-func (n *Node) roundTrip(ctx context.Context, peerID, method, path, contentType string, body []byte, metric string) ([]byte, error) {
+func (n *Node) roundTrip(ctx context.Context, peerID, method, path, contentType string, body []byte, hdr map[string]string, metric string) ([]byte, error) {
 	if n == nil {
 		return nil, fmt.Errorf("%w: no cluster configured", ErrUnknownPeer)
 	}
+	n.mu.RLock()
 	p, ok := n.peers[peerID]
+	var baseURL string
+	if ok {
+		baseURL = p.url
+	}
+	n.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, peerID)
 	}
@@ -229,13 +431,16 @@ func (n *Node) roundTrip(ctx context.Context, peerID, method, path, contentType 
 	if body != nil {
 		reqBody = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, p.url+path, reqBody)
+	req, err := http.NewRequestWithContext(ctx, method, baseURL+path, reqBody)
 	if err != nil {
 		p.breaker.Success() // caller bug, not peer health
 		return nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := n.client.Do(req)
 	if err != nil {

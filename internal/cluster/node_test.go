@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -138,6 +139,146 @@ func TestNodeBreakerShieldsDownPeer(t *testing.T) {
 	}
 	if hits.Load() != before {
 		t.Fatal("open breaker still hit the network")
+	}
+}
+
+// TestNodeRuntimeMembershipSwap extends the bounded-rebalance property to
+// the runtime atomic-swap path: AddPeer moves ≤ (1/N + ε) of 10k sampled
+// keys (every moved key lands on the joiner), RemovePeer of that same peer
+// restores the exact original assignment, and the peer map tracks the ring.
+func TestNodeRuntimeMembershipSwap(t *testing.T) {
+	n, err := NewNode(Config{Self: "n0", Peers: []Peer{
+		{ID: "n1", URL: "http://h1"}, {ID: "n2", URL: "http://h2"}, {ID: "n3", URL: "http://h3"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sample = 10000
+	ks := make([]string, sample)
+	before := make([]string, sample)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("swap-key-%d", i)
+		before[i] = n.Owner(ks[i])
+	}
+
+	if err := n.AddPeer(Peer{ID: "n4", URL: "http://h4"}); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i, k := range ks {
+		if after := n.Owner(k); after != before[i] {
+			moved++
+			if after != "n4" {
+				t.Fatalf("key %q moved %s→%s, not to the joining member", k, before[i], after)
+			}
+		}
+	}
+	// Expected share 1/5 of the keyspace; ε = one full expected share again.
+	if limit := 2 * sample / 5; moved >= limit {
+		t.Fatalf("join swap moved %d of %d keys (limit %d)", moved, sample, limit)
+	}
+	if moved == 0 {
+		t.Fatal("join swap moved nothing")
+	}
+	if n.PeerURL("n4") != "http://h4" || n.Size() != 5 {
+		t.Fatalf("peer map out of step with ring: url=%q size=%d", n.PeerURL("n4"), n.Size())
+	}
+
+	// Removing the joiner must restore the original assignment exactly —
+	// the Node-level With∘Without identity.
+	if err := n.RemovePeer("n4"); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range ks {
+		if after := n.Owner(k); after != before[i] {
+			t.Fatalf("swap not identity after leave: key %q owned by %q, was %q", k, after, before[i])
+		}
+	}
+	if n.PeerURL("n4") != "" || n.Size() != 4 {
+		t.Fatalf("departed peer still resolvable: url=%q size=%d", n.PeerURL("n4"), n.Size())
+	}
+}
+
+func TestNodeMembershipValidation(t *testing.T) {
+	n, err := NewNode(Config{Self: "n0", Peers: []Peer{{ID: "n1", URL: "http://h1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPeer(Peer{ID: "n0", URL: "http://self"}); err == nil {
+		t.Fatal("joining self accepted")
+	}
+	if err := n.AddPeer(Peer{ID: "", URL: "http://x"}); err == nil {
+		t.Fatal("empty peer ID accepted")
+	}
+	if err := n.RemovePeer("n0"); err == nil {
+		t.Fatal("removing self accepted")
+	}
+	if err := n.RemovePeer("ghost"); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("removing unknown peer: %v, want ErrUnknownPeer", err)
+	}
+	// Rejoin of a known ID is a URL update, not a ring change.
+	if err := n.AddPeer(Peer{ID: "n1", URL: "http://h1-new/"}); err != nil {
+		t.Fatal(err)
+	}
+	if n.PeerURL("n1") != "http://h1-new" || n.Size() != 2 {
+		t.Fatalf("rejoin: url=%q size=%d", n.PeerURL("n1"), n.Size())
+	}
+	var nilNode *Node
+	if err := nilNode.AddPeer(Peer{ID: "x", URL: "http://x"}); err == nil {
+		t.Fatal("nil node accepted join")
+	}
+	if nilNode.Successors("k", 2) != nil || nilNode.Ring() != nil {
+		t.Fatal("nil node has a ring")
+	}
+	nilNode.StartHeartbeat(time.Millisecond) // must not panic
+	nilNode.StopHeartbeat()
+}
+
+// TestNodeHeartbeatMarksSuspect: with no request traffic at all, the
+// heartbeat probes peers, opens a dead peer's breaker, and SuspectPeers
+// reports it; once the peer heals, the half-open probe closes the breaker
+// again within an interval or two.
+func TestNodeHeartbeatMarksSuspect(t *testing.T) {
+	var healthy atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz/live" {
+			http.Error(w, "bad route", http.StatusBadRequest)
+			return
+		}
+		if healthy.Load() {
+			w.Write([]byte("ok"))
+			return
+		}
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	defer peer.Close()
+	n, err := NewNode(Config{
+		Self: "self", Peers: []Peer{{ID: "p1", URL: peer.URL}},
+		BreakerThreshold: 1, BreakerCooldown: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.StartHeartbeat(10 * time.Millisecond)
+	defer n.StopHeartbeat()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(n.SuspectPeers()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead peer never marked suspect: states %v", n.PeerStates())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sus := n.SuspectPeers(); len(sus) != 1 || sus[0] != "p1" {
+		t.Fatalf("suspects = %v", sus)
+	}
+
+	healthy.Store(true)
+	for len(n.SuspectPeers()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("healed peer never cleared: states %v", n.PeerStates())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -104,6 +104,32 @@ func (r *Ring) Owner(key string) string {
 	return r.owners[i]
 }
 
+// Successors returns up to n distinct members clockwise from the key's
+// hash, starting with the key's owner. This is the key's replica set: the
+// owner plus its n-1 ring successors, which is where the artifact tier
+// places redundant copies so one node's disk loss never loses the only
+// copy. n is clamped to the member count; an empty ring returns nil.
+func (r *Ring) Successors(key string, n int) []string {
+	if r == nil || len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.hashes) && len(out) < n; j++ {
+		owner := r.owners[(start+j)%len(r.hashes)]
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
 // With derives the ring with an additional member.
 func (r *Ring) With(member string) *Ring {
 	return NewRing(append(r.Members(), member), r.vnodes)

@@ -103,3 +103,52 @@ func TestRingRebalanceBounded(t *testing.T) {
 		}
 	})
 }
+
+// TestRingWithWithoutIdentity: With followed by Without of the same member
+// must reproduce the original ring's key assignment exactly. This is what
+// makes a failed join (or a node that joins and immediately dies) harmless:
+// reverting membership reverts placement, with no residue.
+func TestRingWithWithoutIdentity(t *testing.T) {
+	base := NewRing([]string{"n0", "n1", "n2", "n3"}, DefaultVirtualNodes)
+	roundtrip := base.With("nx").Without("nx")
+	for _, k := range keys(10000) {
+		if before, after := base.Owner(k), roundtrip.Owner(k); before != after {
+			t.Fatalf("With∘Without not identity: key %q owned by %q, was %q", k, after, before)
+		}
+	}
+	if got, want := roundtrip.Size(), base.Size(); got != want {
+		t.Fatalf("roundtrip ring has %d members, want %d", got, want)
+	}
+}
+
+// TestRingSuccessors pins the replica-set contract: distinct members, owner
+// first, clamped to membership, nil-safe.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, DefaultVirtualNodes)
+	for _, k := range keys(500) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %q: %d successors, want 3", k, len(succ))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("key %q: successors start at %q, owner is %q", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("key %q: duplicate member %q in %v", k, m, succ)
+			}
+			seen[m] = true
+		}
+	}
+	if got := r.Successors("k", 99); len(got) != 4 {
+		t.Fatalf("over-asking returned %d members, want all 4", len(got))
+	}
+	if got := r.Successors("k", 0); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+	var nilRing *Ring
+	if got := nilRing.Successors("k", 2); got != nil {
+		t.Fatalf("nil ring returned %v", got)
+	}
+}

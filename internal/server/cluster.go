@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"repro/internal/artifact"
 	"repro/internal/cluster"
@@ -25,6 +26,51 @@ import (
 
 // maxArtifactBody bounds artifact uploads and build responses.
 const maxArtifactBody = 64 << 20
+
+// replicaFanout is R, the number of ring successors beyond the owner that
+// hold a copy of each artifact. R=2 means every verified plan lives on three
+// nodes (owner + 2), so one disk loss never loses the only copy and a second
+// can be ridden out while read-repair refills the first.
+const replicaFanout = 2
+
+// replicaSet resolves the nodes that should hold addr: the ring owner first,
+// then its replicaFanout distinct successors. Nil without a cluster.
+func (s *Server) replicaSet(addr string) []string {
+	return s.clusterNode.Successors(addr, replicaFanout+1)
+}
+
+// pushReplicas synchronously pushes verified artifact bytes to every member
+// of addr's replica set except this node. Failures only count: replication
+// converges via read-repair, it does not gate serving.
+func (s *Server) pushReplicas(addr string, data []byte) {
+	self := s.clusterNode.Self()
+	for _, target := range s.replicaSet(addr) {
+		if target == self {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+		err := s.clusterNode.Push(ctx, target, addr, data)
+		cancel()
+		if err != nil {
+			obs.Inc("server.artifact.push_errors")
+			continue
+		}
+		obs.Inc("server.artifact.pushed")
+	}
+}
+
+// replicate runs pushReplicas asynchronously off the request path
+// (WaitPublish synchronizes).
+func (s *Server) replicate(addr string, data []byte) {
+	if s.clusterNode == nil {
+		return
+	}
+	s.publishWG.Add(1)
+	go func() {
+		defer s.publishWG.Done()
+		s.pushReplicas(addr, data)
+	}()
+}
 
 // errArtifactsDisabled reports artifact endpoints on a server without a
 // configured artifact store or cluster. HTTP 501.
@@ -127,35 +173,77 @@ func (s *Server) promoteFromDisk(key plancache.Key, addr string) bool {
 	return true
 }
 
-// adoptFromOwner runs the follower half of the cross-node single-flight:
-// fetch the owner's artifact, or ask the owner to build it (the owner's
-// flight group coalesces every follower of this key fleet-wide), verify,
-// promote. False sends the caller to the local-build floor.
+// adoptFromOwner runs the follower half of the cross-node single-flight.
+// The fetch ladder, in order:
+//
+//  1. fetch from the owner;
+//  2. owner miss or owner down — fetch from the owner's ring successors
+//     (the replica set): a copy that verifies is promoted AND pushed back
+//     to the owner (read-repair), so the next follower finds the owner warm
+//     again after a disk loss;
+//  3. owner alive but the whole replica set cold — ask the owner to build
+//     (its flight group coalesces every follower of this key fleet-wide).
+//
+// Every rung verifies before trusting; false sends the caller to the
+// local-build floor.
 func (s *Server) adoptFromOwner(ctx context.Context, req *PlanRequest, key plancache.Key, addr, owner string) bool {
-	data, err := s.clusterNode.Fetch(ctx, owner, addr)
-	if errors.Is(err, cluster.ErrNotFound) {
-		body, merr := json.Marshal(req)
-		if merr != nil {
+	verify := func(data []byte) bool {
+		a, err := artifact.DecodeVerified(data)
+		if err != nil || a.Key != key {
+			obs.Inc("server.artifact.verify_rejected")
 			return false
 		}
-		data, err = s.clusterNode.BuildOn(ctx, owner, body)
+		s.cache().Put(key, a.Plan)
+		s.artifacts.Put(addr, data) // warm the disk tier too (nil-safe)
+		return true
 	}
-	if err != nil {
+
+	data, err := s.clusterNode.Fetch(ctx, owner, addr)
+	if err == nil && verify(data) {
+		return true
+	}
+	ownerAlive := errors.Is(err, cluster.ErrNotFound)
+
+	// Owner cold or down: the replica set may still hold the artifact.
+	self := s.clusterNode.Self()
+	for _, replica := range s.replicaSet(addr) {
+		if replica == owner || replica == self {
+			continue
+		}
+		rdata, rerr := s.clusterNode.Fetch(ctx, replica, addr)
+		if rerr != nil || !verify(rdata) {
+			continue
+		}
+		// Read-repair: refill the owner so the ladder's first rung works
+		// again for the next follower (async; failure only counts).
+		s.publishWG.Add(1)
+		go func() {
+			defer s.publishWG.Done()
+			rctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+			defer cancel()
+			if err := s.clusterNode.Push(rctx, owner, addr, rdata); err == nil {
+				obs.Inc("server.artifact.read_repairs")
+			} else {
+				obs.Inc("server.artifact.push_errors")
+			}
+		}()
+		return true
+	}
+
+	if !ownerAlive {
 		return false
 	}
-	a, derr := artifact.DecodeVerified(data)
-	if derr != nil || a.Key != key {
-		obs.Inc("server.artifact.verify_rejected")
+	body, merr := json.Marshal(req)
+	if merr != nil {
 		return false
 	}
-	s.cache().Put(key, a.Plan)
-	s.artifacts.Put(addr, data) // warm the disk tier too (nil-safe)
-	return true
+	data, err = s.clusterNode.BuildOn(ctx, owner, body)
+	return err == nil && verify(data)
 }
 
-// publishPlan encodes the freshly built plan and stores it in the warm tier,
-// pushing it to the ring owner when that is another node. Called async after
-// a local cold build; errors only count (the plan already served).
+// publishPlan encodes the freshly built plan, stores it in the warm tier and
+// pushes it to addr's whole replica set (owner + successors). Called async
+// after a local cold build; errors only count (the plan already served).
 func (s *Server) publishPlan(key plancache.Key) {
 	p, ok := s.cache().Get(key)
 	if !ok {
@@ -171,15 +259,7 @@ func (s *Server) publishPlan(key plancache.Key) {
 		obs.Inc("server.artifact.store_errors")
 	}
 	if s.clusterNode != nil {
-		if owner := s.clusterNode.Owner(addr); owner != s.clusterNode.Self() {
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
-			defer cancel()
-			if err := s.clusterNode.Push(ctx, owner, addr, data); err != nil {
-				obs.Inc("server.artifact.push_errors")
-				return
-			}
-			obs.Inc("server.artifact.pushed")
-		}
+		s.pushReplicas(addr, data)
 	}
 }
 
@@ -270,6 +350,14 @@ func (s *Server) serveArtifactPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache().Put(a.Key, a.Plan) // verified: promote to the LRU as well
+	// An owner accepting a client PUT fans it out to its ring successors,
+	// async off the request path. Pushes arriving from the replication
+	// protocol itself (ReplicaHeader) are stored without fanning out — the
+	// pusher already covered the replica set — so replication never cascades.
+	if s.clusterNode != nil && s.clusterNode.Owns(addr) && s.clusterNode.Size() > 1 &&
+		r.Header.Get(cluster.ReplicaHeader) == "" {
+		s.replicate(addr, data)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -289,7 +377,7 @@ func (s *Server) serveArtifactBuild(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var rej *errRejected
 		if errors.As(err, &rej) {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
 			writeError(w, rej.status, err)
 			return
 		}
@@ -347,6 +435,9 @@ func (s *Server) serveArtifactBuild(w http.ResponseWriter, r *http.Request) {
 			return nil, eErr
 		}
 		s.artifacts.Put(addr, data) // nil-safe warm-tier write-through
+		if s.clusterNode.Owns(addr) && s.clusterNode.Size() > 1 {
+			s.replicate(addr, data) // owner fans a cold build to its replicas
+		}
 		return data, nil
 	})
 	if err != nil {

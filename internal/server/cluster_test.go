@@ -69,6 +69,9 @@ func newTestCluster(t *testing.T, n int) []*clusterNode {
 		h := nd.srv.Handler()
 		slots[i].Store(&h)
 	}
+	// Registered after every TempDir cleanup, so it runs first: async replica
+	// pushes anywhere in the fleet must quiesce before stores are torn down.
+	t.Cleanup(func() { waitPublishes(nodes) })
 	return nodes
 }
 

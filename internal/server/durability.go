@@ -100,17 +100,34 @@ func specFromWAL(ws *wal.Spec, demand int) (*planSpec, error) {
 	})
 }
 
-// requestBatch plans one batch on the session's engine. With a WAL attached
-// and a session in play, the plan is bracketed accept → plan → done/fail
-// under the session's request mutex: the accept is durable before planning
-// starts and the done is durable before the caller can acknowledge the
-// client, so a crash at any point leaves a log recovery can act on.
+// requestBatch plans one batch on the session's engine. Session batches run
+// under the session's request mutex: the fence is checked (a migrating
+// session answers 409, never a write behind its shipped snapshot) and the
+// batch history is maintained for migration snapshots. With a WAL attached
+// the plan is additionally bracketed accept → plan → done/fail: the accept
+// is durable before planning starts and the done is durable before the
+// caller can acknowledge the client, so a crash at any point leaves a log
+// recovery can act on.
 func (s *Server) requestBatch(ctx context.Context, eng *core.Engine, sess *session, demand int) (*core.Batch, error) {
-	if s.wal == nil || sess == nil {
+	if sess == nil {
 		return eng.RequestCtx(ctx, demand)
 	}
 	sess.reqMu.Lock()
 	defer sess.reqMu.Unlock()
+	if sess.fenced {
+		return nil, fmt.Errorf("%w: session %q", errSessionFenced, sess.name)
+	}
+	if s.wal == nil {
+		b, err := eng.RequestCtx(ctx, demand)
+		if err != nil {
+			return nil, err
+		}
+		sess.batches++
+		sess.history = append(sess.history, batchSummary{
+			demand: demand, startCycle: b.StartCycle, emitted: b.Result.Emitted,
+		})
+		return b, nil
+	}
 	ord := sess.batches + 1
 	if err := s.wal.Append(wal.Record{
 		Kind: wal.KindBatchAccept, Session: sess.name, Batch: ord, Demand: demand,

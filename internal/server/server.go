@@ -143,6 +143,12 @@ type Server struct {
 	planKeysMu sync.Mutex
 	planKeys   map[string]bool
 
+	// migrated tombstones sessions this node shipped away: session name →
+	// receiving node ID. A tombstone turns later requests for the session
+	// into 307 redirects at the exact holder, even if the ring has moved on.
+	migratedMu sync.Mutex
+	migrated   map[string]string
+
 	// mu guards the in-flight census used by Drain. A WaitGroup cannot
 	// express "stop admitting, then wait": its Add may not race with Wait
 	// around a zero counter, which is exactly the drain moment.
@@ -166,6 +172,7 @@ func New(cfg Config) *Server {
 		clusterNode: cfg.Cluster,
 		slots:       make(chan struct{}, cfg.MaxInFlight),
 		planKeys:    map[string]bool{},
+		migrated:    map[string]string{},
 	}
 	if s.wal != nil {
 		s.recovering.Store(true)
@@ -188,6 +195,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/artifact/{addr}", s.serveArtifactGet)
 	mux.HandleFunc("PUT /v1/artifact/{addr}", s.serveArtifactPut)
 	mux.HandleFunc("POST /v1/artifact/build", s.serveArtifactBuild)
+	mux.HandleFunc("POST /v1/session/{id}/migrate", s.serveSessionMigrate)
+	mux.HandleFunc("POST /v1/session/{id}/adopt", s.serveSessionAdopt)
+	mux.HandleFunc("POST /v1/cluster/members", s.serveClusterMembers)
 	mux.HandleFunc("GET /healthz", s.serveHealth)
 	mux.HandleFunc("GET /healthz/live", s.serveHealthLive)
 	mux.HandleFunc("GET /healthz/ready", s.serveHealthReady)
@@ -349,6 +359,15 @@ func (s *Server) dispatch(name string, w http.ResponseWriter, r *http.Request, f
 
 	resp, err := fn(r.Context(), r)
 	if err != nil {
+		// A migrated session is not an error, it is an address: point the
+		// client at the exact node holding the timeline (307 preserves the
+		// method and body, so standard clients re-POST transparently).
+		var moved *errSessionMoved
+		if errors.As(err, &moved) {
+			w.Header().Set("Location", moved.location)
+			writeJSON(w, http.StatusTemporaryRedirect, errorResponse{Error: err.Error()})
+			return http.StatusTemporaryRedirect, nil
+		}
 		st := statusFor(err)
 		if st == http.StatusServiceUnavailable || st == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
@@ -370,8 +389,10 @@ func statusFor(err error) int {
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
-	case errors.Is(err, errSessionConflict):
+	case errors.Is(err, errSessionConflict), errors.Is(err, errSessionFenced):
 		return http.StatusConflict
+	case errors.Is(err, errSessionNotFound):
+		return http.StatusNotFound
 	case errors.Is(err, errFleetDisabled):
 		return http.StatusNotImplemented
 	case errors.Is(err, fleet.ErrSaturated):
@@ -461,12 +482,13 @@ func (s *Server) engineFor(req *PlanRequest, spec *planSpec) (eng *core.Engine, 
 		eng, err = build()
 		return eng, nil, func() {}, err
 	}
-	var onInsert func(*session)
-	if s.wal != nil {
-		// Run under the shard lock at insert, so the open record's log
-		// position precedes every batch record of the session.
-		onInsert = func(sess *session) {
-			sess.spec = specToWAL(spec)
+	// Run under the shard lock at insert. The spec is carried on every
+	// session — migration snapshots re-emit it as the session-open record —
+	// and with a WAL attached the open record's log position precedes every
+	// batch record of the session.
+	onInsert := func(sess *session) {
+		sess.spec = specToWAL(spec)
+		if s.wal != nil {
 			s.wal.AppendAsync(wal.Record{
 				Kind: wal.KindSessionOpen, Session: req.Session,
 				Fingerprint: spec.fingerprint(), Spec: sess.spec,
@@ -515,6 +537,9 @@ func (s *Server) servePlan(ctx context.Context, r *http.Request) (any, error) {
 	}
 	s.applyNoiseDefaults(&req)
 	if req.Session != "" {
+		if err := s.sessionRedirect(req.Session, r.URL.Path); err != nil {
+			return nil, err
+		}
 		// Session requests extend a shared timeline; each must plan.
 		eng, b, spec, done, err := s.planBatch(ctx, &req)
 		if err != nil {
@@ -583,6 +608,9 @@ func (s *Server) serveStream(ctx context.Context, r *http.Request) (any, error) 
 		return resp, nil
 	}
 	if req.Session != "" {
+		if err := s.sessionRedirect(req.Session, r.URL.Path); err != nil {
+			return nil, err
+		}
 		resp, err := buildResp()
 		if err != nil {
 			return nil, err
@@ -640,6 +668,11 @@ func (s *Server) serveExecute(ctx context.Context, r *http.Request) (any, error)
 		return nil, &errBadRequest{fmt.Errorf("fault_rate must be in [0,1), got %g", req.FaultRate)}
 	}
 	s.applyNoiseDefaults(&req.PlanRequest)
+	if req.Session != "" {
+		if err := s.sessionRedirect(req.Session, r.URL.Path); err != nil {
+			return nil, err
+		}
+	}
 	eng, b, spec, done, err := s.planBatch(ctx, &req.PlanRequest)
 	if err != nil {
 		return nil, err

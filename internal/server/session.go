@@ -70,10 +70,14 @@ type session struct {
 
 	// reqMu serializes the WAL bracket (accept → plan → done/fail) of this
 	// session so batch ordinals land in the log contiguously. It also guards
-	// batches and history.
+	// batches, history and fenced.
 	reqMu   sync.Mutex
 	batches int            // batch ordinals consumed (including failed plans)
-	history []batchSummary // completed batches, for compaction
+	history []batchSummary // completed batches, for compaction and migration
+	// fenced refuses new batches (409) while the session migrates to another
+	// node: the snapshot shipped to the new owner must be the last word on
+	// this timeline, so no write may land after it is taken.
+	fenced bool
 }
 
 // newSessionPool builds a pool holding about `capacity` sessions across all
@@ -179,6 +183,52 @@ func (p *sessionPool) evictLocked(s *sessionShard) {
 		}
 		el = prev
 	}
+}
+
+// peek returns the named session pinned against eviction without building
+// anything on a miss. Migration uses it to fence and snapshot a resident
+// session; the returned release must be called exactly once.
+func (p *sessionPool) peek(name string) (*session, func(), bool) {
+	s := p.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[name]
+	if !ok {
+		return nil, nil, false
+	}
+	sess := el.Value.(*session)
+	sess.pins++
+	return sess, p.releaseFunc(s, sess), true
+}
+
+// contains reports whether the named session is resident, without touching
+// LRU order or pins.
+func (p *sessionPool) contains(name string) bool {
+	s := p.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[name]
+	return ok
+}
+
+// remove deletes the named session outright (onEvict fires, as for an LRU
+// eviction), pins notwithstanding: the migration path only removes after the
+// new owner acked the snapshot, and any request still pinning the session is
+// already fenced off its timeline. False when the session is not resident.
+func (p *sessionPool) remove(name string) bool {
+	s := p.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[name]
+	if !ok {
+		return false
+	}
+	s.lru.Remove(el)
+	delete(s.index, name)
+	if p.onEvict != nil {
+		p.onEvict(name)
+	}
+	return true
 }
 
 // get resolves the session engine without holding a pin — a convenience for

@@ -61,3 +61,19 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)
 	close(f.done)
 	return f.val, f.err, false
 }
+
+// drain waits for every in-flight leader to finish. Membership changes call
+// it so no build keyed against the old ring is still running when sessions
+// migrate under the new one. New flights may start during the wait; drain
+// only guarantees the flights visible at its snapshot are done.
+func (g *flightGroup) drain() {
+	g.mu.Lock()
+	waits := make([]chan struct{}, 0, len(g.m))
+	for _, f := range g.m {
+		waits = append(waits, f.done)
+	}
+	g.mu.Unlock()
+	for _, ch := range waits {
+		<-ch
+	}
+}

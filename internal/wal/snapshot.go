@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Session snapshots: migration ships one session's records between nodes in
+// exactly the on-disk log format — magic header plus checksummed frames with
+// contiguous sequence numbers from 1. Reusing the DMFBWAL1 encoding means
+// the wire format inherits the log's corruption detection for free (CRC per
+// frame, sequence gaps, bounded payloads) and a captured snapshot is itself
+// a valid log file. Unlike Open, DecodeFrames never repairs: a snapshot with
+// any invalid byte is refused whole — a migration must be perfect or it must
+// not happen.
+
+// EncodeFrames serializes records into a DMFBWAL1 byte stream, renumbering
+// sequences from 1 in the given order.
+func EncodeFrames(recs []Record) ([]byte, error) {
+	buf := make([]byte, 0, 256+64*len(recs))
+	buf = append(buf, magic...)
+	var err error
+	for i := range recs {
+		rec := recs[i]
+		rec.Seq = uint64(i + 1)
+		if buf, err = frame(buf, &rec); err != nil {
+			return nil, fmt.Errorf("wal: encode snapshot: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeFrames parses a DMFBWAL1 byte stream produced by EncodeFrames (or a
+// whole log file body). Every structural violation — bad magic, impossible
+// length, checksum mismatch, undecodable payload, sequence gap, trailing
+// bytes — returns a typed *CorruptError wrapping ErrCorrupt; there is no
+// good-prefix salvage on the wire.
+func DecodeFrames(data []byte) ([]Record, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, &CorruptError{Offset: 0, Reason: "short or missing magic header"}
+	}
+	off := len(magic)
+	var recs []Record
+	var lastSeq uint64
+	for off < len(data) {
+		if len(data)-off < frameHdr {
+			return nil, &CorruptError{Offset: int64(off), Reason: "truncated frame header", Records: len(recs)}
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxPayload {
+			return nil, &CorruptError{Offset: int64(off), Reason: fmt.Sprintf("impossible payload length %d", n), Records: len(recs)}
+		}
+		if len(data)-off-frameHdr < int(n) {
+			return nil, &CorruptError{Offset: int64(off), Reason: "truncated payload", Records: len(recs)}
+		}
+		payload := data[off+frameHdr : off+frameHdr+int(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return nil, &CorruptError{Offset: int64(off), Reason: "checksum mismatch", Records: len(recs)}
+		}
+		var rec Record
+		if err := decodePayload(payload, &rec); err != nil {
+			return nil, &CorruptError{Offset: int64(off), Reason: "undecodable payload: " + err.Error(), Records: len(recs)}
+		}
+		if err := rec.validate(lastSeq); err != nil {
+			return nil, &CorruptError{Offset: int64(off), Reason: err.Error(), Records: len(recs)}
+		}
+		recs = append(recs, rec)
+		lastSeq = rec.Seq
+		off += frameHdr + int(n)
+	}
+	return recs, nil
+}
